@@ -1,0 +1,70 @@
+// Ablation — the §IV-D anchor-view calibration (Fig. 4 quantified):
+// decoration placement accuracy with and without the screen-to-window
+// offset correction, across full-screen and non-full-screen app windows.
+#include <cstdio>
+#include <memory>
+
+#include "android/system.h"
+#include "bench_common.h"
+#include "core/decoration.h"
+
+using namespace darpa;
+
+namespace {
+/// Places a decoration for a target screen rect, optionally applying the
+/// anchor-view calibration, and returns the IoU between where the overlay
+/// actually landed and where it should be.
+double placementIou(bool fullscreen, bool calibrate, const Rect& target) {
+  android::AndroidSystem system;
+  auto root = std::make_unique<android::View>();
+  root->setBackground(colors::kWhite);
+  system.windowManager.showAppWindow("com.app", std::move(root), fullscreen);
+
+  Point offset{0, 0};
+  if (calibrate) {
+    // The anchor-view trick.
+    auto anchor = std::make_unique<android::View>();
+    anchor->setVisible(false);
+    const int anchorId =
+        system.windowManager.addOverlay(std::move(anchor), {0, 0, 1, 1});
+    offset = *system.windowManager.overlayLocationOnScreen(anchorId);
+    system.windowManager.removeOverlay(anchorId);
+  }
+
+  auto decoration = std::make_unique<core::DecorationView>(colors::kGreen, 3);
+  android::LayoutParams lp;
+  lp.x = target.x - offset.x;
+  lp.y = target.y - offset.y;
+  lp.width = target.width;
+  lp.height = target.height;
+  const int id = system.windowManager.addOverlay(std::move(decoration), lp);
+  const Rect actual = *system.windowManager.overlayBoundsOnScreen(id);
+  return iou(actual, target);
+}
+}  // namespace
+
+int main() {
+  bench::printHeader("Ablation — decoration calibration (paper SIV-D, Fig. 4)");
+  Rng rng(17);
+  double sumCal = 0, sumNoCalFull = 0, sumNoCalWindowed = 0;
+  constexpr int kTrials = 200;
+  for (int i = 0; i < kTrials; ++i) {
+    const Rect target{rng.uniformInt(10, 300), rng.uniformInt(40, 600),
+                      rng.uniformInt(14, 40), rng.uniformInt(14, 40)};
+    sumCal += placementIou(/*fullscreen=*/false, /*calibrate=*/true, target);
+    sumNoCalWindowed +=
+        placementIou(/*fullscreen=*/false, /*calibrate=*/false, target);
+    sumNoCalFull +=
+        placementIou(/*fullscreen=*/true, /*calibrate=*/false, target);
+  }
+  std::printf("\n  mean decoration IoU over %d random targets:\n", kTrials);
+  std::printf("    calibrated, windowed app:       %.3f (expected 1.000)\n",
+              sumCal / kTrials);
+  std::printf("    uncalibrated, full-screen app:  %.3f (offset is zero)\n",
+              sumNoCalFull / kTrials);
+  std::printf("    uncalibrated, windowed app:     %.3f (Fig. 4a drift)\n",
+              sumNoCalWindowed / kTrials);
+  std::printf("\n  the uncalibrated overlay misses small close buttons almost\n"
+              "  entirely: a 24px status bar offset vs ~20px UPO boxes.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Ablation — the paper's footnote-4 strawman: "simply identify and label
+// the small close button as the UPO". A context-free small-corner-button
+// rule explodes with false positives on benign screens; DARPA's learned
+// context-sensitive model does not.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "dataset/dataset.h"
+
+using namespace darpa;
+
+namespace {
+/// The strawman: flag any small high-contrast square-ish blob near a screen
+/// corner as a UPO — no AUI context considered.
+bool strawmanFlagsUpo(const gfx::Bitmap& image) {
+  const cv::FeatureMap map(image, cv::ChannelSet::all(), 2);
+  const Rect screen = image.bounds();
+  for (int s : {16, 20, 26}) {
+    for (int cornerX : {8, screen.width - s - 8}) {
+      for (int y = 28; y < screen.height - s - 8; y += 6) {
+        const Rect box{cornerX, y, s, s};
+        const bool nearCorner =
+            y < screen.height / 3 || y > screen.height * 2 / 3;
+        if (!nearCorner) continue;
+        if (std::fabs(map.ringContrast(cv::Channel::kContrast, box)) > 0.02 &&
+            cv::snapToRegion(image, box).has_value()) {
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+}  // namespace
+
+int main() {
+  bench::printHeader(
+      "Ablation — small-close-button strawman vs DARPA (footnote 4)");
+  const dataset::AuiDataset data = bench::paperDataset();
+  const cv::OneStageDetector detector =
+      bench::trainOrLoadOneStage(data, "default");
+
+  // Positives: AUI test screenshots. Negatives: benign + hard negatives
+  // (symmetric dialogs WITH a small close button).
+  int strawTp = 0, darpaTp = 0, auiCount = 0;
+  for (std::size_t i = 0; i < data.testIndices().size(); i += 2) {
+    const dataset::Sample sample = data.materialize(data.testIndices()[i]);
+    ++auiCount;
+    strawTp += strawmanFlagsUpo(sample.image);
+    bool hasUpo = false;
+    for (const cv::Detection& det : detector.detect(sample.image)) {
+      hasUpo |= det.label == dataset::BoxLabel::kUpo;
+    }
+    darpaTp += hasUpo;
+  }
+  int strawFp = 0, darpaFp = 0, negCount = 0;
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    const dataset::Sample sample = dataset::materializeBenign(
+        seed, data.config().screenSize, seed % 2 == 0);
+    ++negCount;
+    strawFp += strawmanFlagsUpo(sample.image);
+    bool hasUpo = false;
+    for (const cv::Detection& det : detector.detect(sample.image)) {
+      hasUpo |= det.label == dataset::BoxLabel::kUpo;
+    }
+    darpaFp += hasUpo;
+  }
+
+  std::printf("\n  over %d AUI screenshots and %d benign screenshots "
+              "(half of them hard negatives):\n",
+              auiCount, negCount);
+  std::printf("    strawman: recall %.1f%%  false-positive rate %.1f%%\n",
+              100.0 * strawTp / auiCount, 100.0 * strawFp / negCount);
+  std::printf("    DARPA:    recall %.1f%%  false-positive rate %.1f%%\n",
+              100.0 * darpaTp / auiCount, 100.0 * darpaFp / negCount);
+  std::printf("\n  the strawman finds the close buttons everywhere — which is\n"
+              "  exactly why the paper rejects it: a close button alone does\n"
+              "  not make a screen an AUI.\n");
+  return 0;
+}

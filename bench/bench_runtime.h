@@ -1,0 +1,139 @@
+// Shared runtime harness for the end-to-end benches (Tables VI-VIII, Fig 8):
+// spins up simulated devices, runs app sessions under Monkey with DARPA
+// connected, and scores every analysis against the session's ground truth.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "android/system.h"
+#include "apps/app_model.h"
+#include "baselines/frauddroid.h"
+#include "bench_common.h"
+#include "core/darpa_service.h"
+#include "perf/device_model.h"
+
+namespace darpa::bench {
+
+struct ConfusionMatrix {
+  int tp = 0;  ///< labeled AUI, flagged AUI
+  int fn = 0;  ///< labeled AUI, flagged non-AUI
+  int fp = 0;  ///< labeled non-AUI, flagged AUI
+  int tn = 0;  ///< labeled non-AUI, flagged non-AUI
+
+  [[nodiscard]] int labeledAui() const { return tp + fn; }
+  [[nodiscard]] int labeledNonAui() const { return fp + tn; }
+  [[nodiscard]] double precision() const {
+    return tp + fp == 0 ? 0.0 : static_cast<double>(tp) / (tp + fp);
+  }
+  [[nodiscard]] double recall() const {
+    return tp + fn == 0 ? 0.0 : static_cast<double>(tp) / (tp + fn);
+  }
+};
+
+struct RuntimeResult {
+  ConfusionMatrix darpa;       ///< Screenshot-level verdicts vs ground truth.
+  ConfusionMatrix fraudDroid;  ///< Same screenshots, FraudDroid-like verdict.
+  perf::WorkCounts work;
+  std::int64_t analyses = 0;
+  std::int64_t eventsEmitted = 0;
+  int auiExposures = 0;
+  int auisCovered = 0;  ///< Exposures with >= 1 positive DARPA analysis.
+  double detectorMacs = 0.0;
+};
+
+struct RuntimeOptions {
+  int appCount = 100;
+  Millis sessionLength{60'000};  ///< 1 minute per app, like the paper.
+  core::DarpaConfig darpaConfig;
+  bool runFraudDroid = false;
+  bool runMonkey = true;
+  std::uint64_t seed = 606;
+};
+
+/// Runs `appCount` one-minute sessions, each on a fresh simulated device
+/// with DARPA connected, and aggregates verdicts + work.
+inline RuntimeResult runSessions(const cv::Detector& detector,
+                                 const RuntimeOptions& options) {
+  RuntimeResult result;
+  result.detectorMacs = detector.costMacsPerImage();
+  Rng rng(options.seed);
+  const baselines::FraudDroidDetector fraudDroid;
+
+  for (int appIdx = 0; appIdx < options.appCount; ++appIdx) {
+    android::AndroidSystem system;
+    core::DarpaService service(detector, options.darpaConfig);
+    service.setWorkListener(
+        [&](core::WorkKind kind) { result.work.record(kind); });
+    system.accessibility.connect(service);
+
+    apps::AppProfile profile = apps::randomAppProfile(
+        "com.bench.app" + std::to_string(appIdx), rng);
+    apps::AppSession session(system, profile, rng.next());
+    apps::MonkeyDriver monkey(system, rng.next());
+
+    std::vector<Millis> positiveAnalyses;
+    service.setAnalysisListener([&](bool isAui,
+                                    const std::vector<cv::Detection>&) {
+      ++result.analyses;
+      const Millis now = system.clock.now();
+      const apps::AuiExposure* exposure = session.exposureAt(now);
+      const bool truth = exposure != nullptr;
+      if (isAui) positiveAnalyses.push_back(now);
+      if (truth && isAui) {
+        ++result.darpa.tp;
+      } else if (truth && !isAui) {
+        ++result.darpa.fn;
+      } else if (!truth && isAui) {
+        ++result.darpa.fp;
+      } else {
+        ++result.darpa.tn;
+      }
+      if (options.runFraudDroid) {
+        const android::UiDump dump = system.windowManager.dumpTopWindow();
+        const baselines::FraudDroidResult verdict = fraudDroid.analyze(
+            dump, system.windowManager.config().screenSize);
+        if (truth && verdict.isAui) {
+          ++result.fraudDroid.tp;
+        } else if (truth && !verdict.isAui) {
+          ++result.fraudDroid.fn;
+        } else if (!truth && verdict.isAui) {
+          ++result.fraudDroid.fp;
+        } else {
+          ++result.fraudDroid.tn;
+        }
+      }
+    });
+
+    session.start(options.sessionLength);
+    if (options.runMonkey) {
+      // Deliberate, human-paced exploration (a tap every 1.5-4 s): each tap
+      // resets the ct timer, so an aggressive monkey would just multiply
+      // the analyzed-screenshot count.
+      monkey.start(system.clock.now() + options.sessionLength, 1500, 4000);
+    }
+    system.looper.runUntil(system.clock.now() + options.sessionLength);
+
+    result.eventsEmitted += system.accessibility.totalEmitted();
+    result.auiExposures += static_cast<int>(session.exposures().size());
+    for (const apps::AuiExposure& exposure : session.exposures()) {
+      const bool covered = std::any_of(
+          positiveAnalyses.begin(), positiveAnalyses.end(), [&](Millis t) {
+            return t >= exposure.shownAt && t < exposure.hiddenAt;
+          });
+      result.auisCovered += covered;
+    }
+  }
+  return result;
+}
+
+inline void printConfusion(const char* name, const ConfusionMatrix& m) {
+  std::printf("  %-18s |        flagged AUI   flagged non-AUI\n", name);
+  std::printf("    labeled AUI      | %12d %15d\n", m.tp, m.fn);
+  std::printf("    labeled non-AUI  | %12d %15d\n", m.fp, m.tn);
+  std::printf("    precision %.3f   recall %.3f\n", m.precision(), m.recall());
+}
+
+}  // namespace darpa::bench

@@ -1,0 +1,72 @@
+// Table I + §III-A measurement study: AUI type distribution, hosts, and
+// layout patterns of the (re)generated D_aui dataset.
+#include <cstdio>
+#include <map>
+
+#include "bench_common.h"
+
+using namespace darpa;
+
+int main() {
+  bench::printHeader(
+      "Table I — Distribution of different types of AUI (D_aui, 1,072 shots)");
+  const dataset::AuiDataset data = bench::paperDataset();
+
+  std::map<apps::AuiType, int> counts;
+  int thirdParty = 0, central = 0, corner = 0;
+  for (const dataset::SampleSpec& spec : data.specs()) {
+    ++counts[spec.spec.type];
+    thirdParty += spec.spec.host == apps::AuiHost::kThirdParty;
+    central += spec.spec.agoCentral;
+    corner += spec.spec.upoCorner;
+  }
+
+  std::printf("  %-30s %10s %10s\n", "AUI type", "paper", "measured");
+  for (apps::AuiType type : apps::kAllAuiTypes) {
+    std::printf("  %-30s %6d (%4.1f%%) %5d (%4.1f%%)\n",
+                std::string(apps::auiTypeName(type)).c_str(),
+                apps::auiTypePaperCount(type), apps::auiTypePaperShare(type),
+                counts[type], 100.0 * counts[type] / data.size());
+  }
+  std::printf("  %-30s %10d %10zu\n", "Total", 1072, data.size());
+
+  bench::printHeader("SIII-A — Hosts and layout patterns of AUI");
+  bench::printMetricRow("third-party (ads) share", 64.9,
+                        100.0 * thirdParty / data.size(), "%");
+  bench::printMetricRow("first-party share", 35.1,
+                        100.0 * (data.size() - thirdParty) / data.size(), "%");
+  bench::printMetricRow("AGO placed centrally", 94.6,
+                        100.0 * central / data.size(), "%");
+  bench::printMetricRow("UPO placed in a corner", 73.1,
+                        100.0 * corner / data.size(), "%");
+
+  // Verify the layout statistics against the *rendered pixels* too: measure
+  // where the annotated boxes actually sit on a sample of screenshots.
+  int measuredCentral = 0, measuredCorner = 0, agoBoxes = 0, upoBoxes = 0;
+  for (std::size_t i = 0; i < data.size(); i += 9) {
+    const dataset::Sample sample = data.materialize(i);
+    const Rect screen = sample.image.bounds();
+    const Rect centerRegion{screen.width / 5, screen.height / 5,
+                            screen.width * 3 / 5, screen.height * 3 / 5};
+    for (const dataset::Annotation& a : sample.annotations) {
+      if (a.label == dataset::BoxLabel::kAgo) {
+        ++agoBoxes;
+        measuredCentral += centerRegion.contains(a.box.center());
+      } else {
+        ++upoBoxes;
+        const Point c = a.box.center();
+        const bool nearCorner = (c.x < screen.width / 4 ||
+                                 c.x > screen.width * 3 / 4) &&
+                                (c.y < screen.height / 3 ||
+                                 c.y > screen.height * 2 / 3);
+        measuredCorner += nearCorner;
+      }
+    }
+  }
+  std::printf("\n  Pixel-level check over every 9th screenshot:\n");
+  bench::printMetricRow("AGO centers in central region", 94.6,
+                        100.0 * measuredCentral / agoBoxes, "%");
+  bench::printMetricRow("UPO centers near a corner", 73.1,
+                        100.0 * measuredCorner / upoBoxes, "%");
+  return 0;
+}

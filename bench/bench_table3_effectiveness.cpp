@@ -1,0 +1,40 @@
+// Table III — overall effectiveness of DARPA (the int8 on-device model)
+// on the held-out test split at IoU >= 0.9.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace darpa;
+
+int main() {
+  bench::printHeader("Table III — Overall effectiveness of DARPA (on-device)");
+  const dataset::AuiDataset data = bench::paperDataset();
+  cv::OneStageDetector detector = bench::trainOrLoadOneStage(data, "default");
+
+  // Port the model to the "device": int8 conversion calibrated on a sample
+  // of the validation split (the paper's YOLOv5 -> ncnn step).
+  std::vector<gfx::Bitmap> calibration;
+  for (std::size_t i = 0; i < data.valIndices().size(); i += 10) {
+    calibration.push_back(data.materialize(data.valIndices()[i]).image);
+  }
+  detector.enableQuantized(calibration);
+  std::printf("  int8 model: %zu bytes (fp32 was %zu bytes)\n",
+              detector.modelBytes(),
+              detector.head().parameterCount() * sizeof(float));
+
+  const cv::ModelMetrics metrics =
+      cv::evaluateDetector(detector, data, data.testIndices());
+
+  std::printf("\n  %-6s %22s %22s\n", "Type", "paper (P / R / F1)",
+              "measured (P / R / F1)");
+  std::printf("  %-6s  %.3f / %.3f / %.3f   %.3f / %.3f / %.3f\n", "UPO",
+              0.901, 0.852, 0.876, metrics.upo.precision(),
+              metrics.upo.recall(), metrics.upo.f1());
+  std::printf("  %-6s  %.3f / %.3f / %.3f   %.3f / %.3f / %.3f\n", "AGO",
+              0.815, 0.802, 0.808, metrics.ago.precision(),
+              metrics.ago.recall(), metrics.ago.f1());
+  std::printf("  %-6s  %.3f / %.3f / %.3f   %.3f / %.3f / %.3f\n", "All",
+              0.858, 0.827, 0.842, metrics.all().precision(),
+              metrics.all().recall(), metrics.all().f1());
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Table IV — (a) model migration: fp32 "server" model vs the int8 ncnn-like
+// port, and (b) language generalization: a model re-trained and evaluated
+// with all on-UI text masked (paper Fig. 7).
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace darpa;
+
+int main() {
+  bench::printHeader("Table IV — YOLOv5 on server vs ported, and text-masked");
+  const dataset::AuiDataset data = bench::paperDataset();
+
+  // fp32 "server" model.
+  cv::OneStageDetector detector = bench::trainOrLoadOneStage(data, "default");
+  const cv::ModelMetrics server =
+      cv::evaluateDetector(detector, data, data.testIndices());
+
+  // int8 "device" port (Table III's configuration, for the migration delta).
+  std::vector<gfx::Bitmap> calibration;
+  for (std::size_t i = 0; i < data.valIndices().size(); i += 10) {
+    calibration.push_back(data.materialize(data.valIndices()[i]).image);
+  }
+  detector.enableQuantized(calibration);
+  const cv::ModelMetrics device =
+      cv::evaluateDetector(detector, data, data.testIndices());
+
+  // Text-masked re-training (model generalization to languages).
+  const cv::OneStageDetector maskedDetector =
+      bench::trainOrLoadOneStage(data, "masked", /*maskText=*/true);
+  const cv::ModelMetrics masked =
+      cv::evaluateDetector(maskedDetector, data, data.testIndices(), true);
+
+  std::printf("\n  paper reference:\n");
+  std::printf("    YOLOv5 (on server):     UPO .925/.867/.895  AGO .837/.810/.823  All .881/.838/.859\n");
+  std::printf("    YOLOv5 (texts masked):  UPO .871/.899/.885  AGO .882/.762/.818  All .877/.830/.853\n");
+  std::printf("    DARPA on-device (T.III): All .858/.827/.842 (migration loss ~1.7%% F1)\n");
+  std::printf("\n  measured:\n");
+  bench::printModelMetrics("fp32 (on server)", server);
+  bench::printModelMetrics("int8 (on device)", device);
+  bench::printModelMetrics("fp32 (texts masked)", masked);
+  std::printf("\n  migration F1 delta: paper -0.017, measured %+.3f\n",
+              device.all().f1() - server.all().f1());
+  std::printf("  masking  F1 delta: paper -0.006, measured %+.3f\n",
+              masked.all().f1() - server.all().f1());
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Table V — comparison between the one-stage detector (YOLOv5 analogue) and
+// the four two-stage baselines (Faster/Mask RCNN x V16/R50 analogues),
+// including the per-image detection speed ratio the paper highlights
+// (one-stage ~2.5x faster).
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "cv/two_stage.h"
+
+using namespace darpa;
+
+namespace {
+double msPerImage(const cv::Detector& detector,
+                  const std::vector<gfx::Bitmap>& images) {
+  const auto start = std::chrono::steady_clock::now();
+  for (const gfx::Bitmap& image : images) {
+    (void)detector.detect(image);
+  }
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count() /
+         static_cast<double>(images.size());
+}
+}  // namespace
+
+int main() {
+  bench::printHeader("Table V — YOLOv5-analogue vs two-stage baselines");
+  const dataset::AuiDataset data = bench::paperDataset();
+
+  std::printf("  paper reference (P / R / F1):\n");
+  std::printf("    Faster RCNN+VGG16     .732 / .710 / .721\n");
+  std::printf("    Faster RCNN+ResNet50  .744 / .698 / .720\n");
+  std::printf("    Mask RCNN+VGG16       .802 / .762 / .781\n");
+  std::printf("    Mask RCNN+ResNet50    .829 / .789 / .809\n");
+  std::printf("    YOLOv5                .881 / .838 / .859  (~2.5x faster)\n\n");
+
+  struct Row {
+    std::string name;
+    cv::ModelMetrics metrics;
+    double msPerImg;
+  };
+  std::vector<Row> rows;
+
+  // Timing sample: a fixed slice of test screenshots.
+  std::vector<gfx::Bitmap> timingImages;
+  for (std::size_t i = 0; i < data.testIndices().size() && i < 30; ++i) {
+    timingImages.push_back(data.materialize(data.testIndices()[i]).image);
+  }
+
+  const struct {
+    cv::HeadKind head;
+    cv::Backbone backbone;
+  } variants[] = {
+      {cv::HeadKind::kFaster, cv::Backbone::kV},
+      {cv::HeadKind::kFaster, cv::Backbone::kR},
+      {cv::HeadKind::kMask, cv::Backbone::kV},
+      {cv::HeadKind::kMask, cv::Backbone::kR},
+  };
+  for (const auto& variant : variants) {
+    cv::TwoStageConfig config;
+    config.head = variant.head;
+    config.backbone = variant.backbone;
+    std::printf("[bench] training %s...\n",
+                cv::twoStageModelName(variant.head, variant.backbone).c_str());
+    std::fflush(stdout);
+    const cv::TwoStageDetector detector =
+        cv::TwoStageDetector::train(data, config, [] {
+          cv::TwoStageTrainConfig t;
+          t.epochs = 26;
+          t.benignImages = 80;
+          return t;
+        }());
+    rows.push_back(Row{detector.name(),
+                       cv::evaluateDetector(detector, data, data.testIndices()),
+                       msPerImage(detector, timingImages)});
+  }
+
+  const cv::OneStageDetector oneStage =
+      bench::trainOrLoadOneStage(data, "default");
+  rows.push_back(
+      Row{"One-stage (YOLOv5-like)",
+          cv::evaluateDetector(oneStage, data, data.testIndices()),
+          msPerImage(oneStage, timingImages)});
+
+  std::printf("\n  measured:\n");
+  for (const Row& row : rows) {
+    std::printf("  %-24s P=%.3f R=%.3f F1=%.3f  %6.1f ms/img\n",
+                row.name.c_str(), row.metrics.all().precision(),
+                row.metrics.all().recall(), row.metrics.all().f1(),
+                row.msPerImg);
+  }
+  double slowestTwoStage = 0.0;
+  for (std::size_t i = 0; i + 1 < rows.size(); ++i) {
+    slowestTwoStage = std::max(slowestTwoStage, rows[i].msPerImg);
+  }
+  std::printf("\n  one-stage speedup vs slowest two-stage: %.1fx (paper ~2.5x)\n",
+              slowestTwoStage / rows.back().msPerImg);
+  return 0;
+}

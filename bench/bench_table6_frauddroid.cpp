@@ -1,0 +1,54 @@
+// Table VI — end-to-end comparison: DARPA vs the FraudDroid-like baseline
+// over 100 one-minute Monkey sessions. Every stable screenshot DARPA
+// analyzes is labeled against the session ground truth, and the same
+// instant's ADB-style UI dump is fed to the FraudDroid-like detector.
+#include <cstdio>
+
+#include "bench_runtime.h"
+
+using namespace darpa;
+
+int main() {
+  bench::printHeader("Table VI — DARPA vs FraudDroid-like (100 apps x 1 min)");
+  const dataset::AuiDataset data = bench::paperDataset();
+  const cv::OneStageDetector detector =
+      bench::trainOrLoadOneStage(data, "default");
+
+  bench::RuntimeOptions options;
+  options.appCount = 100;
+  options.runFraudDroid = true;
+  const bench::RuntimeResult result = bench::runSessions(detector, options);
+
+  std::printf("\n  paper reference (243 AUI / 253 non-AUI screenshots):\n");
+  std::printf("    FraudDroid: TP 35  FN 208 | FP 11  TN 242  (recall 14.4%%)\n");
+  std::printf("    DARPA:      TP 213 FN 30  | FP 21  TN 232  (recall 87.6%%, precision 91.0%%)\n");
+  std::printf("\n  measured (%d AUI / %d non-AUI screenshots, %lld analyses):\n",
+              result.darpa.labeledAui(), result.darpa.labeledNonAui(),
+              static_cast<long long>(result.analyses));
+  bench::printConfusion("FraudDroid-like", result.fraudDroid);
+  bench::printConfusion("DARPA", result.darpa);
+
+  // The paper evaluates on a curated, roughly balanced set (243 AUI / 253
+  // non-AUI). Our harness scores every analyzed screenshot, so non-AUI
+  // screens outnumber AUIs ~16:1; for comparability, also report the
+  // confusion with the non-AUI row scaled to the AUI count.
+  auto normalized = [&](const bench::ConfusionMatrix& m) {
+    bench::ConfusionMatrix out = m;
+    const double scale = m.labeledNonAui() == 0
+                             ? 1.0
+                             : static_cast<double>(m.labeledAui()) /
+                                   m.labeledNonAui();
+    out.fp = static_cast<int>(m.fp * scale);
+    out.tn = static_cast<int>(m.tn * scale);
+    return out;
+  };
+  std::printf("\n  class-balance-normalized (paper-comparable):\n");
+  bench::printConfusion("FraudDroid-like*", normalized(result.fraudDroid));
+  bench::printConfusion("DARPA*", normalized(result.darpa));
+  std::printf("\n  DARPA coverage of AUI exposures: %d / %d (%.1f%%)\n",
+              result.auisCovered, result.auiExposures,
+              result.auiExposures == 0
+                  ? 0.0
+                  : 100.0 * result.auisCovered / result.auiExposures);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Table VII — performance overhead of DARPA, decomposed by component
+// (UI monitoring, AUI detection, UI decoration) over 100 one-minute app
+// sessions on the simulated device.
+#include <cstdio>
+
+#include "bench_runtime.h"
+
+using namespace darpa;
+
+namespace {
+void printPerfRow(const char* name, const perf::PerfMetrics& m,
+                  const perf::PerfMetrics& base) {
+  std::printf("  %-42s %6.2f%% (%+5.2f%%)  %8.2fMB (%+6.2f)  %5.1f fps (%+5.1f)"
+              "  %7.2f mW (%+6.2f)\n",
+              name, m.cpuPercent, m.cpuPercent - base.cpuPercent, m.memoryMb,
+              m.memoryMb - base.memoryMb, m.frameRate,
+              m.frameRate - base.frameRate, m.powerMw, m.powerMw - base.powerMw);
+}
+}  // namespace
+
+int main() {
+  bench::printHeader("Table VII — Performance overhead of DARPA");
+  const dataset::AuiDataset data = bench::paperDataset();
+  const cv::OneStageDetector detector =
+      bench::trainOrLoadOneStage(data, "default");
+
+  bench::RuntimeOptions options;
+  options.appCount = 100;
+  const bench::RuntimeResult result = bench::runSessions(detector, options);
+
+  // Per-session averages over the 1-minute window.
+  perf::WorkCounts perMinute = result.work;
+  perMinute.events /= options.appCount;
+  perMinute.screenshots /= options.appCount;
+  perMinute.detections /= options.appCount;
+  perMinute.decorations /= options.appCount;
+
+  const perf::DeviceModel device;
+  const perf::PerfMetrics base = device.baseline();
+  const Millis window{60'000};
+  const double macs = result.detectorMacs;
+
+  std::printf("\n  paper reference (avg over 100 apps):\n");
+  std::printf("    Baseline                55.22%%  4291.96MB  81fps  443.85mW\n");
+  std::printf("    + UI monitoring         55.91%%  4352.21MB  79fps  451.88mW\n");
+  std::printf("    + AUI detection         57.11%%  4407.56MB  78fps  469.63mW\n");
+  std::printf("    DARPA (all components)  57.76%%  4413.85MB  74fps  474.12mW\n");
+  std::printf("    Total overhead          +4.6%%cpu +2.8%%mem  -8.6%%fps +6.8%%power\n");
+
+  std::printf("\n  measured (avg DARPA work per app-minute: %lld events, "
+              "%lld screenshots, %lld detections, %lld decorations):\n",
+              static_cast<long long>(perMinute.events),
+              static_cast<long long>(perMinute.screenshots),
+              static_cast<long long>(perMinute.detections),
+              static_cast<long long>(perMinute.decorations));
+  printPerfRow("Baseline (w/o DARPA)", base, base);
+  printPerfRow("Baseline + UI monitoring",
+               device.withWork(perMinute, window, macs, true, false, false),
+               base);
+  printPerfRow("Baseline + monitoring + AUI detection",
+               device.withWork(perMinute, window, macs, true, true, false),
+               base);
+  const perf::PerfMetrics full = device.withWork(perMinute, window, macs);
+  printPerfRow("DARPA (monitoring + detection + decoration)", full, base);
+
+  std::printf("\n  total overhead: cpu %+.1f%%  mem %+.1f%%  fps %+.1f%%  "
+              "power %+.1f%%  (paper: +4.6 / +2.8 / -8.6 / +6.8)\n",
+              100.0 * (full.cpuPercent - base.cpuPercent) / base.cpuPercent,
+              100.0 * (full.memoryMb - base.memoryMb) / base.memoryMb,
+              100.0 * (full.frameRate - base.frameRate) / base.frameRate,
+              100.0 * (full.powerMw - base.powerMw) / base.powerMw);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// §III-B — the user study (Findings 1-3), simulated with a persona
+// population whose perception model is grounded in the rendered pixels.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "study/user_study.h"
+
+using namespace darpa;
+
+int main() {
+  bench::printHeader("SIII-B — User study, Findings 1-3 (165 participants)");
+  const study::StudyResults results = study::runUserStudy(study::StudyConfig{});
+
+  std::printf("\n  Finding 1 — app users strongly agree AUIs are misleading:\n");
+  bench::printMetricRow("Q1 'misleading' agreement", 94.5,
+                        results.misleadingAgreePct, "%");
+  bench::printMetricRow("avg AGO accessibility rating", 7.49,
+                        results.avgAgoRating);
+  bench::printMetricRow("avg UPO accessibility rating", 4.38,
+                        results.avgUpoRating);
+  bench::printMetricRow("Q9 UPO at least equally important", 72.7,
+                        results.upoEquallyImportantPct, "%");
+
+  std::printf("\n  Finding 2 — AUIs hurt usability:\n");
+  bench::printMetricRow("Q2 often misclick", 77.0, results.oftenMisclickPct,
+                        "%");
+  bench::printMetricRow("Q2 occasionally misclick", 20.6,
+                        results.occasionallyMisclickPct, "%");
+  bench::printMetricRow("Q2 never misclick", 2.4, results.neverMisclickPct,
+                        "%");
+  bench::printMetricRow("Q7 bothered, want quick exit", 83.0,
+                        results.botheredPct, "%");
+  bench::printMetricRow("Q8 Chinese apps have more AUIs", 76.8,
+                        results.moreAuisInChinaPct, "%");
+
+  std::printf("\n  Finding 3 — users expect a practical mitigation:\n");
+  bench::printMetricRow("avg demand rating for a solution", 7.64,
+                        results.demandRating);
+  bench::printMetricRow("prefer highlighting the options", 50.0,
+                        results.wantHighlightPct, "% (paper: >50%)");
+
+  std::printf("\n  demographics echo:\n");
+  bench::printMetricRow("bachelor's degree or above", 93.9,
+                        results.bachelorPct, "%");
+  bench::printMetricRow("age 18-35", 76.4, results.age18to35Pct, "%");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Example: DARPA's auto-bypass mode (§IV-D's "alternative option").
+//
+// Instead of decorating the user-preferred option, DARPA dispatches a click
+// on the UPO and dismisses the AUI for the user. This example shows a lucky
+// money (red packet) popup being auto-closed, and contrasts a user session
+// with and without DARPA by counting how often the app-guided option would
+// have been triggered.
+#include <cstdio>
+#include <memory>
+
+#include "android/system.h"
+#include "apps/screen_generator.h"
+#include "core/darpa_service.h"
+#include "cv/one_stage.h"
+#include "dataset/dataset.h"
+
+using namespace darpa;
+
+namespace {
+/// Shows a red-packet AUI whose options report clicks into the counters.
+/// Returns the window so the caller can keep the session going.
+void showLuckyMoneyAui(android::AndroidSystem& device,
+                       apps::ScreenGenerator& generator, int& agoClicks,
+                       int& upoClicks) {
+  apps::AuiSpec spec;
+  spec.type = apps::AuiType::kLuckyMoney;
+  spec.host = apps::AuiHost::kFirstParty;
+  apps::GeneratedScreen aui = generator.makeAui(spec);
+  const Rect frame = device.windowManager.appFrame(false);
+
+  // Wire the truth boxes to click counters via hit-testing views.
+  android::View* root = aui.root.get();
+  if (android::View* ago =
+          root->hitTest(aui.truth.agoBoxes.front().center())) {
+    ago->setOnClick([&agoClicks] { ++agoClicks; });
+  }
+  android::View* upoView = root->hitTest(aui.truth.upoBoxes.front().center());
+  if (upoView != nullptr) {
+    upoView->setOnClick([&device, &upoClicks] {
+      ++upoClicks;
+      device.windowManager.popAppWindow();  // close the AUI
+    });
+  }
+  device.windowManager.showAppWindow("com.example.game", std::move(aui.root),
+                                     false);
+  (void)frame;
+}
+}  // namespace
+
+int main() {
+  dataset::DatasetConfig dataConfig;
+  dataConfig.totalScreenshots = 240;
+  dataConfig.seed = 7;
+  const dataset::AuiDataset data = dataset::AuiDataset::build(dataConfig);
+  cv::TrainConfig trainConfig;
+  trainConfig.epochs = 14;
+  trainConfig.benignImages = 60;
+  std::printf("training detector...\n");
+  const cv::OneStageDetector detector =
+      cv::OneStageDetector::train(data, cv::OneStageConfig{}, trainConfig);
+
+  android::AndroidSystem device;
+  core::DarpaConfig config;
+  config.autoBypass = true;  // click the UPO instead of decorating
+  core::DarpaService darpa(detector, config);
+  device.accessibility.connect(darpa);
+
+  apps::ScreenGenerator::Params genParams;
+  const Rect frame = device.windowManager.appFrame(false);
+  genParams.frame = {frame.width, frame.height};
+  apps::ScreenGenerator generator(genParams, 99);
+
+  device.windowManager.showAppWindow("com.example.game",
+                                     std::move(generator.makeBenign().root),
+                                     false);
+  device.looper.runFor(ms(800));
+
+  int agoClicks = 0, upoClicks = 0;
+  int auisClosed = 0;
+  for (int round = 0; round < 5; ++round) {
+    showLuckyMoneyAui(device, generator, agoClicks, upoClicks);
+    const std::size_t windowsBefore = device.windowManager.appWindowCount();
+    device.looper.runFor(ms(2500));  // ct elapses; DARPA clicks the UPO
+    if (device.windowManager.appWindowCount() < windowsBefore) ++auisClosed;
+  }
+
+  std::printf("\n5 red-packet AUIs shown.\n");
+  std::printf("  auto-bypass clicks dispatched: %lld\n",
+              static_cast<long long>(darpa.stats().bypassClicks));
+  std::printf("  AUIs closed via their UPO:     %d\n", auisClosed);
+  std::printf("  UPO (close) clicks:            %d\n", upoClicks);
+  std::printf("  AGO (claim) clicks:            %d  <- money kept safe\n",
+              agoClicks);
+  return 0;
+}

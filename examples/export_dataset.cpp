@@ -1,0 +1,38 @@
+// Example: regenerate and export the D_aui dataset the way the paper
+// releases it — COCO-style annotations plus screenshot images — so external
+// tooling (or an actual YOLOv5 run) can consume it.
+//
+// Usage: example_export_dataset [output_dir] [num_samples]
+#include <cstdio>
+#include <cstdlib>
+
+#include "dataset/export.h"
+
+using namespace darpa;
+
+int main(int argc, char** argv) {
+  const std::string outDir = argc > 1 ? argv[1] : "daui_export";
+  const int samples = argc > 2 ? std::atoi(argv[2]) : 60;
+
+  dataset::DatasetConfig config;
+  config.totalScreenshots = 1072;  // full paper-scale descriptor set
+  config.seed = 2023;
+  const dataset::AuiDataset data = dataset::AuiDataset::build(config);
+
+  dataset::ExportOptions options;
+  options.maxSamples = samples;
+  std::printf("exporting %d of %zu samples to %s/ ...\n", samples, data.size(),
+              outDir.c_str());
+  const auto summary = dataset::exportCocoDataset(data, outDir, options);
+  if (!summary) {
+    std::fprintf(stderr, "export failed (I/O error)\n");
+    return 1;
+  }
+  std::printf("wrote %d images and %d annotations\n", summary->images,
+              summary->annotations);
+  std::printf("annotations: %s\n", summary->annotationsPath.c_str());
+  std::printf("images:      %s/images/*.ppm\n", outDir.c_str());
+  std::printf("\ncategories: 1 = AGO (app-guided option), 2 = UPO "
+              "(user-preferred option)\n");
+  return 0;
+}

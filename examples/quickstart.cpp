@@ -1,0 +1,60 @@
+// Quickstart: build a small AUI dataset, train the one-stage detector,
+// evaluate it on the held-out test split, and run it on one screenshot.
+//
+// This is the 5-minute tour of the library's data + CV layers; see
+// examples/runtime_decoration.cpp for the end-to-end Accessibility-Service
+// pipeline and examples/auto_bypass.cpp for the auto-click mitigation.
+#include <cstdio>
+
+#include "cv/one_stage.h"
+#include "dataset/dataset.h"
+
+using namespace darpa;
+
+int main() {
+  // 1. Build a (reduced-size) D_aui: deterministic, paper-faithful quotas.
+  dataset::DatasetConfig dataConfig;
+  dataConfig.totalScreenshots = 300;  // paper: 1,072 (bench binaries use that)
+  dataConfig.seed = 2023;
+  const dataset::AuiDataset data = dataset::AuiDataset::build(dataConfig);
+  const auto trainCounts = data.countBoxes(data.trainIndices());
+  const auto testCounts = data.countBoxes(data.testIndices());
+  std::printf("dataset: %zu screenshots (train %d / test %d), "
+              "train boxes AGO=%d UPO=%d\n",
+              data.size(), trainCounts.screenshots, testCounts.screenshots,
+              trainCounts.ago, trainCounts.upo);
+
+  // 2. Train the one-stage detector (the YOLOv5 analogue).
+  cv::OneStageConfig modelConfig;
+  cv::TrainConfig trainConfig;
+  trainConfig.epochs = 12;
+  trainConfig.benignImages = 60;
+  const cv::OneStageDetector detector =
+      cv::OneStageDetector::train(data, modelConfig, trainConfig);
+
+  // 3. Evaluate at the paper's strict IoU 0.9.
+  const cv::ModelMetrics metrics =
+      cv::evaluateDetector(detector, data, data.testIndices());
+  std::printf("UPO: precision %.3f recall %.3f f1 %.3f\n",
+              metrics.upo.precision(), metrics.upo.recall(), metrics.upo.f1());
+  std::printf("AGO: precision %.3f recall %.3f f1 %.3f\n",
+              metrics.ago.precision(), metrics.ago.recall(), metrics.ago.f1());
+  std::printf("All: precision %.3f recall %.3f f1 %.3f\n",
+              metrics.all().precision(), metrics.all().recall(),
+              metrics.all().f1());
+
+  // 4. Detect on a single screenshot and print the boxes.
+  const dataset::Sample sample = data.materialize(data.testIndices().front());
+  for (const cv::Detection& det : detector.detect(sample.image)) {
+    std::printf("  %s conf=%.2f box=(%d,%d %dx%d)\n",
+                det.label == dataset::BoxLabel::kAgo ? "AGO" : "UPO",
+                det.confidence, det.box.x, det.box.y, det.box.width,
+                det.box.height);
+  }
+  for (const dataset::Annotation& gt : sample.annotations) {
+    std::printf("  gt %s box=(%d,%d %dx%d)\n",
+                gt.label == dataset::BoxLabel::kAgo ? "AGO" : "UPO", gt.box.x,
+                gt.box.y, gt.box.width, gt.box.height);
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// End-to-end example: the full DARPA pipeline on a simulated device.
+//
+// A shopping-style app shows a sales-promotion AUI; DARPA (connected as an
+// Accessibility Service) waits for the screen to stabilize, takes a
+// screenshot, runs the CV model, and decorates the user-preferred option.
+// The example saves before/after screenshots as PPM files so you can see
+// the decoration ring around the close button.
+#include <cstdio>
+#include <memory>
+
+#include "android/system.h"
+#include "apps/screen_generator.h"
+#include "core/darpa_service.h"
+#include "cv/one_stage.h"
+#include "dataset/dataset.h"
+
+using namespace darpa;
+
+int main() {
+  // 1. Train a small detector (a production deployment would ship a
+  //    pre-trained model; examples/quickstart.cpp covers training).
+  dataset::DatasetConfig dataConfig;
+  dataConfig.totalScreenshots = 240;
+  dataConfig.seed = 7;
+  const dataset::AuiDataset data = dataset::AuiDataset::build(dataConfig);
+  cv::TrainConfig trainConfig;
+  trainConfig.epochs = 14;
+  trainConfig.benignImages = 60;
+  std::printf("training detector on %zu screenshots...\n",
+              data.trainIndices().size());
+  const cv::OneStageDetector detector =
+      cv::OneStageDetector::train(data, cv::OneStageConfig{}, trainConfig);
+
+  // 2. Boot the simulated device and connect DARPA through the
+  //    Accessibility Service, exactly like enabling it in Settings.
+  android::AndroidSystem device;
+  core::DarpaService darpa(detector);
+  device.accessibility.connect(darpa);
+  std::printf("DARPA connected: ct=%lldms, %d event types registered\n",
+              static_cast<long long>(darpa.darpaConfig().cutoff.count),
+              static_cast<int>(android::kAllEventTypes.size()));
+
+  // 3. An app shows a benign feed, then a sales-promotion AUI pops up.
+  apps::ScreenGenerator::Params genParams;
+  const Rect frame = device.windowManager.appFrame(false);
+  genParams.frame = {frame.width, frame.height};
+  apps::ScreenGenerator generator(genParams, 4242);
+
+  device.windowManager.showAppWindow("com.example.shop",
+                                     std::move(generator.makeBenign().root),
+                                     false);
+  device.looper.runFor(ms(1000));
+
+  apps::AuiSpec spec;
+  spec.type = apps::AuiType::kSalesPromotion;
+  spec.host = apps::AuiHost::kFirstParty;
+  apps::GeneratedScreen aui = generator.makeAui(spec);
+  const Rect upoTruth = aui.truth.upoBoxes.front().translated(frame.x, frame.y);
+  device.windowManager.showAppWindow("com.example.shop", std::move(aui.root),
+                                     false);
+  const gfx::Bitmap before = device.windowManager.composite();
+
+  // 4. Let the ct timer fire: DARPA analyzes the stable AUI screen.
+  device.looper.runFor(ms(1500));
+  const gfx::Bitmap after = device.windowManager.composite();
+
+  std::printf("\nDARPA stats: %lld events, %lld analyses, %lld AUIs flagged, "
+              "%lld decorations\n",
+              static_cast<long long>(darpa.stats().eventsReceived),
+              static_cast<long long>(darpa.stats().analysesRun),
+              static_cast<long long>(darpa.stats().auisFlagged),
+              static_cast<long long>(darpa.stats().decorationsDrawn));
+  std::printf("screenshots taken %lld / rinsed %lld (none retained: %s)\n",
+              static_cast<long long>(darpa.vault().stored()),
+              static_cast<long long>(darpa.vault().rinsed()),
+              darpa.vault().holding() ? "NO" : "yes");
+
+  std::printf("\nground-truth UPO at (%d,%d %dx%d); decorations on screen:\n",
+              upoTruth.x, upoTruth.y, upoTruth.width, upoTruth.height);
+  for (const Rect& r : darpa.decorationRects()) {
+    std::printf("  decoration at (%d,%d %dx%d) IoU-with-UPO %.2f\n", r.x, r.y,
+                r.width, r.height, iou(r, upoTruth.inflated(4)));
+  }
+
+  if (before.writePpm("runtime_before.ppm") &&
+      after.writePpm("runtime_after.ppm")) {
+    std::printf("\nwrote runtime_before.ppm / runtime_after.ppm\n");
+  }
+  return 0;
+}

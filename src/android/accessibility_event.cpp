@@ -1,0 +1,44 @@
+#include "android/accessibility_event.h"
+
+namespace darpa::android {
+
+std::string_view eventTypeName(EventType t) {
+  switch (t) {
+    case EventType::kViewClicked: return "TYPE_VIEW_CLICKED";
+    case EventType::kViewLongClicked: return "TYPE_VIEW_LONG_CLICKED";
+    case EventType::kViewSelected: return "TYPE_VIEW_SELECTED";
+    case EventType::kViewFocused: return "TYPE_VIEW_FOCUSED";
+    case EventType::kViewTextChanged: return "TYPE_VIEW_TEXT_CHANGED";
+    case EventType::kWindowStateChanged: return "TYPE_WINDOW_STATE_CHANGED";
+    case EventType::kNotificationStateChanged:
+      return "TYPE_NOTIFICATION_STATE_CHANGED";
+    case EventType::kViewHoverEnter: return "TYPE_VIEW_HOVER_ENTER";
+    case EventType::kViewHoverExit: return "TYPE_VIEW_HOVER_EXIT";
+    case EventType::kTouchExplorationGestureStart:
+      return "TYPE_TOUCH_EXPLORATION_GESTURE_START";
+    case EventType::kTouchExplorationGestureEnd:
+      return "TYPE_TOUCH_EXPLORATION_GESTURE_END";
+    case EventType::kWindowContentChanged:
+      return "TYPE_WINDOW_CONTENT_CHANGED";
+    case EventType::kViewScrolled: return "TYPE_VIEW_SCROLLED";
+    case EventType::kViewTextSelectionChanged:
+      return "TYPE_VIEW_TEXT_SELECTION_CHANGED";
+    case EventType::kAnnouncement: return "TYPE_ANNOUNCEMENT";
+    case EventType::kViewAccessibilityFocused:
+      return "TYPE_VIEW_ACCESSIBILITY_FOCUSED";
+    case EventType::kViewAccessibilityFocusCleared:
+      return "TYPE_VIEW_ACCESSIBILITY_FOCUS_CLEARED";
+    case EventType::kViewTextTraversedAtMovementGranularity:
+      return "TYPE_VIEW_TEXT_TRAVERSED_AT_MOVEMENT_GRANULARITY";
+    case EventType::kGestureDetectionStart:
+      return "TYPE_GESTURE_DETECTION_START";
+    case EventType::kGestureDetectionEnd: return "TYPE_GESTURE_DETECTION_END";
+    case EventType::kTouchInteractionStart:
+      return "TYPE_TOUCH_INTERACTION_START";
+    case EventType::kTouchInteractionEnd: return "TYPE_TOUCH_INTERACTION_END";
+    case EventType::kWindowsChanged: return "TYPE_WINDOWS_CHANGED";
+  }
+  return "TYPE_UNKNOWN";
+}
+
+}  // namespace darpa::android

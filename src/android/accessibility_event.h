@@ -1,0 +1,89 @@
+// AccessibilityEvent — the 23 UI-update event types of the Android SDK.
+//
+// DARPA's life-cycle (paper Fig. 5) starts by registering all 23 event
+// types; the event codes below are the real android.view.accessibility
+// .AccessibilityEvent constants so that e.g. TYPE_WINDOWS_CHANGED carries
+// code 0x00400000 exactly as quoted in §V ("Event delivery").
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/clock.h"
+
+namespace darpa::android {
+
+enum class EventType : std::uint32_t {
+  kViewClicked = 0x00000001,
+  kViewLongClicked = 0x00000002,
+  kViewSelected = 0x00000004,
+  kViewFocused = 0x00000008,
+  kViewTextChanged = 0x00000010,
+  kWindowStateChanged = 0x00000020,
+  kNotificationStateChanged = 0x00000040,
+  kViewHoverEnter = 0x00000080,
+  kViewHoverExit = 0x00000100,
+  kTouchExplorationGestureStart = 0x00000200,
+  kTouchExplorationGestureEnd = 0x00000400,
+  kWindowContentChanged = 0x00000800,
+  kViewScrolled = 0x00001000,
+  kViewTextSelectionChanged = 0x00002000,
+  kAnnouncement = 0x00004000,
+  kViewAccessibilityFocused = 0x00008000,
+  kViewAccessibilityFocusCleared = 0x00010000,
+  kViewTextTraversedAtMovementGranularity = 0x00020000,
+  kGestureDetectionStart = 0x00040000,
+  kGestureDetectionEnd = 0x00080000,
+  kTouchInteractionStart = 0x00100000,
+  kTouchInteractionEnd = 0x00200000,
+  kWindowsChanged = 0x00400000,
+};
+
+/// All 23 event types, in code order.
+inline constexpr std::array<EventType, 23> kAllEventTypes = {
+    EventType::kViewClicked,
+    EventType::kViewLongClicked,
+    EventType::kViewSelected,
+    EventType::kViewFocused,
+    EventType::kViewTextChanged,
+    EventType::kWindowStateChanged,
+    EventType::kNotificationStateChanged,
+    EventType::kViewHoverEnter,
+    EventType::kViewHoverExit,
+    EventType::kTouchExplorationGestureStart,
+    EventType::kTouchExplorationGestureEnd,
+    EventType::kWindowContentChanged,
+    EventType::kViewScrolled,
+    EventType::kViewTextSelectionChanged,
+    EventType::kAnnouncement,
+    EventType::kViewAccessibilityFocused,
+    EventType::kViewAccessibilityFocusCleared,
+    EventType::kViewTextTraversedAtMovementGranularity,
+    EventType::kGestureDetectionStart,
+    EventType::kGestureDetectionEnd,
+    EventType::kTouchInteractionStart,
+    EventType::kTouchInteractionEnd,
+    EventType::kWindowsChanged,
+};
+
+/// Bitmask covering every event type (TYPES_ALL_MASK).
+inline constexpr std::uint32_t kAllEventTypesMask = 0x007fffff;
+
+[[nodiscard]] constexpr std::uint32_t eventCode(EventType t) {
+  return static_cast<std::uint32_t>(t);
+}
+
+/// Human-readable SDK-style name (e.g. "TYPE_WINDOW_CONTENT_CHANGED").
+[[nodiscard]] std::string_view eventTypeName(EventType t);
+
+/// One UI-update notification delivered to accessibility services.
+struct AccessibilityEvent {
+  EventType type = EventType::kWindowContentChanged;
+  Millis time;              ///< Simulated instant the event was emitted.
+  int windowId = 0;         ///< Source window.
+  std::string packageName;  ///< Package of the app that caused the event.
+};
+
+}  // namespace darpa::android

@@ -1,0 +1,120 @@
+#include "android/layout.h"
+
+#include <algorithm>
+
+namespace darpa::android {
+
+View* LayoutContainer::addLayoutChild(std::unique_ptr<View> child,
+                                      const ChildLayout& layout) {
+  layouts_.push_back(layout);
+  return addChild(std::move(child));
+}
+
+void LayoutContainer::layoutNested(View& child) {
+  if (auto* container = dynamic_cast<LayoutContainer*>(&child)) {
+    container->performLayout();
+  }
+}
+
+namespace {
+int resolveSize(const SizeSpec& spec, int available, int natural) {
+  switch (spec.mode) {
+    case SizeSpec::Mode::kFixed: return std::min(spec.value, available);
+    case SizeSpec::Mode::kMatchParent: return available;
+    case SizeSpec::Mode::kWrapContent: return std::min(natural, available);
+  }
+  return natural;
+}
+
+int gravityOffset(Gravity gravity, int leftover) {
+  switch (gravity) {
+    case Gravity::kStart: return 0;
+    case Gravity::kCenter: return leftover / 2;
+    case Gravity::kEnd: return leftover;
+  }
+  return 0;
+}
+}  // namespace
+
+void LinearLayout::performLayout() {
+  const bool vertical = orientation_ == Orientation::kVertical;
+  const int innerW = frame().width - 2 * padding();
+  const int innerH = frame().height - 2 * padding();
+  const int mainAvail = vertical ? innerH : innerW;
+  const auto children = this->children();
+  const auto& layouts = childLayouts();
+
+  // First pass: fixed/wrap/match sizes along the main axis; collect weights.
+  std::vector<int> mainSizes(children.size(), 0);
+  double totalWeight = 0.0;
+  int used = 0;
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    const ChildLayout& cl = layouts[i];
+    const Size natural = naturalSize(*children[i]);
+    const SizeSpec& mainSpec = vertical ? cl.height : cl.width;
+    if (cl.weight > 0.0) {
+      totalWeight += cl.weight;
+    } else {
+      mainSizes[i] = resolveSize(mainSpec, mainAvail,
+                                 vertical ? natural.height : natural.width);
+    }
+    used += mainSizes[i] + 2 * cl.margin;
+  }
+  used += spacing_ * std::max(static_cast<int>(children.size()) - 1, 0);
+
+  // Second pass: distribute leftover to weighted children.
+  const int leftover = std::max(mainAvail - used, 0);
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    if (layouts[i].weight > 0.0 && totalWeight > 0.0) {
+      mainSizes[i] =
+          static_cast<int>(leftover * layouts[i].weight / totalWeight);
+    }
+  }
+
+  // Placement.
+  int cursor = padding();
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    View& child = *children[i];
+    const ChildLayout& cl = layouts[i];
+    const Size natural = naturalSize(child);
+    const int crossAvail = (vertical ? innerW : innerH) - 2 * cl.margin;
+    const int crossSize =
+        resolveSize(vertical ? cl.width : cl.height, crossAvail,
+                    vertical ? natural.width : natural.height);
+    const int crossOffset =
+        padding() + cl.margin +
+        gravityOffset(cl.gravity, std::max(crossAvail - crossSize, 0));
+    cursor += cl.margin;
+    if (vertical) {
+      child.setFrame({crossOffset, cursor, crossSize, mainSizes[i]});
+    } else {
+      child.setFrame({cursor, crossOffset, mainSizes[i], crossSize});
+    }
+    cursor += mainSizes[i] + cl.margin + spacing_;
+    layoutNested(child);
+  }
+}
+
+void FrameLayout::performLayout() {
+  const int innerW = frame().width - 2 * padding();
+  const int innerH = frame().height - 2 * padding();
+  const auto children = this->children();
+  const auto& layouts = childLayouts();
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    View& child = *children[i];
+    const ChildLayout& cl = layouts[i];
+    const Size natural = naturalSize(child);
+    const int availW = innerW - 2 * cl.margin;
+    const int availH = innerH - 2 * cl.margin;
+    const int w = resolveSize(cl.width, availW, natural.width);
+    const int h = resolveSize(cl.height, availH, natural.height);
+    const int x = padding() + cl.margin +
+                  gravityOffset(cl.gravity, std::max(availW - w, 0));
+    const int y = padding() + cl.margin +
+                  gravityOffset(cl.gravity, std::max(availH - h, 0));
+    child.setFrame({x, y, w, h});
+    layoutNested(child);
+  }
+}
+
+}  // namespace darpa::android

@@ -1,0 +1,54 @@
+#include "android/looper.h"
+
+#include <limits>
+
+namespace darpa::android {
+
+TaskId Looper::postDelayed(std::function<void()> fn, Millis delay) {
+  if (delay.count < 0) delay = ms(0);
+  const TaskId id = nextId_++;
+  queue_.push(Task{now() + delay, id, std::move(fn)});
+  pending_.insert(id);
+  return id;
+}
+
+bool Looper::cancel(TaskId id) {
+  // Only tasks still in the queue may be cancelled; ids of tasks that have
+  // already run are rejected, which keeps the lazy-deletion set bounded.
+  if (pending_.erase(id) == 0) return false;
+  cancelled_.insert(id);
+  return true;
+}
+
+bool Looper::runNext(Millis deadline) {
+  while (!queue_.empty()) {
+    const Task& top = queue_.top();
+    if (cancelled_.erase(top.id) > 0) {
+      queue_.pop();
+      continue;
+    }
+    if (top.due > deadline) return false;
+    // Move the callable out before popping so self-rescheduling tasks work.
+    std::function<void()> fn = std::move(const_cast<Task&>(top).fn);
+    const Millis due = top.due;
+    pending_.erase(top.id);
+    queue_.pop();
+    clock_->advanceTo(due);
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Looper::runUntil(Millis deadline) {
+  while (runNext(deadline)) {
+  }
+  clock_->advanceTo(deadline);
+}
+
+void Looper::runUntilIdle() {
+  while (runNext(Millis{std::numeric_limits<std::int64_t>::max()})) {
+  }
+}
+
+}  // namespace darpa::android

@@ -1,0 +1,25 @@
+// Convenience bundle wiring the whole simulated Android device together.
+//
+// Owns the clock, the looper, the window manager, and the accessibility
+// manager with the right lifetimes and cross-references. Tests, examples,
+// and benches construct one AndroidSystem and get a ready-to-use "device".
+#pragma once
+
+#include "android/accessibility.h"
+#include "android/looper.h"
+#include "android/window_manager.h"
+#include "util/clock.h"
+
+namespace darpa::android {
+
+struct AndroidSystem {
+  explicit AndroidSystem(WindowManager::Config config = {})
+      : windowManager(config) {}
+
+  SimClock clock;
+  Looper looper{clock};
+  WindowManager windowManager;
+  AccessibilityManager accessibility{looper, windowManager};
+};
+
+}  // namespace darpa::android

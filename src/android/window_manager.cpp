@@ -1,0 +1,209 @@
+#include "android/window_manager.h"
+
+#include <algorithm>
+
+namespace darpa::android {
+
+WindowManager::WindowManager() : WindowManager(Config{}) {}
+WindowManager::WindowManager(Config config) : config_(config) {}
+
+Rect WindowManager::appFrame(bool fullscreen) const {
+  if (fullscreen) return screenBounds();
+  return {0, config_.statusBarHeight, config_.screenSize.width,
+          config_.screenSize.height - config_.statusBarHeight -
+              config_.navBarHeight};
+}
+
+Window* WindowManager::showAppWindow(std::string packageName,
+                                     std::unique_ptr<View> content,
+                                     bool fullscreen) {
+  const Rect frame = appFrame(fullscreen);
+  content->setFrame({0, 0, frame.width, frame.height});
+  appStack_.push_back(std::make_unique<Window>(
+      nextWindowId_++, std::move(packageName), std::move(content), fullscreen));
+  Window* w = appStack_.back().get();
+  emit(EventType::kWindowStateChanged, w->packageName());
+  emit(EventType::kWindowsChanged, w->packageName());
+  return w;
+}
+
+void WindowManager::popAppWindow() {
+  if (appStack_.empty()) return;
+  const std::string package = appStack_.back()->packageName();
+  appStack_.pop_back();
+  emit(EventType::kWindowsChanged, package);
+  if (!appStack_.empty()) {
+    emit(EventType::kWindowStateChanged, appStack_.back()->packageName());
+  }
+}
+
+Window* WindowManager::topAppWindow() {
+  return appStack_.empty() ? nullptr : appStack_.back().get();
+}
+
+const Window* WindowManager::topAppWindow() const {
+  return appStack_.empty() ? nullptr : appStack_.back().get();
+}
+
+void WindowManager::notifyContentChanged(int burst) {
+  const Window* top = topAppWindow();
+  const std::string package = top ? top->packageName() : std::string{};
+  for (int i = 0; i < burst; ++i) {
+    emit(EventType::kWindowContentChanged, package);
+  }
+}
+
+void WindowManager::emitEvent(EventType type) {
+  const Window* top = topAppWindow();
+  emit(type, top ? top->packageName() : std::string{});
+}
+
+int WindowManager::addOverlay(std::unique_ptr<View> view,
+                              const LayoutParams& params) {
+  const Window* top = topAppWindow();
+  const Rect frame = top ? appFrame(top->fullscreen()) : screenBounds();
+  const Rect screenRect{frame.x + params.x, frame.y + params.y, params.width,
+                        params.height};
+  view->setFrame(screenRect);
+  overlays_.push_back(
+      Overlay{nextOverlayId_++, std::move(view), screenRect});
+  return overlays_.back().id;
+}
+
+std::optional<Point> WindowManager::overlayLocationOnScreen(
+    int overlayId) const {
+  if (auto r = overlayBoundsOnScreen(overlayId)) return Point{r->x, r->y};
+  return std::nullopt;
+}
+
+std::optional<Rect> WindowManager::overlayBoundsOnScreen(int overlayId) const {
+  for (const Overlay& o : overlays_) {
+    if (o.id == overlayId) return o.screenRect;
+  }
+  return std::nullopt;
+}
+
+bool WindowManager::removeOverlay(int overlayId) {
+  const auto it =
+      std::find_if(overlays_.begin(), overlays_.end(),
+                   [&](const Overlay& o) { return o.id == overlayId; });
+  if (it == overlays_.end()) return false;
+  overlays_.erase(it);
+  return true;
+}
+
+void WindowManager::removeAllOverlays() { overlays_.clear(); }
+
+gfx::Bitmap WindowManager::composite() const {
+  gfx::Bitmap screen(config_.screenSize.width, config_.screenSize.height,
+                     colors::kBlack);
+  gfx::Canvas canvas(screen);
+
+  // Application windows, bottom-up. Each window paints inside its frame.
+  for (const auto& window : appStack_) {
+    const Rect frame = appFrame(window->fullscreen());
+    window->content().draw(canvas, {frame.x, frame.y});
+  }
+
+  // System bars, unless the foreground window claimed the whole screen.
+  const Window* top = topAppWindow();
+  const bool barsVisible = top == nullptr || !top->fullscreen();
+  if (barsVisible) {
+    const Color barColor = Color::rgb(20, 20, 28);
+    canvas.fillRect({0, 0, config_.screenSize.width, config_.statusBarHeight},
+                    barColor);
+    // Clock and signal glyphs so the status bar has realistic texture.
+    canvas.drawPseudoText({6, 7}, "12:00", colors::kWhite, 2);
+    canvas.fillCircle({config_.screenSize.width - 14, 12}, 4, colors::kWhite);
+    canvas.fillRect({config_.screenSize.width - 30, 8, 8, 8},
+                    colors::kLightGray);
+    canvas.fillRect({0, config_.screenSize.height - config_.navBarHeight,
+                     config_.screenSize.width, config_.navBarHeight},
+                    barColor);
+    const int navY = config_.screenSize.height - config_.navBarHeight / 2;
+    const int cx = config_.screenSize.width / 2;
+    canvas.strokeCircle({cx, navY}, 8, colors::kWhite, 2);
+    canvas.fillRect({cx - 70, navY - 7, 14, 14}, colors::kWhite);
+    canvas.drawLine({cx + 56, navY - 8}, {cx + 70, navY},
+                    colors::kWhite);
+    canvas.drawLine({cx + 70, navY}, {cx + 56, navY + 8}, colors::kWhite);
+  }
+
+  // Overlays (accessibility decorations) on top of everything.
+  for (const Overlay& o : overlays_) {
+    o.view->draw(canvas, {0, 0});
+  }
+  return screen;
+}
+
+void WindowManager::dumpViewRecursive(const View& view, Point origin,
+                                      UiDump& out) const {
+  if (!view.visible()) return;
+  const Rect abs{origin.x + view.frame().x, origin.y + view.frame().y,
+                 view.frame().width, view.frame().height};
+  UiNode node;
+  node.className = std::string(view.className());
+  node.resourceId = view.resourceId();
+  node.boundsOnScreen = abs;
+  node.clickable = view.clickable();
+  if (const auto* text = dynamic_cast<const TextView*>(&view)) {
+    node.text = text->text();
+  }
+  out.push_back(std::move(node));
+  for (const auto& child : view.children()) {
+    dumpViewRecursive(*child, {abs.x, abs.y}, out);
+  }
+}
+
+UiDump WindowManager::dumpTopWindow() const {
+  UiDump dump;
+  const Window* top = topAppWindow();
+  if (top == nullptr) return dump;
+  const Rect frame = appFrame(top->fullscreen());
+  dumpViewRecursive(top->content(), {frame.x, frame.y}, dump);
+  return dump;
+}
+
+View* WindowManager::clickAt(Point screen) {
+  emit(EventType::kTouchInteractionStart,
+       topAppWindow() ? topAppWindow()->packageName() : std::string{});
+  // Overlays, topmost first.
+  for (auto it = overlays_.rbegin(); it != overlays_.rend(); ++it) {
+    const Point local{screen.x - it->screenRect.x,
+                      screen.y - it->screenRect.y};
+    if (View* hit = it->view->hitTest(local)) {
+      hit->performClick();
+      emit(EventType::kViewClicked, std::string{});
+      emit(EventType::kTouchInteractionEnd, std::string{});
+      return hit;
+    }
+  }
+  // Top app window.
+  View* consumed = nullptr;
+  if (Window* top = topAppWindow()) {
+    const Rect frame = appFrame(top->fullscreen());
+    if (frame.contains(screen)) {
+      const Point local{screen.x - frame.x, screen.y - frame.y};
+      if (View* hit = top->content().hitTest(local)) {
+        hit->performClick();
+        emit(EventType::kViewClicked, top->packageName());
+        consumed = hit;
+      }
+    }
+  }
+  emit(EventType::kTouchInteractionEnd,
+       topAppWindow() ? topAppWindow()->packageName() : std::string{});
+  return consumed;
+}
+
+void WindowManager::emit(EventType type, const std::string& package) {
+  if (sink_ == nullptr) return;
+  AccessibilityEvent event;
+  event.type = type;
+  event.time = now();
+  event.windowId = topAppWindow() ? topAppWindow()->id() : 0;
+  event.packageName = package;
+  sink_->onUiEvent(event);
+}
+
+}  // namespace darpa::android

@@ -1,0 +1,193 @@
+#include "apps/app_model.h"
+
+#include <algorithm>
+
+namespace darpa::apps {
+
+AppProfile randomAppProfile(std::string package, Rng& rng) {
+  AppProfile profile;
+  profile.package = std::move(package);
+  profile.screenChangeMeanMs = rng.uniformInt(2200, 5200);
+  profile.minBurst = rng.uniformInt(2, 4);
+  profile.maxBurst = profile.minBurst + rng.uniformInt(3, 7);
+  profile.idleEventMeanMs = rng.uniformInt(500, 1600);
+  profile.auisPerMinute = rng.uniform(0.4, 2.4);
+  profile.auiMinVisibleMs = rng.uniformInt(700, 1400);
+  profile.auiMaxVisibleMs = profile.auiMinVisibleMs + rng.uniformInt(2500, 7000);
+  profile.animatedAuiProb = rng.uniform(0.15, 0.45);
+  return profile;
+}
+
+AppSession::AppSession(android::AndroidSystem& system, AppProfile profile,
+                       std::uint64_t seed)
+    : system_(&system),
+      profile_(std::move(profile)),
+      rng_(seed),
+      generator_(
+          [&] {
+            ScreenGenerator::Params params;
+            const Rect frame = system.windowManager.appFrame(false);
+            params.frame = {frame.width, frame.height};
+            return params;
+          }(),
+          rng_.next()) {}
+
+void AppSession::start(Millis duration) {
+  endTime_ = system_->clock.now() + duration;
+  showBenignScreen();
+  scheduleNextScreenChange();
+  scheduleIdleEvents();
+  scheduleAuiPopups(duration);
+}
+
+const AuiExposure* AppSession::exposureAt(Millis t) const {
+  for (const AuiExposure& e : exposures_) {
+    if (t >= e.shownAt && t < e.hiddenAt) return &e;
+  }
+  return nullptr;
+}
+
+void AppSession::showBenignScreen() {
+  GeneratedScreen screen = generator_.makeBenign();
+  android::WindowManager& wm = system_->windowManager;
+  // Replace the current screen (keep the activity stack flat).
+  if (wm.topAppWindow() != nullptr &&
+      wm.topAppWindow()->packageName() == profile_.package) {
+    wm.popAppWindow();
+  }
+  wm.showAppWindow(profile_.package, std::move(screen.root), false);
+  ++screensShown_;
+  // Content-changed storm following the navigation.
+  const int burst = rng_.uniformInt(profile_.minBurst, profile_.maxBurst);
+  for (int i = 0; i < burst; ++i) {
+    system_->looper.postDelayed(
+        [this] {
+          if (!sessionOver()) system_->windowManager.notifyContentChanged();
+        },
+        ms(rng_.uniformInt(16, 420)));
+  }
+}
+
+void AppSession::scheduleNextScreenChange() {
+  const int gap = std::max(
+      400, static_cast<int>(rng_.normal(profile_.screenChangeMeanMs,
+                                        profile_.screenChangeMeanMs / 3.0)));
+  system_->looper.postDelayed(
+      [this] {
+        if (sessionOver()) return;
+        // Don't tear the screen down underneath a visible AUI popup.
+        if (!auiShowing_) showBenignScreen();
+        scheduleNextScreenChange();
+      },
+      ms(gap));
+}
+
+void AppSession::scheduleIdleEvents() {
+  const int gap = std::max(
+      120, static_cast<int>(rng_.normal(profile_.idleEventMeanMs,
+                                        profile_.idleEventMeanMs / 2.5)));
+  system_->looper.postDelayed(
+      [this] {
+        if (sessionOver()) return;
+        // In-place updates (tickers, progress bars) outside AUI popups.
+        if (!auiShowing_) system_->windowManager.notifyContentChanged();
+        scheduleIdleEvents();
+      },
+      ms(gap));
+}
+
+void AppSession::scheduleAuiPopups(Millis duration) {
+  // Poisson-ish arrivals: expected auisPerMinute over the session.
+  const double expected =
+      profile_.auisPerMinute * static_cast<double>(duration.count) / 60000.0;
+  int count = 0;
+  double acc = expected;
+  while (acc >= 1.0) {
+    ++count;
+    acc -= 1.0;
+  }
+  if (rng_.chance(acc)) ++count;
+  for (int i = 0; i < count; ++i) {
+    const auto at = static_cast<std::int64_t>(
+        rng_.uniform(0.05, 0.9) * static_cast<double>(duration.count));
+    system_->looper.postDelayed(
+        [this] {
+          if (!sessionOver() && !auiShowing_) showAui();
+        },
+        ms(at));
+  }
+}
+
+void AppSession::showAui() {
+  const AuiSpec spec = generator_.randomSpec();
+  GeneratedScreen screen = generator_.makeAui(spec);
+  android::WindowManager& wm = system_->windowManager;
+  const Rect frame = wm.appFrame(false);
+
+  AuiExposure exposure;
+  exposure.shownAt = system_->clock.now();
+  exposure.spec = spec;
+  exposure.animated = rng_.chance(profile_.animatedAuiProb);
+  for (const Rect& box : screen.truth.agoBoxes) {
+    exposure.agoScreenBoxes.push_back(box.translated(frame.x, frame.y));
+  }
+  for (const Rect& box : screen.truth.upoBoxes) {
+    exposure.upoScreenBoxes.push_back(box.translated(frame.x, frame.y));
+  }
+
+  wm.showAppWindow(profile_.package, std::move(screen.root), false);
+  auiShowing_ = true;
+
+  const int visibleMs =
+      rng_.uniformInt(profile_.auiMinVisibleMs, profile_.auiMaxVisibleMs);
+  exposure.hiddenAt = exposure.shownAt + ms(visibleMs);
+  exposures_.push_back(exposure);
+
+  // Animated AUIs keep firing UI updates while visible — these reset
+  // DARPA's ct timer and are what large cut-off values trip over (Fig. 8).
+  if (exposure.animated) {
+    const Millis hideAt = exposure.hiddenAt;
+    std::int64_t t = rng_.uniformInt(profile_.animMinGapMs, profile_.animMaxGapMs);
+    while (t < visibleMs) {
+      system_->looper.postDelayed(
+          [this, hideAt] {
+            if (!sessionOver() && system_->clock.now() < hideAt) {
+              system_->windowManager.notifyContentChanged();
+            }
+          },
+          ms(t));
+      t += rng_.uniformInt(profile_.animMinGapMs, profile_.animMaxGapMs);
+    }
+  }
+
+  // Auto-dismiss after the visibility window.
+  system_->looper.postDelayed(
+      [this] {
+        if (auiShowing_) {
+          system_->windowManager.popAppWindow();
+          auiShowing_ = false;
+        }
+      },
+      ms(visibleMs));
+}
+
+void MonkeyDriver::start(Millis until, int minGapMs, int maxGapMs) {
+  scheduleNext(until, minGapMs, maxGapMs);
+}
+
+void MonkeyDriver::scheduleNext(Millis until, int minGapMs, int maxGapMs) {
+  const int gap = rng_.uniformInt(minGapMs, maxGapMs);
+  system_->looper.postDelayed(
+      [this, until, minGapMs, maxGapMs] {
+        if (system_->clock.now() >= until) return;
+        const Size screen = system_->windowManager.config().screenSize;
+        system_->windowManager.clickAt(
+            {rng_.uniformInt(0, screen.width - 1),
+             rng_.uniformInt(0, screen.height - 1)});
+        ++taps_;
+        scheduleNext(until, minGapMs, maxGapMs);
+      },
+      ms(gap));
+}
+
+}  // namespace darpa::apps

@@ -1,0 +1,118 @@
+// Runtime app population — the D_app substitute for the end-to-end
+// experiments (Tables VI-VIII, Fig. 8).
+//
+// An AppSession drives the simulated device the way a real app under Monkey
+// does: benign screens replace each other every few seconds, each change
+// raising a storm of WINDOW_CONTENT_CHANGED events (the paper measured ~32
+// events/minute in Taobao); AUI popups appear, persist for a while, and
+// disappear; a fraction of AUIs are *animated* (they keep emitting UI
+// updates while visible), which is exactly what makes large ct values miss
+// them in Fig. 8. The session records every AUI exposure with screen-space
+// ground truth so harnesses can score DARPA's and FraudDroid's verdicts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "android/system.h"
+#include "apps/screen_generator.h"
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace darpa::apps {
+
+struct AppProfile {
+  std::string package = "com.example.app";
+  /// Mean gap between benign screen changes (ms).
+  int screenChangeMeanMs = 3500;
+  /// Content-update events per screen change (storm size).
+  int minBurst = 2;
+  int maxBurst = 9;
+  /// Mean gap between ongoing in-screen updates (animations, timers).
+  int idleEventMeanMs = 900;
+  /// Expected number of AUI popups per minute of use.
+  double auisPerMinute = 1.2;
+  /// AUI visibility duration range (ms).
+  int auiMinVisibleMs = 900;
+  int auiMaxVisibleMs = 8000;
+  /// Fraction of AUIs that keep animating (emitting events) while visible.
+  double animatedAuiProb = 0.3;
+  /// Gap between animation events of an animated AUI (ms).
+  int animMinGapMs = 150;
+  int animMaxGapMs = 450;
+};
+
+/// One AUI popup shown during a session, with screen-space ground truth.
+struct AuiExposure {
+  Millis shownAt;
+  Millis hiddenAt;
+  AuiSpec spec;
+  std::vector<Rect> agoScreenBoxes;
+  std::vector<Rect> upoScreenBoxes;
+  bool animated = false;
+};
+
+/// Draws a randomized profile for one synthetic app (category flavor).
+[[nodiscard]] AppProfile randomAppProfile(std::string package, Rng& rng);
+
+class AppSession {
+ public:
+  /// Borrows the Android system; it must outlive the session.
+  AppSession(android::AndroidSystem& system, AppProfile profile,
+             std::uint64_t seed);
+
+  /// Schedules the session's behaviour on the looper; run the looper for
+  /// `duration` afterwards to play it out.
+  void start(Millis duration);
+
+  [[nodiscard]] const AppProfile& profile() const { return profile_; }
+  [[nodiscard]] const std::vector<AuiExposure>& exposures() const {
+    return exposures_;
+  }
+  /// The exposure visible at instant `t`, or nullptr.
+  [[nodiscard]] const AuiExposure* exposureAt(Millis t) const;
+  [[nodiscard]] std::int64_t screensShown() const { return screensShown_; }
+
+ private:
+  void showBenignScreen();
+  void scheduleNextScreenChange();
+  void scheduleIdleEvents();
+  void scheduleAuiPopups(Millis duration);
+  void showAui();
+  [[nodiscard]] bool sessionOver() const {
+    return system_->clock.now() >= endTime_;
+  }
+
+  android::AndroidSystem* system_;
+  AppProfile profile_;
+  Rng rng_;
+  ScreenGenerator generator_;
+  Millis endTime_{0};
+  bool auiShowing_ = false;
+  std::vector<AuiExposure> exposures_;
+  std::int64_t screensShown_ = 0;
+};
+
+/// A Monkey-style random clicker: taps a random point on screen at random
+/// intervals for the whole session (the paper runs each app 1 minute under
+/// Monkey to collect screenshots).
+class MonkeyDriver {
+ public:
+  MonkeyDriver(android::AndroidSystem& system, std::uint64_t seed)
+      : system_(&system), rng_(seed) {}
+
+  /// Schedules taps until `until` (simulated time).
+  void start(Millis until, int minGapMs = 500, int maxGapMs = 1500);
+
+  [[nodiscard]] std::int64_t taps() const { return taps_; }
+
+ private:
+  void scheduleNext(Millis until, int minGapMs, int maxGapMs);
+
+  android::AndroidSystem* system_;
+  Rng rng_;
+  std::int64_t taps_ = 0;
+};
+
+}  // namespace darpa::apps

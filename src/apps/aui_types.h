@@ -1,0 +1,76 @@
+// AUI taxonomy from the paper's measurement study (§III-A, Table I).
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace darpa::apps {
+
+/// Subjects of Asymmetric dark UIs, in Table I order.
+enum class AuiType {
+  kAdvertisement = 0,
+  kSalesPromotion,
+  kLuckyMoney,
+  kAppUpgrade,
+  kOperationGuide,
+  kFeedbackRequest,
+  kPermissionRequest,
+};
+
+inline constexpr std::array<AuiType, 7> kAllAuiTypes = {
+    AuiType::kAdvertisement,   AuiType::kSalesPromotion,
+    AuiType::kLuckyMoney,      AuiType::kAppUpgrade,
+    AuiType::kOperationGuide,  AuiType::kFeedbackRequest,
+    AuiType::kPermissionRequest,
+};
+
+[[nodiscard]] constexpr std::string_view auiTypeName(AuiType t) {
+  switch (t) {
+    case AuiType::kAdvertisement: return "Advertisement";
+    case AuiType::kSalesPromotion: return "Sales promotion";
+    case AuiType::kLuckyMoney: return "Lucky money (Red packet)";
+    case AuiType::kAppUpgrade: return "App upgrade";
+    case AuiType::kOperationGuide: return "Operation guide";
+    case AuiType::kFeedbackRequest: return "Feedback request";
+    case AuiType::kPermissionRequest: return "Sensitive permission request";
+  }
+  return "Unknown";
+}
+
+/// Table I shares (percent of the 1,072-sample dataset).
+[[nodiscard]] constexpr double auiTypePaperShare(AuiType t) {
+  switch (t) {
+    case AuiType::kAdvertisement: return 64.9;
+    case AuiType::kSalesPromotion: return 16.7;
+    case AuiType::kLuckyMoney: return 12.2;
+    case AuiType::kAppUpgrade: return 4.0;
+    case AuiType::kOperationGuide: return 1.5;
+    case AuiType::kFeedbackRequest: return 0.4;
+    case AuiType::kPermissionRequest: return 0.3;
+  }
+  return 0.0;
+}
+
+/// Table I instance counts (sum = 1,072).
+[[nodiscard]] constexpr int auiTypePaperCount(AuiType t) {
+  switch (t) {
+    case AuiType::kAdvertisement: return 696;
+    case AuiType::kSalesPromotion: return 179;
+    case AuiType::kLuckyMoney: return 131;
+    case AuiType::kAppUpgrade: return 43;
+    case AuiType::kOperationGuide: return 16;
+    case AuiType::kFeedbackRequest: return 4;
+    case AuiType::kPermissionRequest: return 3;
+  }
+  return 0;
+}
+
+/// Who authored the AUI: the app itself or an integrated third party
+/// (§III-A "Hosts of AUI": 35.1 % first-party, 64.9 % third-party ads).
+enum class AuiHost { kFirstParty, kThirdParty };
+
+[[nodiscard]] constexpr std::string_view auiHostName(AuiHost h) {
+  return h == AuiHost::kFirstParty ? "first-party" : "third-party";
+}
+
+}  // namespace darpa::apps

@@ -1,0 +1,710 @@
+#include "apps/screen_generator.h"
+
+#include "android/layout.h"
+
+#include <algorithm>
+#include <array>
+#include <utility>
+
+namespace darpa::apps {
+
+using android::Button;
+using android::IconGlyph;
+using android::IconView;
+using android::ImageView;
+using android::TextView;
+using android::View;
+
+namespace {
+
+/// Saturated accent colors used for app-guided options (high contrast).
+constexpr std::array<Color, 6> kAccentColors = {
+    Color::rgb(230, 60, 50),   Color::rgb(250, 150, 30),
+    Color::rgb(245, 200, 30),  Color::rgb(40, 170, 90),
+    Color::rgb(40, 110, 230),  Color::rgb(160, 60, 220),
+};
+
+constexpr std::array<const char*, 6> kAgoTexts = {
+    "GET NOW", "OPEN", "BUY 1", "CLAIM", "GO GO", "FREE"};
+constexpr std::array<const char*, 4> kUpoTexts = {"skip", "later", "close",
+                                                  "no"};
+
+std::unique_ptr<TextView> makeText(std::string text, Color color, int cell,
+                                   const Rect& frame) {
+  auto tv = std::make_unique<TextView>();
+  tv->setText(std::move(text));
+  tv->setTextColor(color);
+  tv->setTextCell(cell);
+  tv->setFrame(frame);
+  return tv;
+}
+
+}  // namespace
+
+AuiSpec ScreenGenerator::randomSpec() {
+  AuiSpec spec;
+  std::array<double, kAllAuiTypes.size()> weights{};
+  for (std::size_t i = 0; i < kAllAuiTypes.size(); ++i) {
+    weights[i] = auiTypePaperShare(kAllAuiTypes[i]);
+  }
+  spec.type = kAllAuiTypes[rng_.pickWeighted(weights)];
+  // §III-A: all advertisements are third-party; everything else first-party.
+  spec.host = spec.type == AuiType::kAdvertisement ? AuiHost::kThirdParty
+                                                   : AuiHost::kFirstParty;
+  // Table II: 744 AGO boxes over 1,072 screenshots. All 376 non-ads have an
+  // AGO box; the remaining 368 boxes fall on the 696 ads (the other ads are
+  // whole-creative-clickable with no separately annotatable AGO).
+  spec.hasAgoBox = spec.type != AuiType::kAdvertisement ||
+                   rng_.chance(368.0 / 696.0);
+  spec.numUpos = rng_.chance(31.0 / 1072.0) ? 2 : 1;
+  spec.agoCentral = rng_.chance(0.946);
+  spec.upoCorner = rng_.chance(0.731);
+  spec.ghostUpo = rng_.chance(0.08);
+  return spec;
+}
+
+std::unique_ptr<View> ScreenGenerator::makeRoot(Color background) {
+  auto root = std::make_unique<View>();
+  root->setFrame({0, 0, params_.frame.width, params_.frame.height});
+  root->setBackground(background);
+  return root;
+}
+
+void ScreenGenerator::addBenignBackdrop(View& root) {
+  const int w = params_.frame.width;
+  const int rowH = rng_.uniformInt(56, 76);
+  int y = rng_.uniformInt(4, 20);
+  const Color rowColor =
+      Color::rgb(static_cast<std::uint8_t>(rng_.uniformInt(225, 245)),
+                 static_cast<std::uint8_t>(rng_.uniformInt(225, 245)),
+                 static_cast<std::uint8_t>(rng_.uniformInt(225, 245)));
+  while (y + rowH < params_.frame.height) {
+    auto* row = root.addChild(std::make_unique<View>());
+    row->setFrame({8, y, w - 16, rowH - 8});
+    row->setBackground(rowColor);
+    row->setCornerRadius(6);
+    // Avatar disc.
+    auto avatar = std::make_unique<IconView>();
+    avatar->setGlyph(IconGlyph::kCircle);
+    avatar->setGlyphColor(Color::rgb(
+        static_cast<std::uint8_t>(rng_.uniformInt(120, 200)),
+        static_cast<std::uint8_t>(rng_.uniformInt(120, 200)),
+        static_cast<std::uint8_t>(rng_.uniformInt(120, 200))));
+    avatar->setFrame({8, 8, rowH - 24, rowH - 24});
+    row->addChild(std::move(avatar));
+    // Two text lines.
+    row->addChild(makeText("lorem ipsum dolor", Color::rgb(60, 60, 60), 2,
+                           {rowH - 4, 8, w - rowH - 30, 12}));
+    row->addChild(makeText("sit amet conse", Color::rgb(150, 150, 150), 1,
+                           {rowH - 4, 26, w - rowH - 60, 8}));
+    y += rowH;
+  }
+}
+
+void ScreenGenerator::addScrim(View& root, double alpha) {
+  auto* scrim = root.addChild(std::make_unique<View>());
+  scrim->setFrame({0, 0, params_.frame.width, params_.frame.height});
+  scrim->setBackground(colors::kBlack);
+  scrim->setAlpha(alpha);
+}
+
+ScreenGenerator::PanelLayout ScreenGenerator::addPanel(View& root,
+                                                       Size panelSize,
+                                                       Color color,
+                                                       bool centered) {
+  const int w = params_.frame.width;
+  const int h = params_.frame.height;
+  const int px = (w - panelSize.width) / 2 + rng_.uniformInt(-8, 8);
+  int py;
+  if (centered) {
+    py = (h - panelSize.height) / 2 + rng_.uniformInt(-24, 24);
+  } else {
+    // Off-center AUIs hug the top or bottom of the screen.
+    py = rng_.chance(0.5) ? rng_.uniformInt(30, 70)
+                          : h - panelSize.height - rng_.uniformInt(30, 70);
+  }
+  PanelLayout layout;
+  layout.panelFrame = {std::clamp(px, 2, w - panelSize.width - 2),
+                       std::clamp(py, 26, h - panelSize.height - 2),
+                       panelSize.width, panelSize.height};
+  auto* panel = root.addChild(std::make_unique<View>());
+  panel->setFrame(layout.panelFrame);
+  panel->setBackground(color);
+  panel->setCornerRadius(10);
+  layout.panel = panel;
+  layout.panelColor = color;
+  return layout;
+}
+
+std::string ScreenGenerator::resourceIdFor(std::string_view realName,
+                                           AuiHost host) {
+  const double pObf = host == AuiHost::kThirdParty
+                          ? params_.obfuscateThirdParty
+                          : params_.obfuscateFirstParty;
+  if (!rng_.chance(pObf)) return std::string(realName);
+  // Half of the obfuscated ids are dynamically generated (empty in dumps),
+  // half are minified junk like "a1" / "jx9".
+  if (rng_.chance(0.5)) return {};
+  std::string junk;
+  const int len = rng_.uniformInt(2, 3);
+  for (int i = 0; i < len; ++i) {
+    junk.push_back(static_cast<char>('a' + rng_.uniformInt(0, 25)));
+  }
+  return junk;
+}
+
+Rect ScreenGenerator::addAgo(const PanelLayout& panel, View& root,
+                             const AuiSpec& spec) {
+  const Rect& pf = panel.panelFrame;
+  const Color accent = kAccentColors[static_cast<std::size_t>(
+      rng_.uniformInt(0, static_cast<int>(kAccentColors.size()) - 1))];
+
+  // Size/style per AUI type.
+  int bw = 0, bh = 0;
+  int cornerRadius = 8;
+  switch (spec.type) {
+    case AuiType::kAdvertisement:
+      bw = std::min(pf.width - 50, rng_.uniformInt(180, 230));
+      bh = rng_.uniformInt(44, 60);
+      break;
+    case AuiType::kSalesPromotion:
+    case AuiType::kLuckyMoney: {
+      const int d = rng_.uniformInt(110, 150);  // eye-catching round button
+      bw = d;
+      bh = d;
+      cornerRadius = d / 2;
+      break;
+    }
+    case AuiType::kAppUpgrade:
+    case AuiType::kFeedbackRequest:
+    case AuiType::kPermissionRequest:
+      bw = std::min(pf.width - 60, rng_.uniformInt(190, 240));
+      bh = rng_.uniformInt(42, 54);
+      break;
+    case AuiType::kOperationGuide:
+      bw = rng_.uniformInt(130, 170);
+      bh = rng_.uniformInt(40, 50);
+      break;
+  }
+
+  // Position: centered in the panel, or hugging its top/bottom edge.
+  const int bx = pf.x + (pf.width - bw) / 2 + rng_.uniformInt(-6, 6);
+  int by;
+  switch (spec.type) {
+    case AuiType::kAdvertisement:
+      // CTA strip near the bottom of the creative.
+      by = pf.bottom() - bh - rng_.uniformInt(14, 28);
+      break;
+    case AuiType::kOperationGuide:
+      by = pf.y + pf.height * 2 / 3 + rng_.uniformInt(-10, 10);
+      break;
+    default:
+      by = pf.y + (pf.height - bh) / 2 + rng_.uniformInt(8, 30);
+      break;
+  }
+  const Rect frame{std::clamp(bx, pf.x + 4, pf.right() - bw - 4),
+                   std::clamp(by, pf.y + 4, pf.bottom() - bh - 4), bw, bh};
+
+  auto button = std::make_unique<Button>();
+  button->setFrame(frame);
+  button->setBackground(
+      spec.type == AuiType::kLuckyMoney ? Color::rgb(250, 205, 60) : accent);
+  button->setCornerRadius(cornerRadius);
+  // Some CTAs are rendered with a two-tone gradient: visually louder, and a
+  // natural source of AGO localization error for pixel-snapping detectors.
+  if (rng_.chance(0.18)) {
+    auto topHalf = std::make_unique<View>();
+    topHalf->setFrame({0, 0, bw, bh / 2});
+    topHalf->setBackground(lerp(button->background(), colors::kWhite, 0.35));
+    topHalf->setCornerRadius(cornerRadius);
+    button->addChild(std::move(topHalf));
+  }
+  button->setText(kAgoTexts[static_cast<std::size_t>(
+      rng_.uniformInt(0, static_cast<int>(kAgoTexts.size()) - 1))]);
+  button->setTextColor(highContrastAgainst(button->background()));
+  button->setTextCell(3);
+  button->setResourceId(resourceIdFor("btn_cta", spec.host));
+  root.addChild(std::move(button));
+  return frame;
+}
+
+Rect ScreenGenerator::addUpo(const PanelLayout& panel, View& root,
+                             const AuiSpec& spec, int upoIndex,
+                             Color scrimBackdrop) {
+  const Rect& pf = panel.panelFrame;
+  const int s = rng_.uniformInt(14, 26);
+
+  // Corner placement (top-right heavy, like real close buttons), possibly
+  // floating just above the panel; otherwise centered below the panel or
+  // along its bottom edge.
+  Rect frame;
+  const bool corner = spec.upoCorner != (upoIndex > 0);  // 2nd UPO differs
+  if (corner) {
+    const double cornerWeights[] = {0.6, 0.2, 0.1, 0.1};  // TR TL BR BL
+    const std::size_t which = rng_.pickWeighted(cornerWeights);
+    const int inset = rng_.uniformInt(-s / 2, 6);  // may float outside
+    const int cx = (which == 0 || which == 2) ? pf.right() - s - inset
+                                              : pf.x + inset;
+    const int cy = (which <= 1) ? pf.y + inset : pf.bottom() - s - inset;
+    frame = {cx, cy, s, s};
+  } else {
+    const int cx = pf.x + (pf.width - s * 3) / 2 + rng_.uniformInt(-10, 10);
+    const int cy = rng_.chance(0.6) ? pf.bottom() + rng_.uniformInt(8, 26)
+                                    : pf.bottom() - s - rng_.uniformInt(4, 10);
+    frame = {cx, cy, s * 3, s};  // tiny text strip
+  }
+  // Clamp inside the window.
+  frame.x = std::clamp(frame.x, 0, params_.frame.width - frame.width);
+  frame.y = std::clamp(frame.y, 0, params_.frame.height - frame.height);
+
+  // Low-contrast plate covering the whole frame, so the rendered ink extent
+  // equals the annotation box.
+  // The plate sits either on the panel or floats over the dimmed backdrop;
+  // its color is chosen low-contrast relative to the *composited* local
+  // background (the scrim is translucent, so "over the scrim" is mid-gray,
+  // not black).
+  const bool floating = frame.y < pf.y + 2 || frame.x < pf.x + 2 ||
+                        frame.right() > pf.right() - 2 ||
+                        frame.bottom() > pf.bottom() - 2;
+  const Color backdrop = floating ? scrimBackdrop : panel.panelColor;
+  const Color awayFromBackdrop =
+      luma(backdrop) > 128 ? colors::kBlack : colors::kWhite;
+  const Color plate =
+      lerp(backdrop, awayFromBackdrop, rng_.uniform(0.18, 0.38));
+  const Color glyphColor = lerp(plate, awayFromBackdrop, rng_.uniform(0.35, 0.6));
+
+  std::unique_ptr<View> upo;
+  if (corner) {
+    auto icon = std::make_unique<IconView>();
+    icon->setGlyph(IconGlyph::kCross);
+    icon->setGlyphColor(glyphColor);
+    icon->setThickness(1);
+    icon->setBackground(plate);
+    icon->setCornerRadius(s / 2);
+    upo = std::move(icon);
+  } else {
+    auto text = std::make_unique<TextView>();
+    text->setText(kUpoTexts[static_cast<std::size_t>(
+        rng_.uniformInt(0, static_cast<int>(kUpoTexts.size()) - 1))]);
+    text->setTextColor(glyphColor);
+    text->setTextCell(1);
+    text->setBackground(plate);
+    text->setCornerRadius(4);
+    upo = std::move(text);
+  }
+  upo->setFrame(frame);
+  upo->setClickable(true);
+  upo->setResourceId(
+      resourceIdFor(upoIndex == 0 ? "btn_close" : "tv_skip", spec.host));
+  if (spec.ghostUpo && upoIndex == 0) {
+    upo->setAlpha(rng_.uniform(0.16, 0.32));  // nearly invisible
+  }
+  root.addChild(std::move(upo));
+  return frame;
+}
+
+void ScreenGenerator::addDistractors(const PanelLayout& panel, View& root) {
+  const Rect& pf = panel.panelFrame;
+  // Headline + body text on the panel.
+  root.addChild(makeText("limited offer", Color::rgb(70, 40, 40), 3,
+                         {pf.x + 20, pf.y + 16, pf.width - 40, 18}));
+  root.addChild(makeText("only today for you", Color::rgb(120, 110, 110), 2,
+                         {pf.x + 24, pf.y + 42, pf.width - 48, 12}));
+  // Tiny "AD" indicator, barely visible (regulation-mandated, §III-A).
+  if (rng_.chance(0.7)) {
+    root.addChild(makeText("AD",
+                           lerp(panel.panelColor, colors::kBlack, 0.18), 1,
+                           {pf.x + 4, pf.bottom() - 10, 10, 6}));
+  }
+  // Occasionally a second, medium "learn more" button styled like a CTA —
+  // an AGO lookalike (the paper's false positives are exactly such
+  // prominent-but-unannotated options).
+  if (rng_.chance(0.18)) {
+    auto extra = std::make_unique<Button>();
+    const int ew = rng_.uniformInt(120, 170);
+    const int eh = rng_.uniformInt(34, 44);
+    extra->setFrame({pf.x + (pf.width - ew) / 2 + rng_.uniformInt(-12, 12),
+                     pf.y + rng_.uniformInt(54, 90), ew, eh});
+    extra->setBackground(kAccentColors[static_cast<std::size_t>(
+        rng_.uniformInt(0, static_cast<int>(kAccentColors.size()) - 1))]);
+    extra->setText("MORE");
+    extra->setTextColor(highContrastAgainst(extra->background()));
+    extra->setTextCell(2);
+    extra->setResourceId(resourceIdFor("btn_more", AuiHost::kFirstParty));
+    root.addChild(std::move(extra));
+  }
+  // Occasionally a bright badge dot near a corner — a UPO lookalike that
+  // keeps the detector honest.
+  if (rng_.chance(0.25)) {
+    const int d = rng_.uniformInt(8, 13);
+    auto dot = std::make_unique<IconView>();
+    dot->setGlyph(IconGlyph::kCircle);
+    dot->setGlyphColor(Color::rgb(240, 80, 70));
+    dot->setFrame({pf.x + rng_.uniformInt(6, 20), pf.y + rng_.uniformInt(6, 20),
+                   d, d});
+    root.addChild(std::move(dot));
+  }
+}
+
+GeneratedScreen ScreenGenerator::makeAui(const AuiSpec& spec) {
+  GeneratedScreen out;
+  auto root = makeRoot(Color::rgb(245, 245, 248));
+  addBenignBackdrop(*root);
+
+  const bool guide = spec.type == AuiType::kOperationGuide;
+  const double scrimAlpha =
+      guide ? rng_.uniform(0.68, 0.8) : rng_.uniform(0.45, 0.62);
+  addScrim(*root, scrimAlpha);
+  // Effective color of the dimmed backdrop behind the scrim (the backdrop
+  // is near-white, so the composite is a mid gray).
+  const Color scrimBackdrop =
+      lerp(Color::rgb(238, 238, 240), colors::kBlack, scrimAlpha);
+
+  PanelLayout panel;
+  if (guide) {
+    // Operation guides paint straight onto the scrim: the "panel" is the
+    // whole window, with a highlight ring around a fake target element.
+    panel.panel = root.get();
+    panel.panelFrame = {20, 40, params_.frame.width - 40,
+                        params_.frame.height - 80};
+    panel.panelColor = Color::rgb(40, 40, 46);
+    auto ring = std::make_unique<IconView>();
+    ring->setGlyph(IconGlyph::kRing);
+    ring->setGlyphColor(colors::kWhite);
+    ring->setThickness(2);
+    const int d = rng_.uniformInt(50, 80);
+    ring->setFrame({rng_.uniformInt(40, params_.frame.width - d - 40),
+                    rng_.uniformInt(80, 200), d, d});
+    root->addChild(std::move(ring));
+  } else {
+    Size panelSize;
+    Color panelColor = colors::kWhite;
+    switch (spec.type) {
+      case AuiType::kAdvertisement:
+        panelSize = {rng_.uniformInt(280, 320), rng_.uniformInt(360, 430)};
+        break;
+      case AuiType::kSalesPromotion:
+        panelSize = {rng_.uniformInt(260, 300), rng_.uniformInt(300, 380)};
+        panelColor = Color::rgb(255, 240, 235);
+        break;
+      case AuiType::kLuckyMoney:
+        panelSize = {rng_.uniformInt(240, 280), rng_.uniformInt(280, 340)};
+        panelColor = Color::rgb(205, 50, 45);  // red packet
+        break;
+      case AuiType::kAppUpgrade:
+        panelSize = {rng_.uniformInt(280, 310), rng_.uniformInt(170, 220)};
+        break;
+      case AuiType::kFeedbackRequest:
+        panelSize = {rng_.uniformInt(280, 310), rng_.uniformInt(200, 260)};
+        break;
+      case AuiType::kPermissionRequest:
+        panelSize = {rng_.uniformInt(280, 310), rng_.uniformInt(180, 230)};
+        break;
+      case AuiType::kOperationGuide:
+        break;  // handled above
+    }
+    panel = addPanel(*root, panelSize, panelColor, spec.agoCentral);
+
+    if (spec.type == AuiType::kAdvertisement) {
+      // The ad creative fills the panel (clickable; the AGO when no separate
+      // CTA is annotated).
+      auto creative = std::make_unique<ImageView>();
+      const Rect inner = panel.panelFrame.inflated(-10);
+      creative->setFrame(inner);
+      creative->setPatternSeed(rng_.next());
+      creative->setClickable(true);
+      creative->setResourceId(resourceIdFor("iv_ad_creative", spec.host));
+      root->addChild(std::move(creative));
+      // When spec.hasAgoBox is false the creative itself is the app-guided
+      // surface and no AGO box is annotated (Table II has fewer AGO boxes
+      // than screenshots).
+    } else if (spec.type == AuiType::kFeedbackRequest) {
+      // A row of stars above the rate button.
+      const int starSize = 22;
+      const int total = 5 * (starSize + 6) - 6;
+      int sx = panel.panelFrame.x + (panel.panelFrame.width - total) / 2;
+      const int sy = panel.panelFrame.y + 60;
+      for (int i = 0; i < 5; ++i) {
+        auto star = std::make_unique<IconView>();
+        star->setGlyph(IconGlyph::kStar);
+        star->setGlyphColor(Color::rgb(245, 190, 40));
+        star->setFrame({sx, sy, starSize, starSize});
+        root->addChild(std::move(star));
+        sx += starSize + 6;
+      }
+    }
+    addDistractors(panel, *root);
+  }
+
+  if (spec.hasAgoBox) {
+    out.truth.agoBoxes.push_back(addAgo(panel, *root, spec));
+  }
+  for (int i = 0; i < spec.numUpos; ++i) {
+    out.truth.upoBoxes.push_back(
+        addUpo(panel, *root, spec, i, scrimBackdrop));
+  }
+
+  out.truth.isAui = true;
+  out.truth.spec = spec;
+  out.root = std::move(root);
+  return out;
+}
+
+GeneratedScreen ScreenGenerator::makeBenign() {
+  GeneratedScreen out;
+  auto root = makeRoot(Color::rgb(248, 248, 250));
+  switch (rng_.uniformInt(0, 6)) {
+    case 0: addFeedScreen(*root); break;
+    case 1: addSettingsScreen(*root); break;
+    case 2: addFormScreen(*root); break;
+    case 3: addPlayerScreen(*root); break;
+    case 4: addChatScreen(*root); break;
+    case 5: addArticleScreen(*root); break;
+    default: addCheckoutScreen(*root); break;
+  }
+  out.truth.isAui = false;
+  out.root = std::move(root);
+  return out;
+}
+
+GeneratedScreen ScreenGenerator::makeHardNegative() {
+  GeneratedScreen out;
+  auto root = makeRoot(Color::rgb(248, 248, 250));
+  addBenignBackdrop(*root);
+  addScrim(*root, rng_.uniform(0.3, 0.45));
+  // A symmetric dialog: two equally prominent options — by the paper's
+  // footnote 4 this is NOT an AUI even though it has a small close button.
+  const PanelLayout panel =
+      addPanel(*root, {rng_.uniformInt(280, 310), rng_.uniformInt(150, 190)},
+               colors::kWhite, true);
+  const Rect& pf = panel.panelFrame;
+  root->addChild(makeText("delete this item?", Color::rgb(60, 60, 60), 2,
+                          {pf.x + 20, pf.y + 24, pf.width - 40, 14}));
+  const int bw = (pf.width - 3 * 14) / 2;
+  const int bh = 40;
+  const int by = pf.bottom() - bh - 16;
+  const std::array<const char*, 2> labels = {"cancel", "ok"};
+  for (int i = 0; i < 2; ++i) {
+    auto button = std::make_unique<Button>();
+    button->setFrame({pf.x + 14 + i * (bw + 14), by, bw, bh});
+    button->setBackground(i == 0 ? Color::rgb(235, 235, 238)
+                                 : Color::rgb(70, 120, 230));
+    button->setText(labels[static_cast<std::size_t>(i)]);
+    button->setTextColor(i == 0 ? Color::rgb(60, 60, 60) : colors::kWhite);
+    button->setTextCell(2);
+    button->setResourceId(i == 0 ? "btn_cancel" : "btn_ok");
+    root->addChild(std::move(button));
+  }
+  // The small close button that must not, alone, make this an AUI.
+  const int s = rng_.uniformInt(16, 22);
+  auto close = std::make_unique<IconView>();
+  close->setGlyph(IconGlyph::kCross);
+  close->setGlyphColor(Color::rgb(120, 120, 120));
+  close->setThickness(1);
+  close->setBackground(lerp(colors::kWhite, colors::kGray, 0.2));
+  close->setCornerRadius(s / 2);
+  close->setFrame({pf.right() - s - 6, pf.y + 6, s, s});
+  close->setClickable(true);
+  close->setResourceId("btn_close");
+  root->addChild(std::move(close));
+
+  out.truth.isAui = false;
+  out.truth.hardNegative = true;
+  out.root = std::move(root);
+  return out;
+}
+
+void ScreenGenerator::addFeedScreen(View& root) {
+  addBenignBackdrop(root);
+  // Occasionally a legitimate, closable banner ad at the bottom. It is NOT
+  // an AUI (small, symmetric, honest close button), but its resource ids
+  // ("ad", "close") are exactly what trips string-matching detectors.
+  if (rng_.chance(params_.benignDecorations)) {
+    const int w = params_.frame.width;
+    const int bannerH = rng_.uniformInt(46, 60);
+    auto banner = std::make_unique<ImageView>();
+    banner->setPatternSeed(rng_.next());
+    banner->setFrame({8, params_.frame.height - bannerH - 8, w - 16, bannerH});
+    banner->setClickable(true);
+    banner->setResourceId("iv_ad_banner");
+    auto close = std::make_unique<IconView>();
+    close->setGlyph(IconGlyph::kCross);
+    close->setGlyphColor(colors::kWhite);
+    close->setThickness(1);
+    close->setBackground(Color::rgba(40, 40, 40, 190));
+    const int s = 14;
+    close->setFrame({w - 16 - s - 2, 2, s, s});
+    close->setClickable(true);
+    close->setResourceId("btn_close");
+    banner->addChild(std::move(close));
+    root.addChild(std::move(banner));
+  }
+}
+
+void ScreenGenerator::addSettingsScreen(View& root) {
+  const int w = params_.frame.width;
+  int y = 12;
+  for (int i = 0; i < 9 && y + 52 < params_.frame.height; ++i) {
+    auto* row = root.addChild(std::make_unique<View>());
+    row->setFrame({0, y, w, 48});
+    row->setBackground(colors::kWhite);
+    row->addChild(makeText("setting item", Color::rgb(50, 50, 50), 2,
+                           {16, 16, 160, 14}));
+    // Toggle pill.
+    auto toggle = std::make_unique<View>();
+    toggle->setFrame({w - 60, 14, 40, 20});
+    toggle->setBackground(rng_.chance(0.5) ? Color::rgb(80, 180, 120)
+                                           : Color::rgb(200, 200, 205));
+    toggle->setCornerRadius(10);
+    toggle->setClickable(true);
+    row->addChild(std::move(toggle));
+    y += 52;
+  }
+}
+
+void ScreenGenerator::addFormScreen(View& root) {
+  const int w = params_.frame.width;
+  int y = 40;
+  for (int i = 0; i < 4; ++i) {
+    auto* field = root.addChild(std::make_unique<View>());
+    field->setFrame({24, y, w - 48, 40});
+    field->setBackground(Color::rgb(238, 238, 242));
+    field->setCornerRadius(6);
+    field->addChild(makeText("input", Color::rgb(160, 160, 165), 2,
+                             {10, 13, 80, 12}));
+    y += 56;
+  }
+  auto submit = std::make_unique<Button>();
+  submit->setFrame({(w - 160) / 2, y + 20, 160, 44});
+  submit->setBackground(Color::rgb(70, 120, 230));
+  submit->setText("submit");
+  submit->setTextColor(colors::kWhite);
+  submit->setTextCell(2);
+  submit->setResourceId("btn_submit");
+  root.addChild(std::move(submit));
+}
+
+void ScreenGenerator::addPlayerScreen(View& root) {
+  root.setBackground(Color::rgb(18, 18, 22));
+  const int w = params_.frame.width;
+  const int h = params_.frame.height;
+  auto* video = root.addChild(std::make_unique<ImageView>());
+  video->setFrame({0, h / 4, w, h / 3});
+  static_cast<ImageView*>(video)->setPatternSeed(rng_.next());
+  auto play = std::make_unique<IconView>();
+  play->setGlyph(IconGlyph::kRing);
+  play->setGlyphColor(colors::kWhite);
+  play->setThickness(3);
+  play->setFrame({w / 2 - 24, h / 4 + h / 6 - 24, 48, 48});
+  play->setClickable(true);
+  play->setResourceId("btn_play");
+  root.addChild(std::move(play));
+  // Seek bar.
+  auto* bar = root.addChild(std::make_unique<View>());
+  bar->setFrame({16, h / 4 + h / 3 + 12, w - 32, 4});
+  bar->setBackground(Color::rgb(90, 90, 95));
+}
+
+void ScreenGenerator::addChatScreen(View& root) {
+  using android::ChildLayout;
+  using android::Gravity;
+  using android::LinearLayout;
+  using android::SizeSpec;
+  auto column = std::make_unique<LinearLayout>();
+  column->setFrame({0, 0, params_.frame.width, params_.frame.height});
+  column->setPadding(8);
+  column->setSpacing(8);
+  LinearLayout* columnPtr = column.get();
+  const int bubbles = rng_.uniformInt(5, 9);
+  for (int i = 0; i < bubbles; ++i) {
+    const bool mine = i % 2 == 0;
+    auto bubble = std::make_unique<TextView>();
+    bubble->setText(mine ? "hello there" : "hi how are you");
+    bubble->setTextCell(2);
+    bubble->setTextColor(mine ? colors::kWhite : Color::rgb(50, 50, 50));
+    bubble->setBackground(mine ? Color::rgb(60, 140, 90)
+                               : Color::rgb(232, 232, 236));
+    bubble->setCornerRadius(10);
+    ChildLayout cl;
+    cl.width = SizeSpec::fixed(rng_.uniformInt(140, 220));
+    cl.height = SizeSpec::fixed(rng_.uniformInt(34, 56));
+    cl.gravity = mine ? Gravity::kEnd : Gravity::kStart;
+    columnPtr->addLayoutChild(std::move(bubble), cl);
+  }
+  // Input bar pinned by a weighted spacer.
+  ChildLayout spacer;
+  spacer.weight = 1.0;
+  columnPtr->addLayoutChild(std::make_unique<View>(), spacer);
+  auto input = std::make_unique<View>();
+  input->setBackground(colors::kWhite);
+  input->setCornerRadius(8);
+  ChildLayout inputSpec;
+  inputSpec.width = SizeSpec::matchParent();
+  inputSpec.height = SizeSpec::fixed(44);
+  auto* inputPtr = columnPtr->addLayoutChild(std::move(input), inputSpec);
+  inputPtr->setResourceId("et_message");
+  columnPtr->performLayout();
+  root.addChild(std::move(column));
+}
+
+void ScreenGenerator::addArticleScreen(View& root) {
+  using android::ChildLayout;
+  using android::LinearLayout;
+  using android::SizeSpec;
+  auto column = std::make_unique<LinearLayout>();
+  column->setFrame({0, 0, params_.frame.width, params_.frame.height});
+  column->setPadding(14);
+  column->setSpacing(10);
+  LinearLayout* columnPtr = column.get();
+
+  auto headline = std::make_unique<TextView>();
+  headline->setText("breaking news today");
+  headline->setTextCell(3);
+  headline->setTextColor(Color::rgb(30, 30, 35));
+  ChildLayout hSpec;
+  hSpec.width = SizeSpec::matchParent();
+  hSpec.height = SizeSpec::fixed(26);
+  columnPtr->addLayoutChild(std::move(headline), hSpec);
+
+  auto hero = std::make_unique<ImageView>();
+  hero->setPatternSeed(rng_.next());
+  ChildLayout imgSpec;
+  imgSpec.width = SizeSpec::matchParent();
+  imgSpec.height = SizeSpec::fixed(rng_.uniformInt(140, 190));
+  columnPtr->addLayoutChild(std::move(hero), imgSpec);
+
+  const int paragraphs = rng_.uniformInt(6, 10);
+  for (int i = 0; i < paragraphs; ++i) {
+    auto line = std::make_unique<TextView>();
+    line->setText("lorem ipsum dolor sit amet consetetur");
+    line->setTextCell(1);
+    line->setTextColor(Color::rgb(70, 70, 75));
+    ChildLayout lSpec;
+    lSpec.width = SizeSpec::matchParent();
+    lSpec.height = SizeSpec::fixed(12);
+    columnPtr->addLayoutChild(std::move(line), lSpec);
+  }
+  columnPtr->performLayout();
+  root.addChild(std::move(column));
+}
+
+void ScreenGenerator::addCheckoutScreen(View& root) {
+  addBenignBackdrop(root);
+  const int w = params_.frame.width;
+  const int h = params_.frame.height;
+  auto* bottomBar = root.addChild(std::make_unique<View>());
+  bottomBar->setFrame({0, h - 56, w, 56});
+  bottomBar->setBackground(colors::kWhite);
+  bottomBar->addChild(makeText("$ 12.99", Color::rgb(210, 60, 40), 3,
+                               {16, 18, 100, 18}));
+  auto pay = std::make_unique<Button>();
+  pay->setFrame({w - 136, 8, 120, 40});
+  pay->setBackground(Color::rgb(240, 120, 30));
+  pay->setText("pay now");
+  pay->setTextColor(colors::kWhite);
+  pay->setTextCell(2);
+  pay->setResourceId("btn_pay");
+  bottomBar->addChild(std::move(pay));
+}
+
+}  // namespace darpa::apps

@@ -1,0 +1,135 @@
+// Synthetic app-screen generator.
+//
+// Substitutes for the 632 real apps + huaban.com screenshots the paper
+// collected. Builds live View trees (not just images) so the same screens
+// can be (a) composited into screenshots for the CV dataset, (b) dumped as
+// ADB-style metadata for the FraudDroid baseline, and (c) clicked through by
+// the Monkey driver at runtime.
+//
+// The AUI screens follow the paper's measured layout statistics (§III-A):
+// 94.6 % of AGOs are central, 73.1 % of UPOs sit in a corner; third-party
+// AUIs (advertisements) obfuscate their resource ids far more often than
+// first-party ones, which is what starves the string-feature baseline in
+// Table VI. A configurable fraction of UPOs are "ghosts" — tiny and nearly
+// transparent — reproducing the false-negative cause the paper reports
+// ("small in size ... of a transparent background", §VI-B).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "android/view.h"
+#include "apps/aui_types.h"
+#include "util/geometry.h"
+#include "util/rng.h"
+
+namespace darpa::apps {
+
+/// Per-screenshot generation directives. The dataset builder enumerates
+/// specs with exact Table I/II quotas; callers that don't care use
+/// ScreenGenerator::randomSpec().
+struct AuiSpec {
+  AuiType type = AuiType::kAdvertisement;
+  AuiHost host = AuiHost::kThirdParty;
+  bool hasAgoBox = true;   ///< Some ads are whole-creative-clickable: no
+                           ///< separately annotatable AGO box (Table II has
+                           ///< 744 AGO boxes over 1,072 screenshots).
+  int numUpos = 1;         ///< A few AUIs expose two escape options.
+  bool agoCentral = true;  ///< 94.6 % in the paper.
+  bool upoCorner = true;   ///< 73.1 % in the paper.
+  bool ghostUpo = false;   ///< Nearly transparent UPO (FN driver).
+};
+
+/// Ground truth attached to a generated screen (boxes in window coords).
+struct ScreenTruth {
+  bool isAui = false;
+  std::optional<AuiSpec> spec;     ///< Present when isAui.
+  std::vector<Rect> agoBoxes;
+  std::vector<Rect> upoBoxes;
+  bool hardNegative = false;       ///< Benign screen with a small close
+                                   ///< button (footnote-4 non-AUI case).
+};
+
+struct GeneratedScreen {
+  std::unique_ptr<android::View> root;
+  ScreenTruth truth;
+};
+
+class ScreenGenerator {
+ public:
+  struct Params {
+    Size frame{360, 648};  ///< Window frame the screen is laid out for.
+    /// Probability that a third-/first-party AUI's option resource ids are
+    /// obfuscated or dynamically generated (defeats string baselines).
+    double obfuscateThirdParty = 0.92;
+    double obfuscateFirstParty = 0.55;
+    /// Probability a benign screen carries UPO-lookalike decorations.
+    double benignDecorations = 0.35;
+  };
+
+  ScreenGenerator(Params params, std::uint64_t seed)
+      : params_(params), rng_(seed) {}
+
+  [[nodiscard]] const Params& params() const { return params_; }
+
+  /// Draws a spec from the paper's distributions (Table I shares, layout
+  /// stats, ~8 % ghosts, ~3 % double UPOs, ~69 % AGO-box rate).
+  [[nodiscard]] AuiSpec randomSpec();
+
+  /// Builds one AUI screen per the spec.
+  [[nodiscard]] GeneratedScreen makeAui(const AuiSpec& spec);
+
+  /// Benign app screen (feed, settings, form, player, checkout...).
+  [[nodiscard]] GeneratedScreen makeBenign();
+
+  /// Benign screen with a small corner close button but *symmetric* options
+  /// — the paper's footnote-4 case that must NOT be flagged as AUI.
+  [[nodiscard]] GeneratedScreen makeHardNegative();
+
+ private:
+  struct PanelLayout {
+    android::View* panel = nullptr;  ///< The modal panel view.
+    Rect panelFrame;                 ///< Panel frame in window coords.
+    Color panelColor;
+  };
+
+  // Screen scaffolding.
+  std::unique_ptr<android::View> makeRoot(Color background);
+  void addBenignBackdrop(android::View& root);
+  void addScrim(android::View& root, double alpha);
+  PanelLayout addPanel(android::View& root, Size panelSize, Color color,
+                       bool centered);
+
+  // Option construction. Both record their frame (window coords) into
+  // `truth`. Options carry a filled plate covering the whole frame so the
+  // rendered ink extent equals the annotation box.
+  Rect addAgo(const PanelLayout& panel, android::View& root,
+              const AuiSpec& spec);
+  Rect addUpo(const PanelLayout& panel, android::View& root,
+              const AuiSpec& spec, int upoIndex, Color scrimBackdrop);
+
+  // Decorations that make the task realistically hard.
+  void addDistractors(const PanelLayout& panel, android::View& root);
+
+  // Resource-id helper: real name or obfuscated junk per host probability.
+  [[nodiscard]] std::string resourceIdFor(std::string_view realName,
+                                          AuiHost host);
+
+  // Benign content blocks.
+  void addFeedScreen(android::View& root);
+  void addSettingsScreen(android::View& root);
+  void addFormScreen(android::View& root);
+  void addPlayerScreen(android::View& root);
+  void addCheckoutScreen(android::View& root);
+  // Layout-engine-based templates (exercise LinearLayout/FrameLayout so
+  // hierarchy dumps show realistic container structure).
+  void addChatScreen(android::View& root);
+  void addArticleScreen(android::View& root);
+
+  Params params_;
+  Rng rng_;
+};
+
+}  // namespace darpa::apps

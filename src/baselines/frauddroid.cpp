@@ -1,0 +1,47 @@
+#include "baselines/frauddroid.h"
+
+#include <algorithm>
+
+namespace darpa::baselines {
+
+bool FraudDroidDetector::idMatchesAny(std::string_view resourceId,
+                                      const std::vector<std::string>& tokens) {
+  if (resourceId.empty()) return false;
+  return std::any_of(tokens.begin(), tokens.end(), [&](const std::string& t) {
+    return resourceId.find(t) != std::string_view::npos;
+  });
+}
+
+FraudDroidResult FraudDroidDetector::analyze(const android::UiDump& dump,
+                                             Size screenSize) const {
+  FraudDroidResult result;
+  const double screenArea = static_cast<double>(screenSize.area());
+  bool dominantClickable = false;
+
+  for (const android::UiNode& node : dump) {
+    const Rect& b = node.boundsOnScreen;
+    if (b.empty()) continue;
+
+    // UPO: id token match + small-size placement feature.
+    if (node.clickable && idMatchesAny(node.resourceId, config_.upoIdTokens) &&
+        b.width <= config_.maxUpoSide && b.height <= config_.maxUpoSide) {
+      result.upoBoxes.push_back(b);
+    }
+    // AGO: id token match + prominent size.
+    if (idMatchesAny(node.resourceId, config_.agoIdTokens) &&
+        static_cast<double>(b.area()) >= config_.minAgoAreaFrac * screenArea) {
+      result.agoBoxes.push_back(b);
+    }
+    // Fallback placement feature: any clickable surface dominating the
+    // screen (full-screen ad creatives) counts as app-guided.
+    if (node.clickable && static_cast<double>(b.area()) >= 0.3 * screenArea) {
+      dominantClickable = true;
+    }
+  }
+
+  result.isAui =
+      !result.upoBoxes.empty() && (!result.agoBoxes.empty() || dominantClickable);
+  return result;
+}
+
+}  // namespace darpa::baselines

@@ -1,0 +1,60 @@
+// FraudDroid-like AUI detector — the string/placement baseline of §VI-C.
+//
+// FraudDroid (Dong et al., FSE'18) identifies ad views from UI metadata:
+// resource-id string features plus size/placement heuristics. The paper
+// reimplements it (AdViewDetector is closed source), extends the id list to
+// the AUI vocabulary, and shows it collapses on real apps because ids are
+// obfuscated or generated dynamically. This module consumes the ADB-style
+// UiDump of the window manager — exactly the metadata a FraudDroid-like
+// tool would get — and applies the same two feature families.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "android/window_manager.h"
+#include "util/geometry.h"
+
+namespace darpa::baselines {
+
+struct FraudDroidResult {
+  bool isAui = false;
+  std::vector<Rect> upoBoxes;  ///< Screen coords of flagged user options.
+  std::vector<Rect> agoBoxes;
+};
+
+class FraudDroidDetector {
+ public:
+  struct Config {
+    /// Resource-id substrings marking a user-preferred (dismiss) option.
+    std::vector<std::string> upoIdTokens = {"close",  "skip", "cancel",
+                                            "later",  "dismiss", "deny",
+                                            "no_thanks"};
+    /// Resource-id substrings marking an app-guided option.
+    std::vector<std::string> agoIdTokens = {"cta",    "ad",    "creative",
+                                            "open",   "buy",   "promo",
+                                            "upgrade", "allow", "rate",
+                                            "claim",  "pay"};
+    /// Placement heuristics: a UPO is small...
+    int maxUpoSide = 90;
+    /// ...and an AGO is large relative to the screen.
+    double minAgoAreaFrac = 0.01;
+  };
+
+  FraudDroidDetector() = default;
+  explicit FraudDroidDetector(Config config) : config_(std::move(config)) {}
+
+  /// Analyzes one UI dump. A screen is flagged as AUI when an id-matched
+  /// small UPO co-occurs with an id-matched prominent AGO (or a dominant
+  /// clickable surface).
+  [[nodiscard]] FraudDroidResult analyze(const android::UiDump& dump,
+                                         Size screenSize) const;
+
+ private:
+  [[nodiscard]] static bool idMatchesAny(std::string_view resourceId,
+                                         const std::vector<std::string>& tokens);
+
+  Config config_{};
+};
+
+}  // namespace darpa::baselines

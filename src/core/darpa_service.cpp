@@ -1,0 +1,193 @@
+#include "core/darpa_service.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/decoration.h"
+#include "util/log.h"
+
+namespace darpa::core {
+
+DarpaService::DarpaService(const cv::Detector& detector, DarpaConfig config)
+    : detector_(&detector), config_(config) {}
+
+DarpaService::~DarpaService() {
+  if (connected()) clearDecorations();
+}
+
+void DarpaService::onServiceConnected() {
+  // Fig. 5 "Event registration": all 23 event types, 200 ms notification
+  // delay to avoid being overwhelmed by redundant UI updates.
+  setEventTypesMask(android::kAllEventTypesMask);
+  setNotificationTimeout(config_.notificationDelay);
+  logInfo("DARPA connected: ct=", config_.cutoff.count, "ms decorate=",
+          config_.decorate, " bypass=", config_.autoBypass);
+}
+
+void DarpaService::onAccessibilityEvent(
+    const android::AccessibilityEvent& event) {
+  // Selective monitoring: trusted packages are exempt before any work is
+  // accounted (the framework still wakes us, but we return immediately).
+  if (!config_.trustedPackages.empty() &&
+      config_.trustedPackages.count(event.packageName) > 0) {
+    return;
+  }
+  ++stats_.eventsReceived;
+  report(WorkKind::kEventHandling);
+  logDebug("DARPA event ", android::eventTypeName(event.type), " from ",
+           event.packageName);
+  // Debounce to stability: any UI update resets the ct timer, so only
+  // screens that stay unchanged for `cutoff` get analyzed.
+  android::Looper* loop = looper();
+  if (loop == nullptr) return;
+  if (pendingAnalysis_ != 0) loop->cancel(pendingAnalysis_);
+  pendingAnalysis_ = loop->postDelayed(
+      [this] {
+        pendingAnalysis_ = 0;
+        analyzeNow();
+      },
+      config_.cutoff);
+}
+
+void DarpaService::analyzeNow() {
+  if (!connected()) return;
+  ++stats_.analysesRun;
+
+  // Remove our own decorations before the screenshot so the model never
+  // sees (and re-detects) DARPA's overlay.
+  clearDecorations();
+
+  // Screenshot into the vault.
+  vault_.store(takeScreenshot());
+  ++stats_.screenshotsTaken;
+  report(WorkKind::kScreenshot);
+
+  // CV detection, then rinse the screenshot immediately (§IV-E).
+  const gfx::Bitmap* shot = vault_.current();
+  std::vector<cv::Detection> detections =
+      shot != nullptr ? detector_->detect(*shot) : std::vector<cv::Detection>{};
+  vault_.rinse();
+  report(WorkKind::kDetection);
+
+  bool hasUpo = false;
+  bool hasAgo = false;
+  for (const cv::Detection& det : detections) {
+    if (det.label == dataset::BoxLabel::kUpo) hasUpo = true;
+    if (det.label == dataset::BoxLabel::kAgo) hasAgo = true;
+  }
+  const bool isAui = config_.requireUpoForAui ? hasUpo : (hasUpo || hasAgo);
+
+  lastDetections_ = detections;
+  lastWasAui_ = isAui;
+  if (analysisListener_) analysisListener_(isAui, detections);
+  if (!isAui) return;
+  ++stats_.auisFlagged;
+
+  const Point offset = measureWindowOffset();
+  if (config_.autoBypass) {
+    // Click the most confident UPO to dismiss the AUI on the user's behalf.
+    const cv::Detection* bestUpo = nullptr;
+    for (const cv::Detection& det : detections) {
+      if (det.label != dataset::BoxLabel::kUpo) continue;
+      if (bestUpo == nullptr || det.confidence > bestUpo->confidence) {
+        bestUpo = &det;
+      }
+    }
+    if (bestUpo != nullptr) {
+      const Millis now = looper() ? looper()->now() : Millis{0};
+      const bool repeat = iou(bestUpo->box, lastBypassBox_) > 0.8 &&
+                          now - lastBypassAt_ < config_.bypassCooldown;
+      if (!repeat && dispatchClick(bestUpo->box.center())) {
+        ++stats_.bypassClicks;
+        lastBypassBox_ = bestUpo->box;
+        lastBypassAt_ = now;
+      }
+    }
+    return;
+  }
+  if (config_.decorate) {
+    decorateDetections(detections, offset);
+  }
+}
+
+Point DarpaService::measureWindowOffset() {
+  // §IV-D: Android exposes no API for the app-window offset, so DARPA adds
+  // an invisible 1x1 anchor view at window coordinates (0, 0) and reads its
+  // location on screen.
+  android::WindowManager* wm = windowManager();
+  if (wm == nullptr) return {0, 0};
+  auto anchor = std::make_unique<android::View>();
+  anchor->setVisible(false);
+  const int anchorId = wm->addOverlay(std::move(anchor), {0, 0, 1, 1});
+  const auto location = wm->overlayLocationOnScreen(anchorId);
+  wm->removeOverlay(anchorId);
+  return location.value_or(Point{0, 0});
+}
+
+void DarpaService::decorateDetections(
+    const std::vector<cv::Detection>& detections, Point windowOffset) {
+  android::WindowManager* wm = windowManager();
+  if (wm == nullptr) return;
+  // Keep only the most confident detections of each class.
+  std::vector<cv::Detection> selected(detections.begin(), detections.end());
+  std::sort(selected.begin(), selected.end(),
+            [](const cv::Detection& a, const cv::Detection& b) {
+              return a.confidence > b.confidence;
+            });
+  int upoKept = 0;
+  int agoKept = 0;
+  std::vector<cv::Detection> toDraw;
+  for (const cv::Detection& det : selected) {
+    int& kept = det.label == dataset::BoxLabel::kUpo ? upoKept : agoKept;
+    if (kept >= config_.maxDecorationsPerClass) continue;
+    ++kept;
+    toDraw.push_back(det);
+  }
+  for (const cv::Detection& det : toDraw) {
+    const bool isUpo = det.label == dataset::BoxLabel::kUpo;
+    const Color color = isUpo ? config_.upoColor : config_.agoColor;
+    auto view = std::make_unique<DecorationView>(
+        color, config_.decorationThickness,
+        isUpo ? config_.upoStyle : config_.agoStyle);
+    // Grow the box so the border ring sits around the option, then convert
+    // screen -> window coordinates with the measured offset (Fig. 6).
+    const Rect target = det.box.inflated(config_.decorationThickness + 1);
+    android::LayoutParams lp;
+    lp.x = target.x - windowOffset.x;
+    lp.y = target.y - windowOffset.y;
+    lp.width = target.width;
+    lp.height = target.height;
+    lp.type = android::LayoutParams::Type::kAccessibilityOverlay;
+    decorationOverlayIds_.push_back(wm->addOverlay(std::move(view), lp));
+    ++stats_.decorationsDrawn;
+    report(WorkKind::kDecoration);
+  }
+}
+
+std::vector<Rect> DarpaService::decorationRects() const {
+  std::vector<Rect> rects;
+  const android::WindowManager* wm = windowManager();
+  if (wm == nullptr) return rects;
+  for (int id : decorationOverlayIds_) {
+    if (const auto bounds = wm->overlayBoundsOnScreen(id)) {
+      rects.push_back(*bounds);
+    }
+  }
+  return rects;
+}
+
+void DarpaService::clearDecorations() {
+  android::WindowManager* wm = windowManager();
+  if (wm == nullptr) {
+    decorationOverlayIds_.clear();
+    return;
+  }
+  for (int id : decorationOverlayIds_) wm->removeOverlay(id);
+  decorationOverlayIds_.clear();
+}
+
+void DarpaService::report(WorkKind kind) {
+  if (workListener_) workListener_(kind);
+}
+
+}  // namespace darpa::core

@@ -1,0 +1,150 @@
+// DarpaService — the paper's primary contribution, end to end.
+//
+// Implements the Fig.-5 life-cycle as an AccessibilityService:
+//
+//   1. Event registration: subscribes to all 23 accessibility event types
+//      with a 200 ms notification delay.
+//   2. Event delivery: every UI-update event resets a cut-off timer (ct);
+//      a screen only gets analyzed once it has been stable for ct — the
+//      debounce that makes run-time CV affordable (§IV-B, Table VIII).
+//   3. Screenshot: previous decorations are removed first (so DARPA never
+//      analyzes its own overlay), then AccessibilityService.takeScreenshot.
+//   4. AUI detection: the screenshot goes to the injected CV detector; the
+//      screenshot is rinsed immediately afterwards (§IV-E).
+//   5. AUI decoration: detected options are highlighted with DecorationViews
+//      added through WindowManager.addView, calibrating screen-to-window
+//      coordinates with the invisible anchor-view trick (§IV-D, Fig. 4);
+//      optionally the UPO is auto-clicked instead (the bypass mode).
+//
+// Every unit of work is reported to an optional WorkListener so the
+// simulated device's performance model can account for it (Table VII).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include <set>
+
+#include "android/accessibility.h"
+#include "core/decoration.h"
+#include "core/security.h"
+#include "cv/detector.h"
+
+namespace darpa::core {
+
+struct DarpaConfig {
+  /// Cut-off time: analyze a screen only after it stayed stable this long.
+  Millis cutoff{200};
+  /// Notification delay registered with the Accessibility framework.
+  Millis notificationDelay{200};
+  /// Highlight the detected options with decoration views.
+  bool decorate = true;
+  /// Automatically click the UPO to dismiss the AUI (§IV-D's alternative).
+  bool autoBypass = false;
+  /// Decoration colors: UPO gets the attention color (users want it),
+  /// AGO gets the warning color.
+  Color upoColor = Color::rgb(30, 200, 80);
+  Color agoColor = Color::rgb(230, 40, 40);
+  int decorationThickness = 3;
+  /// User-customizable decoration shape (§IV-D: "we also allow users to
+  /// customize the shape and color of the decoration view").
+  DecorationStyle upoStyle = DecorationStyle::kRect;
+  DecorationStyle agoStyle = DecorationStyle::kRect;
+  /// Selective monitoring (§VI-D): when non-empty, events from these
+  /// packages are ignored entirely — "selectively running DARPA on those
+  /// less-trusted apps" cuts the overhead on trusted ones.
+  std::set<std::string> trustedPackages;
+  /// Decorate at most this many options per class (most confident first);
+  /// the product behaviour is one highlighted escape option + one warning.
+  int maxDecorationsPerClass = 1;
+  /// A screen is flagged as an AUI when at least one UPO is detected (the
+  /// detector's context features keep benign close buttons below
+  /// threshold; see §IV-C footnote 4).
+  bool requireUpoForAui = true;
+  /// Auto-bypass cooldown: never re-click the same region within this
+  /// window. Without it the bypass click's own accessibility events
+  /// re-trigger analysis and, if the AUI survives the click, DARPA would
+  /// click forever.
+  Millis bypassCooldown{3000};
+};
+
+/// Work performed by DARPA, reported for performance accounting.
+enum class WorkKind { kEventHandling, kScreenshot, kDetection, kDecoration };
+
+struct DarpaStats {
+  std::int64_t eventsReceived = 0;
+  std::int64_t analysesRun = 0;
+  std::int64_t screenshotsTaken = 0;
+  std::int64_t auisFlagged = 0;
+  std::int64_t decorationsDrawn = 0;
+  std::int64_t bypassClicks = 0;
+};
+
+class DarpaService : public android::AccessibilityService {
+ public:
+  /// The detector is borrowed and must outlive the service.
+  DarpaService(const cv::Detector& detector, DarpaConfig config = {});
+  ~DarpaService() override;
+
+  void onServiceConnected() override;
+  void onAccessibilityEvent(const android::AccessibilityEvent& event) override;
+
+  /// Listener invoked for each unit of work (perf accounting).
+  void setWorkListener(std::function<void(WorkKind)> listener) {
+    workListener_ = std::move(listener);
+  }
+  /// Listener invoked after every analysis with the AUI verdict; used by the
+  /// coverage experiments.
+  void setAnalysisListener(
+      std::function<void(bool isAui, const std::vector<cv::Detection>&)>
+          listener) {
+    analysisListener_ = std::move(listener);
+  }
+
+  [[nodiscard]] const DarpaStats& stats() const { return stats_; }
+  [[nodiscard]] const DarpaConfig& darpaConfig() const { return config_; }
+  [[nodiscard]] const ScreenshotVault& vault() const { return vault_; }
+  [[nodiscard]] const PermissionManifest& permissions() const {
+    return permissions_;
+  }
+
+  /// Detections from the most recent analysis (screen coordinates).
+  [[nodiscard]] const std::vector<cv::Detection>& lastDetections() const {
+    return lastDetections_;
+  }
+  [[nodiscard]] bool lastWasAui() const { return lastWasAui_; }
+
+  /// Screen rects of the decoration overlays currently shown.
+  [[nodiscard]] std::vector<Rect> decorationRects() const;
+
+  /// Removes all decoration overlays (also done before every screenshot).
+  void clearDecorations();
+
+  /// Runs one analysis immediately (normally driven by the ct timer).
+  void analyzeNow();
+
+ private:
+  void report(WorkKind kind);
+  /// The §IV-D anchor-view trick: returns the current app window's offset
+  /// on screen.
+  [[nodiscard]] Point measureWindowOffset();
+  void decorateDetections(const std::vector<cv::Detection>& detections,
+                          Point windowOffset);
+
+  const cv::Detector* detector_;
+  DarpaConfig config_;
+  PermissionManifest permissions_;
+  ScreenshotVault vault_;
+  DarpaStats stats_;
+  std::function<void(WorkKind)> workListener_;
+  std::function<void(bool, const std::vector<cv::Detection>&)>
+      analysisListener_;
+  android::TaskId pendingAnalysis_ = 0;
+  Rect lastBypassBox_;
+  Millis lastBypassAt_{-1'000'000};
+  std::vector<int> decorationOverlayIds_;
+  std::vector<cv::Detection> lastDetections_;
+  bool lastWasAui_ = false;
+};
+
+}  // namespace darpa::core

@@ -1,0 +1,51 @@
+#include "core/decoration.h"
+
+#include <algorithm>
+
+namespace darpa::core {
+
+void DecorationView::paintContent(gfx::Canvas& canvas, const Rect& absRect,
+                                  double effAlpha) const {
+  const Color border = withEffAlpha(borderColor_, effAlpha);
+  const Color halo = withEffAlpha(borderColor_.withAlpha(90), effAlpha);
+  switch (style_) {
+    case DecorationStyle::kRect:
+      canvas.strokeRect(absRect, border, thickness_);
+      // Translucent halo just inside the border draws the eye without
+      // hiding the option itself.
+      canvas.strokeRect(absRect.inflated(-thickness_), halo, thickness_);
+      break;
+    case DecorationStyle::kRounded: {
+      const int radius = std::min(absRect.width, absRect.height) / 4;
+      canvas.strokeRoundedRect(absRect, border, radius, thickness_);
+      canvas.strokeRoundedRect(absRect.inflated(-thickness_), halo,
+                               std::max(radius - thickness_, 0), 1);
+      break;
+    }
+    case DecorationStyle::kCircle: {
+      const int radius =
+          std::max(std::min(absRect.width, absRect.height) / 2 - 1, 2);
+      canvas.strokeCircle(absRect.center(), radius, border, thickness_);
+      canvas.strokeCircle(absRect.center(), radius - thickness_, halo, 1);
+      break;
+    }
+    case DecorationStyle::kCorners: {
+      const int arm = std::max(std::min(absRect.width, absRect.height) / 3, 4);
+      const int t = thickness_;
+      // Top-left, top-right, bottom-left, bottom-right brackets.
+      canvas.fillRect({absRect.x, absRect.y, arm, t}, border);
+      canvas.fillRect({absRect.x, absRect.y, t, arm}, border);
+      canvas.fillRect({absRect.right() - arm, absRect.y, arm, t}, border);
+      canvas.fillRect({absRect.right() - t, absRect.y, t, arm}, border);
+      canvas.fillRect({absRect.x, absRect.bottom() - t, arm, t}, border);
+      canvas.fillRect({absRect.x, absRect.bottom() - arm, t, arm}, border);
+      canvas.fillRect({absRect.right() - arm, absRect.bottom() - t, arm, t},
+                      border);
+      canvas.fillRect({absRect.right() - t, absRect.bottom() - arm, t, arm},
+                      border);
+      break;
+    }
+  }
+}
+
+}  // namespace darpa::core

@@ -1,0 +1,19 @@
+#include "core/security.h"
+
+namespace darpa::core {
+
+void ScreenshotVault::store(gfx::Bitmap screenshot) {
+  if (held_) rinse();
+  held_ = std::move(screenshot);
+  ++stored_;
+  peakHeld_ = peakHeld_ < 1 ? 1 : peakHeld_;
+}
+
+void ScreenshotVault::rinse() {
+  if (!held_) return;
+  held_->fill(colors::kBlack);  // scrub before release
+  held_.reset();
+  ++rinsed_;
+}
+
+}  // namespace darpa::core

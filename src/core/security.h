@@ -1,0 +1,60 @@
+// Screenshot custody — the §IV-E security design.
+//
+// DARPA handles privacy-sensitive screenshots, so the paper stores them only
+// in app-internal storage and "rinses them immediately after running the
+// CV-model". ScreenshotVault enforces that discipline by construction: at
+// most one screenshot is ever held, it lives in internal storage only, and
+// rinse() scrubs the pixel buffer before releasing it. Stats let tests (and
+// the security unit tests) assert the invariant held for a whole session.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "gfx/bitmap.h"
+
+namespace darpa::core {
+
+class ScreenshotVault {
+ public:
+  /// Takes custody of a screenshot. Enforces the single-screenshot
+  /// invariant: any previous screenshot is rinsed first.
+  void store(gfx::Bitmap screenshot);
+
+  /// Read access while held (empty view after rinse).
+  [[nodiscard]] const gfx::Bitmap* current() const {
+    return held_ ? &*held_ : nullptr;
+  }
+  [[nodiscard]] bool holding() const { return held_.has_value(); }
+
+  /// Scrubs the pixel buffer (overwrites with black) and releases it.
+  void rinse();
+
+  // --- audit counters -------------------------------------------------------
+  [[nodiscard]] std::int64_t stored() const { return stored_; }
+  [[nodiscard]] std::int64_t rinsed() const { return rinsed_; }
+  /// Max screenshots alive at once — must always be 1.
+  [[nodiscard]] int peakHeld() const { return peakHeld_; }
+
+ private:
+  std::optional<gfx::Bitmap> held_;
+  std::int64_t stored_ = 0;
+  std::int64_t rinsed_ = 0;
+  int peakHeld_ = 0;
+};
+
+/// The permission manifest of the DARPA app (§IV-E): it must not request
+/// any capability that could exfiltrate screenshots. Kept as a value type
+/// so tests can assert the shipped configuration is minimal.
+struct PermissionManifest {
+  bool internet = false;        ///< Never: no network exfiltration path.
+  bool externalStorage = false; ///< Never: screenshots stay internal.
+  bool accessibility = true;    ///< The one capability DARPA needs.
+  bool selfUpdate = false;      ///< Updates only via store review + OTA.
+
+  [[nodiscard]] bool minimal() const {
+    return !internet && !externalStorage && accessibility && !selfUpdate;
+  }
+};
+
+}  // namespace darpa::core

@@ -1,0 +1,88 @@
+#include "cv/adversarial.h"
+
+#include <algorithm>
+
+#include "gfx/canvas.h"
+
+namespace darpa::cv {
+
+namespace {
+
+/// True when the detector still reports a UPO overlapping the target.
+bool upoStillDetected(const Detector& detector, const gfx::Bitmap& image,
+                      const Rect& target, double successIou) {
+  for (const Detection& det : detector.detect(image)) {
+    if (det.label == dataset::BoxLabel::kUpo &&
+        iou(det.box, target) >= successIou) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Paints one randomized decoy patch: either high-frequency noise (attacks
+/// the edge/contrast channels) or a flat plate colored like the local
+/// background (attacks the flood-fill refinement's leak detector).
+void paintPatch(gfx::Bitmap& image, const Rect& rect, Rng& rng) {
+  gfx::Canvas canvas(image);
+  if (rng.chance(0.5)) {
+    for (int y = rect.top(); y < rect.bottom(); ++y) {
+      for (int x = rect.left(); x < rect.right(); ++x) {
+        image.blendPixel(
+            x, y,
+            Color::rgb(static_cast<std::uint8_t>(rng.uniformInt(0, 255)),
+                       static_cast<std::uint8_t>(rng.uniformInt(0, 255)),
+                       static_cast<std::uint8_t>(rng.uniformInt(0, 255))));
+      }
+    }
+  } else {
+    const Color base = image.meanColor(rect.inflated(rect.width));
+    canvas.fillRoundedRect(
+        rect, lerp(base, rng.chance(0.5) ? colors::kWhite : colors::kBlack,
+                   rng.uniform(0.2, 0.6)),
+        rect.width / 4);
+  }
+}
+
+}  // namespace
+
+PatchAttackResult attackUpo(const Detector& detector,
+                            const gfx::Bitmap& screenshot, const Rect& upoBox,
+                            const PatchAttackConfig& config) {
+  PatchAttackResult result;
+  result.patched = screenshot;
+  Rng rng(config.seed);
+
+  if (!upoStillDetected(detector, screenshot, upoBox, config.successIou)) {
+    // Nothing to evade: the detector already misses this UPO.
+    result.evaded = true;
+    return result;
+  }
+
+  for (int trial = 0; trial < config.trials; ++trial) {
+    ++result.trialsUsed;
+    // Place the patch adjacent to the target: one of 8 neighbor offsets,
+    // jittered, clipped to the screen, never covering the UPO itself.
+    const int s = config.patchSize;
+    const int dx = rng.uniformInt(-1, 1);
+    const int dy = rng.uniformInt(-1, 1);
+    if (dx == 0 && dy == 0) continue;
+    Rect patch{upoBox.x + dx * (upoBox.width + rng.uniformInt(1, 5)),
+               upoBox.y + dy * (upoBox.height + rng.uniformInt(1, 5)), s, s};
+    patch.x = std::clamp(patch.x, 0, screenshot.width() - s);
+    patch.y = std::clamp(patch.y, 0, screenshot.height() - s);
+    if (!patch.intersect(upoBox).empty()) continue;
+
+    gfx::Bitmap candidate = screenshot;
+    paintPatch(candidate, patch, rng);
+    if (!upoStillDetected(detector, candidate, upoBox, config.successIou)) {
+      result.evaded = true;
+      result.patchRect = patch;
+      result.patched = std::move(candidate);
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace darpa::cv

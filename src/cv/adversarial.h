@@ -1,0 +1,45 @@
+// Adversarial patch attack against the AUI detector — the §VII limitation,
+// made concrete.
+//
+// The paper concedes that "determined attackers can freely test the adopted
+// CV-model to develop targeted attacks, such as adversarial patch attacks"
+// and that DARPA currently cannot defend against them. This module
+// implements that attacker: a black-box random-search patch optimizer that
+// pastes a small decoy patch near the user-preferred option and keeps the
+// candidate that most suppresses the detector's UPO output. The bench built
+// on top measures evasion rates, quantifying the limitation instead of
+// merely stating it.
+#pragma once
+
+#include <optional>
+
+#include "cv/detector.h"
+#include "util/rng.h"
+
+namespace darpa::cv {
+
+struct PatchAttackConfig {
+  int patchSize = 22;     ///< Square decoy patch side (px).
+  int trials = 48;        ///< Random-search budget.
+  double successIou = 0.5;  ///< UPO suppressed if no detection overlaps the
+                            ///< target above this IoU.
+  std::uint64_t seed = 1337;
+};
+
+struct PatchAttackResult {
+  bool evaded = false;   ///< Detector no longer finds the target UPO.
+  Rect patchRect;        ///< Where the winning patch was pasted.
+  int trialsUsed = 0;
+  gfx::Bitmap patched;   ///< The attacked screenshot (winning candidate).
+};
+
+/// Runs the black-box patch search against `detector` on `screenshot`,
+/// trying to suppress the UPO at `upoBox`. Patches are placed adjacent to
+/// (never on top of) the target, so the option stays usable — the attack
+/// defeats the *detector*, not the user.
+[[nodiscard]] PatchAttackResult attackUpo(const Detector& detector,
+                                          const gfx::Bitmap& screenshot,
+                                          const Rect& upoBox,
+                                          const PatchAttackConfig& config = {});
+
+}  // namespace darpa::cv

@@ -1,0 +1,68 @@
+#include "cv/detection.h"
+
+#include <algorithm>
+
+namespace darpa::cv {
+
+std::vector<Detection> nonMaxSuppression(std::vector<Detection> detections,
+                                         double iouThreshold) {
+  std::sort(detections.begin(), detections.end(),
+            [](const Detection& a, const Detection& b) {
+              return a.confidence > b.confidence;
+            });
+  std::vector<Detection> kept;
+  for (const Detection& candidate : detections) {
+    const bool suppressed = std::any_of(
+        kept.begin(), kept.end(), [&](const Detection& k) {
+          return k.label == candidate.label &&
+                 iou(k.box, candidate.box) > iouThreshold;
+        });
+    if (!suppressed) kept.push_back(candidate);
+  }
+  return kept;
+}
+
+EvalCounts evaluateImage(std::span<const Detection> detections,
+                         std::span<const dataset::Annotation> groundTruth,
+                         double iouThreshold,
+                         std::optional<dataset::BoxLabel> labelFilter) {
+  std::vector<const Detection*> dets;
+  for (const Detection& d : detections) {
+    if (!labelFilter || d.label == *labelFilter) dets.push_back(&d);
+  }
+  std::sort(dets.begin(), dets.end(), [](const Detection* a, const Detection* b) {
+    return a->confidence > b->confidence;
+  });
+
+  std::vector<const dataset::Annotation*> gts;
+  for (const dataset::Annotation& a : groundTruth) {
+    if (!labelFilter || a.label == *labelFilter) gts.push_back(&a);
+  }
+  std::vector<bool> matched(gts.size(), false);
+
+  EvalCounts counts;
+  for (const Detection* d : dets) {
+    double bestIou = 0.0;
+    std::size_t bestIdx = gts.size();
+    for (std::size_t g = 0; g < gts.size(); ++g) {
+      if (matched[g] || gts[g]->label != d->label) continue;
+      const double overlap = iou(d->box, gts[g]->box);
+      if (overlap > bestIou) {
+        bestIou = overlap;
+        bestIdx = g;
+      }
+    }
+    if (bestIdx < gts.size() && bestIou >= iouThreshold) {
+      matched[bestIdx] = true;
+      ++counts.tp;
+    } else {
+      ++counts.fp;
+    }
+  }
+  for (bool m : matched) {
+    if (!m) ++counts.fn;
+  }
+  return counts;
+}
+
+}  // namespace darpa::cv

@@ -1,0 +1,62 @@
+// Detection output types, non-maximum suppression, and the IoU-matched
+// precision/recall/F1 evaluator used by every accuracy experiment.
+//
+// The paper scores detections at an unusually strict IoU threshold of 0.9
+// (§VI-B) because the end-to-end system must place decoration views exactly
+// over the options; the evaluator here defaults to the same threshold.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dataset/dataset.h"
+#include "util/geometry.h"
+
+namespace darpa::cv {
+
+struct Detection {
+  Rect box;
+  dataset::BoxLabel label = dataset::BoxLabel::kUpo;
+  float confidence = 0.0f;
+};
+
+/// Greedy per-class non-maximum suppression; detections sorted by descending
+/// confidence, suppressing same-class boxes with IoU > `iouThreshold`.
+[[nodiscard]] std::vector<Detection> nonMaxSuppression(
+    std::vector<Detection> detections, double iouThreshold = 0.5);
+
+/// Counts from greedy confidence-ordered matching of detections to ground
+/// truth (same label, IoU >= threshold, each GT matched at most once).
+struct EvalCounts {
+  int tp = 0;
+  int fp = 0;
+  int fn = 0;
+
+  [[nodiscard]] double precision() const {
+    return tp + fp == 0 ? 0.0 : static_cast<double>(tp) / (tp + fp);
+  }
+  [[nodiscard]] double recall() const {
+    return tp + fn == 0 ? 0.0 : static_cast<double>(tp) / (tp + fn);
+  }
+  [[nodiscard]] double f1() const {
+    const int denom = 2 * tp + fp + fn;
+    return denom == 0 ? 0.0 : 2.0 * tp / denom;
+  }
+
+  EvalCounts& operator+=(const EvalCounts& o) {
+    tp += o.tp;
+    fp += o.fp;
+    fn += o.fn;
+    return *this;
+  }
+};
+
+/// Evaluates detections of one image against its annotations. When
+/// `labelFilter` is set, only that class's detections/annotations count.
+[[nodiscard]] EvalCounts evaluateImage(
+    std::span<const Detection> detections,
+    std::span<const dataset::Annotation> groundTruth, double iouThreshold = 0.9,
+    std::optional<dataset::BoxLabel> labelFilter = std::nullopt);
+
+}  // namespace darpa::cv

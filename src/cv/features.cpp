@@ -1,0 +1,218 @@
+#include "cv/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace darpa::cv {
+
+int ChannelSet::count() const {
+  int n = 0;
+  for (int i = 0; i < kChannelCount; ++i) n += (mask >> i) & 1;
+  return n;
+}
+
+FeatureMap::FeatureMap(const gfx::Bitmap& screenshot, ChannelSet channels,
+                       int scale)
+    : scale_(std::max(scale, 1)),
+      fullSize_(screenshot.size()),
+      channels_(channels) {
+  const gfx::Bitmap small = screenshot.downscale(
+      std::max(screenshot.width() / scale_, 1),
+      std::max(screenshot.height() / scale_, 1));
+  width_ = small.width();
+  height_ = small.height();
+
+  // Raw planes in [0, 1].
+  std::array<std::vector<float>, kChannelCount> planes;
+  const std::size_t n = static_cast<std::size_t>(width_) * height_;
+  for (auto& plane : planes) plane.assign(n, 0.0f);
+
+  // Global mean color for the saliency channel.
+  const Color meanColor = small.meanColor(small.bounds());
+
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      const std::size_t i = static_cast<std::size_t>(y) * width_ + x;
+      const Color c = small.at(x, y);
+      planes[0][i] = static_cast<float>(luma(c) / 255.0);
+      const int mx = std::max({c.r, c.g, c.b});
+      const int mn = std::min({c.r, c.g, c.b});
+      planes[3][i] = static_cast<float>(mx - mn) / 255.0f;
+      const float dr = static_cast<float>(c.r - meanColor.r);
+      const float dg = static_cast<float>(c.g - meanColor.g);
+      const float db = static_cast<float>(c.b - meanColor.b);
+      planes[4][i] = std::sqrt(dr * dr + dg * dg + db * db) / 442.0f;
+    }
+  }
+
+  // Edge: Sobel magnitude over the luma plane.
+  auto lumaAt = [&](int x, int y) {
+    x = std::clamp(x, 0, width_ - 1);
+    y = std::clamp(y, 0, height_ - 1);
+    return planes[0][static_cast<std::size_t>(y) * width_ + x];
+  };
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      const float gx = (lumaAt(x + 1, y - 1) + 2 * lumaAt(x + 1, y) +
+                        lumaAt(x + 1, y + 1)) -
+                       (lumaAt(x - 1, y - 1) + 2 * lumaAt(x - 1, y) +
+                        lumaAt(x - 1, y + 1));
+      const float gy = (lumaAt(x - 1, y + 1) + 2 * lumaAt(x, y + 1) +
+                        lumaAt(x + 1, y + 1)) -
+                       (lumaAt(x - 1, y - 1) + 2 * lumaAt(x, y - 1) +
+                        lumaAt(x + 1, y - 1));
+      planes[1][static_cast<std::size_t>(y) * width_ + x] =
+          std::min(std::sqrt(gx * gx + gy * gy) / 4.0f, 1.0f);
+    }
+  }
+
+  // Local contrast: |luma - 5x5 box mean|.
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      float sum = 0.0f;
+      for (int dy = -2; dy <= 2; ++dy) {
+        for (int dx = -2; dx <= 2; ++dx) sum += lumaAt(x + dx, y + dy);
+      }
+      planes[2][static_cast<std::size_t>(y) * width_ + x] =
+          std::fabs(lumaAt(x, y) - sum / 25.0f);
+    }
+  }
+
+  // Zero out disabled channels, then build integral images.
+  for (int c = 0; c < kChannelCount; ++c) {
+    if (!channels_.enabled(static_cast<Channel>(c))) {
+      std::fill(planes[static_cast<std::size_t>(c)].begin(),
+                planes[static_cast<std::size_t>(c)].end(), 0.0f);
+    }
+    auto& integral = integrals_[static_cast<std::size_t>(c)];
+    integral.assign(static_cast<std::size_t>(width_ + 1) * (height_ + 1), 0.0);
+    for (int y = 0; y < height_; ++y) {
+      double rowSum = 0.0;
+      for (int x = 0; x < width_; ++x) {
+        rowSum += planes[static_cast<std::size_t>(c)]
+                        [static_cast<std::size_t>(y) * width_ + x];
+        integral[static_cast<std::size_t>(y + 1) * (width_ + 1) + (x + 1)] =
+            integral[static_cast<std::size_t>(y) * (width_ + 1) + (x + 1)] +
+            rowSum;
+      }
+    }
+  }
+}
+
+Rect FeatureMap::toCells(const Rect& fullResRect) const {
+  const int x0 = std::clamp(fullResRect.x / scale_, 0, width_);
+  const int y0 = std::clamp(fullResRect.y / scale_, 0, height_);
+  const int x1 = std::clamp((fullResRect.right() + scale_ - 1) / scale_, 0, width_);
+  const int y1 =
+      std::clamp((fullResRect.bottom() + scale_ - 1) / scale_, 0, height_);
+  return {x0, y0, std::max(x1 - x0, 0), std::max(y1 - y0, 0)};
+}
+
+double FeatureMap::integralSum(int channel, const Rect& cells) const {
+  if (cells.empty()) return 0.0;
+  const auto& integral = integrals_[static_cast<std::size_t>(channel)];
+  const int stride = width_ + 1;
+  const double a =
+      integral[static_cast<std::size_t>(cells.y) * stride + cells.x];
+  const double b =
+      integral[static_cast<std::size_t>(cells.y) * stride + cells.right()];
+  const double c =
+      integral[static_cast<std::size_t>(cells.bottom()) * stride + cells.x];
+  const double d = integral[static_cast<std::size_t>(cells.bottom()) * stride +
+                            cells.right()];
+  return d - b - c + a;
+}
+
+float FeatureMap::boxMean(Channel c, const Rect& fullResRect) const {
+  const Rect cells = toCells(fullResRect);
+  if (cells.empty()) return 0.0f;
+  return static_cast<float>(integralSum(static_cast<int>(c), cells) /
+                            static_cast<double>(cells.area()));
+}
+
+float FeatureMap::ringContrast(Channel c, const Rect& fullResRect) const {
+  const int margin =
+      std::max(std::min(fullResRect.width, fullResRect.height) / 2, 2) + 2;
+  const Rect outer = fullResRect.inflated(margin);
+  const Rect innerCells = toCells(fullResRect);
+  const Rect outerCells = toCells(outer);
+  if (innerCells.empty() || outerCells.empty()) return 0.0f;
+  const double innerSum = integralSum(static_cast<int>(c), innerCells);
+  const double outerSum = integralSum(static_cast<int>(c), outerCells);
+  const double ringArea =
+      static_cast<double>(outerCells.area()) - innerCells.area();
+  if (ringArea <= 0.0) return 0.0f;
+  const double innerMean = innerSum / static_cast<double>(innerCells.area());
+  const double ringMean = (outerSum - innerSum) / ringArea;
+  return static_cast<float>(innerMean - ringMean);
+}
+
+float FeatureMap::globalMean(Channel c) const {
+  const Rect all{0, 0, width_ * scale_, height_ * scale_};
+  return boxMean(c, all);
+}
+
+float FeatureMap::centerSurroundLuma() const {
+  const int w = width_ * scale_;
+  const int h = height_ * scale_;
+  const Rect center{w / 4, h / 4, w / 2, h / 2};
+  const float centerMean = boxMean(Channel::kLuma, center);
+  const float globalMeanL = globalMean(Channel::kLuma);
+  // global = (center*A_c + surround*A_s) / A; recover the surround mean.
+  const double areaC = 0.25, areaS = 0.75;
+  const double surround = (globalMeanL - centerMean * areaC) / areaS;
+  return static_cast<float>(centerMean - surround);
+}
+
+std::vector<float> candidateFeatures(const FeatureMap& map, const Rect& box) {
+  std::vector<float> f;
+  f.reserve(kCandidateFeatureDim);
+  for (int c = 0; c < kChannelCount; ++c) {
+    f.push_back(map.boxMean(static_cast<Channel>(c), box));
+    f.push_back(map.ringContrast(static_cast<Channel>(c), box));
+  }
+  const float W = static_cast<float>(map.fullSize().width);
+  const float H = static_cast<float>(map.fullSize().height);
+  const float w = static_cast<float>(box.width);
+  const float h = static_cast<float>(box.height);
+  const float cx = static_cast<float>(box.x) + w / 2;
+  const float cy = static_cast<float>(box.y) + h / 2;
+  f.push_back(w / W);
+  f.push_back(h / H);
+  f.push_back((w * h) / (W * H));
+  f.push_back(std::clamp(std::log(w / std::max(h, 1.0f)), -2.0f, 2.0f));
+  f.push_back(cx / W);
+  f.push_back(cy / H);
+  // Distance to the nearest screen corner, normalized by the half-diagonal.
+  const float dCorner = std::min(
+      {std::hypot(cx, cy), std::hypot(W - cx, cy), std::hypot(cx, H - cy),
+       std::hypot(W - cx, H - cy)});
+  const float halfDiag = std::hypot(W, H) / 2.0f;
+  f.push_back(dCorner / halfDiag);
+  // Distance to the screen center.
+  f.push_back(std::hypot(cx - W / 2, cy - H / 2) / halfDiag);
+  // Global context: overall darkness (scrim cue), edge business, and the
+  // center-vs-surround luma difference (modal panel cue).
+  f.push_back(map.globalMean(Channel::kLuma));
+  f.push_back(map.globalMean(Channel::kEdge));
+  f.push_back(map.centerSurroundLuma());
+  // Border edge density: edges concentrated on the candidate's perimeter.
+  const Rect border = box.inflated(2);
+  f.push_back(map.boxMean(Channel::kEdge, border) -
+              map.boxMean(Channel::kEdge, box.inflated(-std::max(
+                                              2, std::min(box.width, box.height) / 4))));
+  // Edge continuation: an isolated option has quiet neighbors on both sides
+  // of each axis, while a panel border continues across them. min() over the
+  // opposite pair is high only when the structure runs through.
+  const Rect leftN = box.translated(-box.width, 0);
+  const Rect rightN = box.translated(box.width, 0);
+  const Rect upN = box.translated(0, -box.height);
+  const Rect downN = box.translated(0, box.height);
+  f.push_back(std::min(map.boxMean(Channel::kContrast, leftN),
+                       map.boxMean(Channel::kContrast, rightN)));
+  f.push_back(std::min(map.boxMean(Channel::kContrast, upN),
+                       map.boxMean(Channel::kContrast, downN)));
+  return f;
+}
+
+}  // namespace darpa::cv

@@ -1,0 +1,397 @@
+#include "cv/one_stage.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+
+#include "nn/losses.h"
+#include "util/log.h"
+
+namespace darpa::cv {
+
+namespace {
+
+/// Shape-only IoU (YOLO anchor matching): boxes concentric, compare sizes.
+double shapeIou(const Anchor& anchor, const Rect& gt) {
+  const double interW = std::min(anchor.width, gt.width);
+  const double interH = std::min(anchor.height, gt.height);
+  const double inter = interW * interH;
+  const double uni = static_cast<double>(anchor.width) * anchor.height +
+                     static_cast<double>(gt.width) * gt.height - inter;
+  return uni <= 0.0 ? 0.0 : inter / uni;
+}
+
+/// A grid candidate: anchor index + grid center position.
+struct GridPos {
+  int anchorIdx = 0;
+  int cx = 0;
+  int cy = 0;
+
+  [[nodiscard]] Rect box(const std::vector<Anchor>& anchors) const {
+    const Anchor& a = anchors[static_cast<std::size_t>(anchorIdx)];
+    return {cx - a.width / 2, cy - a.height / 2, a.width, a.height};
+  }
+};
+
+/// Enumerates all grid positions for an image size.
+std::vector<GridPos> enumerateGrid(const OneStageConfig& config, Size size) {
+  std::vector<GridPos> grid;
+  for (std::size_t a = 0; a < config.anchors.size(); ++a) {
+    const int stride = config.anchors[a].stride();
+    for (int cy = stride / 2; cy < size.height; cy += stride) {
+      for (int cx = stride / 2; cx < size.width; cx += stride) {
+        grid.push_back(GridPos{static_cast<int>(a), cx, cy});
+      }
+    }
+  }
+  return grid;
+}
+
+/// A selected training example: cached descriptor + targets.
+struct TrainExample {
+  std::vector<float> features;
+  int classTarget = -1;  ///< -1 negative, 0 AGO, 1 UPO.
+  float dx = 0, dy = 0, dw = 0, dh = 0;
+};
+
+/// Matching result for one grid position.
+struct MatchInfo {
+  int classTarget = -1;
+  bool ignore = false;
+  float dx = 0, dy = 0, dw = 0, dh = 0;
+};
+
+MatchInfo matchCandidate(const OneStageConfig& config, const GridPos& pos,
+                         std::span<const dataset::Annotation> annotations) {
+  MatchInfo info;
+  const Anchor& anchor = config.anchors[static_cast<std::size_t>(pos.anchorIdx)];
+  const int stride = anchor.stride();
+  const Rect box = pos.box(config.anchors);
+  double bestPosIou = 0.0;
+  for (const dataset::Annotation& gt : annotations) {
+    bestPosIou = std::max(bestPosIou, iou(box, gt.box));
+    const Point center = gt.box.center();
+    // This grid position owns the GT if it is the nearest position of this
+    // anchor's grid to the GT center.
+    const bool owns = std::abs(center.x - pos.cx) <= stride / 2 &&
+                      std::abs(center.y - pos.cy) <= stride / 2;
+    if (!owns) continue;
+    double bestShape = 0.0;
+    std::size_t bestAnchor = 0;
+    for (std::size_t b = 0; b < config.anchors.size(); ++b) {
+      const double s = shapeIou(config.anchors[b], gt.box);
+      if (s > bestShape) {
+        bestShape = s;
+        bestAnchor = b;
+      }
+    }
+    const double myShape = shapeIou(anchor, gt.box);
+    if (bestAnchor == static_cast<std::size_t>(pos.anchorIdx) ||
+        myShape >= config.extraPositiveShapeIou) {
+      info.classTarget = gt.label == dataset::BoxLabel::kAgo ? 0 : 1;
+      info.dx = static_cast<float>(center.x - pos.cx) / stride;
+      info.dy = static_cast<float>(center.y - pos.cy) / stride;
+      info.dw = std::log(static_cast<float>(gt.box.width) /
+                         static_cast<float>(anchor.width));
+      info.dh = std::log(static_cast<float>(gt.box.height) /
+                         static_cast<float>(anchor.height));
+    }
+  }
+  if (info.classTarget < 0 && bestPosIou >= config.negativeIou) {
+    info.ignore = true;
+  }
+  return info;
+}
+
+}  // namespace
+
+std::vector<Rect> OneStageDetector::candidateBoxes(Size size) const {
+  std::vector<Rect> boxes;
+  for (const GridPos& pos : enumerateGrid(config_, size)) {
+    boxes.push_back(pos.box(config_.anchors));
+  }
+  return boxes;
+}
+
+OneStageDetector OneStageDetector::train(const dataset::AuiDataset& data,
+                                         const OneStageConfig& config,
+                                         const TrainConfig& trainConfig) {
+  OneStageDetector detector(config);
+  Rng rng(trainConfig.seed);
+
+  // The training corpus: AUI split + benign negative-only images, described
+  // by a closure that can re-render any of them on demand (screenshots are
+  // NOT kept in memory; mining rounds re-render).
+  struct ImageRef {
+    bool benign = false;
+    std::size_t datasetIdx = 0;
+    std::uint64_t benignSeed = 0;
+    bool benignHard = false;
+  };
+  std::vector<ImageRef> refs;
+  for (std::size_t idx : data.trainIndices()) {
+    refs.push_back(ImageRef{false, idx, 0, false});
+  }
+  for (int i = 0; i < trainConfig.benignImages; ++i) {
+    refs.push_back(ImageRef{true, 0, rng.next(), i % 3 == 0});
+  }
+  auto render = [&](const ImageRef& ref) {
+    return ref.benign
+               ? dataset::materializeBenign(ref.benignSeed,
+                                            data.config().screenSize,
+                                            ref.benignHard)
+               : data.materialize(ref.datasetIdx, trainConfig.maskText);
+  };
+
+  // Head.
+  std::vector<int> layerSizes;
+  layerSizes.push_back(kCandidateFeatureDim);
+  for (int h : config.hiddenLayers) layerSizes.push_back(h);
+  layerSizes.push_back(6);
+  detector.head_ = std::make_unique<nn::Mlp>(layerSizes, rng);
+
+  // Per-image selected example caches, refreshed at mining rounds.
+  std::vector<std::vector<TrainExample>> selections(refs.size());
+
+  auto mineImage = [&](std::size_t r) {
+    const dataset::Sample sample = render(refs[r]);
+    const FeatureMap map(sample.image, config.channels, config.featureScale);
+    const std::vector<GridPos> grid =
+        enumerateGrid(config, sample.image.size());
+
+    std::vector<TrainExample> selected;
+    struct ScoredNegative {
+      float score;
+      const GridPos* pos;
+    };
+    std::vector<ScoredNegative> negatives;
+    for (const GridPos& pos : grid) {
+      const MatchInfo info = matchCandidate(config, pos, sample.annotations);
+      if (info.classTarget >= 0) {
+        TrainExample ex;
+        ex.features = candidateFeatures(map, pos.box(config.anchors));
+        ex.classTarget = info.classTarget;
+        ex.dx = info.dx;
+        ex.dy = info.dy;
+        ex.dw = info.dw;
+        ex.dh = info.dh;
+        selected.push_back(std::move(ex));
+      } else if (!info.ignore) {
+        const std::vector<float> features =
+            candidateFeatures(map, pos.box(config.anchors));
+        const std::vector<float> out = detector.head_->forward(features);
+        negatives.push_back(ScoredNegative{std::max(out[0], out[1]), &pos});
+      }
+    }
+    std::sort(negatives.begin(), negatives.end(),
+              [](const ScoredNegative& a, const ScoredNegative& b) {
+                return a.score > b.score;
+              });
+    const std::size_t hardCount = std::min<std::size_t>(
+        negatives.size(),
+        static_cast<std::size_t>(trainConfig.hardNegativesPerImage));
+    for (std::size_t i = 0; i < hardCount; ++i) {
+      TrainExample ex;
+      ex.features =
+          candidateFeatures(map, negatives[i].pos->box(config.anchors));
+      selected.push_back(std::move(ex));
+    }
+    for (int i = 0;
+         i < trainConfig.randomNegativesPerImage && !negatives.empty(); ++i) {
+      const std::size_t pick = rng.next() % negatives.size();
+      TrainExample ex;
+      ex.features =
+          candidateFeatures(map, negatives[pick].pos->box(config.anchors));
+      selected.push_back(std::move(ex));
+    }
+    selections[r] = std::move(selected);
+  };
+
+  std::vector<std::size_t> order(refs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  nn::AdamConfig adam;
+  adam.learningRate = trainConfig.learningRate;
+  const int miningEvery = std::max(trainConfig.miningEvery, 1);
+  for (int epoch = 0; epoch < trainConfig.epochs; ++epoch) {
+    if (trainConfig.lrDecayEvery > 0 && epoch > 0 &&
+        epoch % trainConfig.lrDecayEvery == 0) {
+      adam.learningRate *= 0.5f;
+    }
+    if (epoch % miningEvery == 0) {
+      for (std::size_t r = 0; r < refs.size(); ++r) mineImage(r);
+    }
+    rng.shuffle(order);
+    double epochLoss = 0.0;
+    for (std::size_t r : order) {
+      const std::vector<TrainExample>& selected = selections[r];
+      if (selected.empty()) continue;
+      int count = 0;
+      for (const TrainExample& ex : selected) {
+        const int repeat =
+            ex.classTarget >= 0 ? std::max(trainConfig.positiveRepeat, 1) : 1;
+        for (int rep = 0; rep < repeat; ++rep) {
+          nn::Mlp::Cache cache;
+          const std::vector<float> out =
+              detector.head_->forwardCached(ex.features, cache);
+          std::vector<float> dOut(6, 0.0f);
+          const float agoTarget = ex.classTarget == 0 ? 1.0f : 0.0f;
+          const float upoTarget = ex.classTarget == 1 ? 1.0f : 0.0f;
+          dOut[0] = nn::bceWithLogitsGrad(out[0], agoTarget);
+          dOut[1] = nn::bceWithLogitsGrad(out[1], upoTarget);
+          epochLoss += nn::bceWithLogits(out[0], agoTarget) +
+                       nn::bceWithLogits(out[1], upoTarget);
+          if (ex.classTarget >= 0) {
+            const float w = trainConfig.boxLossWeight;
+            dOut[2] = w * nn::smoothL1Grad(out[2], ex.dx);
+            dOut[3] = w * nn::smoothL1Grad(out[3], ex.dy);
+            dOut[4] = w * nn::smoothL1Grad(out[4], ex.dw);
+            dOut[5] = w * nn::smoothL1Grad(out[5], ex.dh);
+            epochLoss +=
+                w * (nn::smoothL1(out[2], ex.dx) + nn::smoothL1(out[3], ex.dy) +
+                     nn::smoothL1(out[4], ex.dw) + nn::smoothL1(out[5], ex.dh));
+          }
+          detector.head_->accumulateGradient(cache, dOut);
+          ++count;
+        }
+      }
+      detector.head_->applyAdam(adam, count);
+    }
+    logDebug("one-stage epoch ", epoch, " loss ", epochLoss);
+  }
+  return detector;
+}
+
+std::vector<float> OneStageDetector::runHead(
+    std::span<const float> features) const {
+  if (useQuantized_ && quantizedHead_) return quantizedHead_->forward(features);
+  return head_->forward(features);
+}
+
+std::vector<Detection> OneStageDetector::detect(
+    const gfx::Bitmap& screenshot) const {
+  const FeatureMap map(screenshot, config_.channels, config_.featureScale);
+  std::vector<Detection> raw;
+  for (const GridPos& pos : enumerateGrid(config_, screenshot.size())) {
+    const Anchor& anchor =
+        config_.anchors[static_cast<std::size_t>(pos.anchorIdx)];
+    const Rect box = pos.box(config_.anchors);
+    const std::vector<float> features = candidateFeatures(map, box);
+    const std::vector<float> out = runHead(features);
+    const float confAgo = nn::sigmoid(out[0]);
+    const float confUpo = nn::sigmoid(out[1]);
+    const bool agoFires = confAgo >= config_.confidenceThresholdAgo;
+    const bool upoFires = confUpo >= config_.confidenceThresholdUpo;
+    if (!agoFires && !upoFires) continue;
+    const float best = std::max(agoFires ? confAgo : 0.0f,
+                                upoFires ? confUpo : 0.0f);
+    const int stride = anchor.stride();
+    const float dx = std::clamp(out[2], -2.0f, 2.0f);
+    const float dy = std::clamp(out[3], -2.0f, 2.0f);
+    const float dw = std::clamp(out[4], -2.0f, 2.0f);
+    const float dh = std::clamp(out[5], -2.0f, 2.0f);
+    const float w = static_cast<float>(anchor.width) * std::exp(dw);
+    const float h = static_cast<float>(anchor.height) * std::exp(dh);
+    const float bx = static_cast<float>(pos.cx) + dx * stride - w / 2;
+    const float by = static_cast<float>(pos.cy) + dy * stride - h / 2;
+    Detection det;
+    det.box = RectF{bx, by, w, h}.toRect();
+    det.label = (agoFires && (!upoFires || confAgo >= confUpo))
+                    ? dataset::BoxLabel::kAgo
+                    : dataset::BoxLabel::kUpo;
+    det.confidence = best;
+    raw.push_back(det);
+  }
+  std::vector<Detection> kept =
+      nonMaxSuppression(std::move(raw), config_.nmsIou);
+  // Flood-fill refinement to the rendered option extent; failures are
+  // either kept coarse or dropped per config.
+  std::vector<Detection> refined;
+  for (Detection& det : kept) {
+    if (const auto snapped =
+            snapToRegion(screenshot, det.box, config_.refine)) {
+      det.box = *snapped;
+      refined.push_back(det);
+    } else if (!config_.dropUnrefined) {
+      refined.push_back(det);
+    }
+  }
+  // Refined boxes may have collapsed onto each other; merge duplicates.
+  return nonMaxSuppression(std::move(refined), 0.8);
+}
+
+double OneStageDetector::costMacsPerImage() const {
+  // Head cost over all grid candidates plus the feature-extraction sweep.
+  const Size size{360, 720};
+  const double candidates =
+      static_cast<double>(enumerateGrid(config_, size).size());
+  const double headMacs =
+      head_ ? static_cast<double>(head_->parameterCount()) : 0.0;
+  const double featureMacs =
+      static_cast<double>(size.width) * size.height * 3.0;  // channel sweeps
+  return candidates * headMacs + featureMacs;
+}
+
+void OneStageDetector::enableQuantized(
+    std::span<const gfx::Bitmap> calibrationImages) {
+  std::vector<std::vector<float>> calibration;
+  for (const gfx::Bitmap& image : calibrationImages) {
+    const FeatureMap map(image, config_.channels, config_.featureScale);
+    // Subsample the grid for calibration: every 7th candidate is plenty to
+    // estimate activation ranges.
+    const std::vector<GridPos> grid = enumerateGrid(config_, image.size());
+    for (std::size_t i = 0; i < grid.size(); i += 7) {
+      calibration.push_back(
+          candidateFeatures(map, grid[i].box(config_.anchors)));
+    }
+  }
+  quantizedHead_ = nn::QuantizedMlp::fromMlp(*head_, calibration);
+  useQuantized_ = true;
+}
+
+std::size_t OneStageDetector::modelBytes() const {
+  if (useQuantized_ && quantizedHead_) return quantizedHead_->modelBytes();
+  return head_ ? head_->parameterCount() * sizeof(float) : 0;
+}
+
+bool OneStageDetector::saveModel(const std::string& path) const {
+  if (head_ == nullptr) return false;
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  head_->save(out);
+  return static_cast<bool>(out);
+}
+
+std::optional<OneStageDetector> OneStageDetector::loadModel(
+    const std::string& path, const OneStageConfig& config) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  auto head = nn::Mlp::load(in);
+  if (!head) return std::nullopt;
+  OneStageDetector detector(config);
+  detector.head_ = std::make_unique<nn::Mlp>(std::move(*head));
+  if (detector.head_->inputSize() != kCandidateFeatureDim ||
+      detector.head_->outputSize() != 6) {
+    return std::nullopt;
+  }
+  return detector;
+}
+
+ModelMetrics evaluateDetector(const Detector& detector,
+                              const dataset::AuiDataset& data,
+                              const std::vector<std::size_t>& indices,
+                              bool maskText, double iouThreshold) {
+  ModelMetrics metrics;
+  for (std::size_t idx : indices) {
+    const dataset::Sample sample = data.materialize(idx, maskText);
+    const std::vector<Detection> detections = detector.detect(sample.image);
+    metrics.ago += evaluateImage(detections, sample.annotations, iouThreshold,
+                                 dataset::BoxLabel::kAgo);
+    metrics.upo += evaluateImage(detections, sample.annotations, iouThreshold,
+                                 dataset::BoxLabel::kUpo);
+  }
+  return metrics;
+}
+
+}  // namespace darpa::cv

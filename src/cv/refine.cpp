@@ -1,0 +1,151 @@
+#include "cv/refine.h"
+
+#include <algorithm>
+#include <limits>
+#include <array>
+#include <unordered_map>
+#include <vector>
+
+namespace darpa::cv {
+
+namespace {
+int colorDistance(Color a, Color b) {
+  return std::abs(a.r - b.r) + std::abs(a.g - b.g) + std::abs(a.b - b.b);
+}
+
+/// 12-bit quantization key (4 bits per channel) for the mode-color vote.
+std::uint32_t quantKey(Color c) {
+  return (static_cast<std::uint32_t>(c.r >> 4) << 8) |
+         (static_cast<std::uint32_t>(c.g >> 4) << 4) |
+         (static_cast<std::uint32_t>(c.b >> 4));
+}
+}  // namespace
+
+std::optional<Rect> snapToRegion(const gfx::Bitmap& image, const Rect& coarse,
+                                 const RefineConfig& config) {
+  if (coarse.empty() || image.empty()) return std::nullopt;
+  const int inflate = static_cast<int>(
+      std::min(coarse.width, coarse.height) * config.windowInflate) +
+      config.windowMargin;
+  const Rect window = coarse.inflated(inflate).intersect(image.bounds());
+  const Rect inner = coarse.intersect(image.bounds());
+  if (window.empty() || inner.empty()) return std::nullopt;
+
+  // Seed color = the quantized color that is frequent INSIDE the coarse box
+  // but rare in the surrounding ring. A plain in-box mode can be won by the
+  // background when the box straddles a panel edge; discounting each
+  // bucket by its (area-normalized) ring frequency singles out the
+  // foreground plate. Glyph strokes and text are minority pixels either way.
+  std::unordered_map<std::uint32_t, int> histogram;
+  for (int y = inner.top(); y < inner.bottom(); ++y) {
+    for (int x = inner.left(); x < inner.right(); ++x) {
+      ++histogram[quantKey(image.at(x, y))];
+    }
+  }
+  std::unordered_map<std::uint32_t, int> ringHistogram;
+  std::int64_t ringArea = 0;
+  for (int y = window.top(); y < window.bottom(); ++y) {
+    for (int x = window.left(); x < window.right(); ++x) {
+      if (inner.contains(Point{x, y})) continue;
+      ++ringHistogram[quantKey(image.at(x, y))];
+      ++ringArea;
+    }
+  }
+  const double ringScale =
+      ringArea > 0
+          ? static_cast<double>(inner.area()) / static_cast<double>(ringArea)
+          : 0.0;
+  std::uint32_t modeKey = 0;
+  double modeScore = -std::numeric_limits<double>::infinity();
+  for (const auto& [key, count] : histogram) {
+    const auto ringIt = ringHistogram.find(key);
+    const double ringCount =
+        ringIt == ringHistogram.end() ? 0.0 : ringIt->second;
+    const double score = count - ringCount * ringScale;
+    if (score > modeScore) {
+      modeScore = score;
+      modeKey = key;
+    }
+  }
+  if (modeScore <= 0.0) return std::nullopt;  // box is all background
+  // Mean color of the mode bucket.
+  long sumR = 0, sumG = 0, sumB = 0;
+  int bucketCount = 0;
+  for (int y = inner.top(); y < inner.bottom(); ++y) {
+    for (int x = inner.left(); x < inner.right(); ++x) {
+      const Color c = image.at(x, y);
+      if (quantKey(c) != modeKey) continue;
+      sumR += c.r;
+      sumG += c.g;
+      sumB += c.b;
+      ++bucketCount;
+    }
+  }
+  if (bucketCount == 0) return std::nullopt;
+  const Color seedColor{static_cast<std::uint8_t>(sumR / bucketCount),
+                        static_cast<std::uint8_t>(sumG / bucketCount),
+                        static_cast<std::uint8_t>(sumB / bucketCount), 255};
+
+  // Flood fill (4-connected) within the window, seeded from every coarse-box
+  // pixel that matches the seed color.
+  std::vector<char> visited(
+      static_cast<std::size_t>(window.width) * window.height, 0);
+  auto index = [&](int x, int y) {
+    return static_cast<std::size_t>(y - window.y) * window.width +
+           (x - window.x);
+  };
+  std::vector<Point> stack;
+  for (int y = inner.top(); y < inner.bottom(); ++y) {
+    for (int x = inner.left(); x < inner.right(); ++x) {
+      if (colorDistance(image.at(x, y), seedColor) < config.colorTolerance &&
+          !visited[index(x, y)]) {
+        visited[index(x, y)] = 1;
+        stack.push_back(Point{x, y});
+      }
+    }
+  }
+  if (stack.empty()) return std::nullopt;
+
+  int minX = stack.front().x, maxX = stack.front().x;
+  int minY = stack.front().y, maxY = stack.front().y;
+  std::int64_t filled = 0;
+  while (!stack.empty()) {
+    const Point p = stack.back();
+    stack.pop_back();
+    ++filled;
+    minX = std::min(minX, p.x);
+    maxX = std::max(maxX, p.x);
+    minY = std::min(minY, p.y);
+    maxY = std::max(maxY, p.y);
+    const std::array<Point, 4> neighbors = {Point{p.x + 1, p.y},
+                                            Point{p.x - 1, p.y},
+                                            Point{p.x, p.y + 1},
+                                            Point{p.x, p.y - 1}};
+    for (const Point& q : neighbors) {
+      if (!window.contains(q) || visited[index(q.x, q.y)]) continue;
+      if (colorDistance(image.at(q.x, q.y), seedColor) >=
+          config.colorTolerance) {
+        continue;
+      }
+      visited[index(q.x, q.y)] = 1;
+      stack.push_back(q);
+    }
+  }
+
+  const Rect region{minX, minY, maxX - minX + 1, maxY - minY + 1};
+  const double areaFrac =
+      static_cast<double>(region.area()) / static_cast<double>(coarse.area());
+  const double windowFrac =
+      static_cast<double>(filled) / static_cast<double>(window.area());
+  if (areaFrac < config.minAreaFrac || windowFrac > config.maxWindowFrac) {
+    return std::nullopt;
+  }
+  // A fill that hit the window border likely leaked into the surroundings.
+  if (region.x == window.x || region.y == window.y ||
+      region.right() == window.right() || region.bottom() == window.bottom()) {
+    return std::nullopt;
+  }
+  return region;
+}
+
+}  // namespace darpa::cv

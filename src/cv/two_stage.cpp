@@ -1,0 +1,288 @@
+#include "cv/two_stage.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "nn/losses.h"
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace darpa::cv {
+
+std::string twoStageModelName(HeadKind head, Backbone backbone) {
+  std::string name =
+      head == HeadKind::kFaster ? "Faster RCNN-like" : "Mask RCNN-like";
+  name += backbone == Backbone::kV ? "+V16" : "+R50";
+  return name;
+}
+
+ChannelSet TwoStageDetector::backboneChannels() const {
+  if (config_.backbone == Backbone::kV) {
+    const Channel channels[] = {Channel::kLuma, Channel::kEdge};
+    return ChannelSet::only(channels);
+  }
+  return ChannelSet::all();
+}
+
+std::vector<float> TwoStageDetector::regionFeatures(const FeatureMap& map,
+                                                    const Rect& box) const {
+  // Shared descriptor + RoI-pooled NxN channel means.
+  std::vector<float> f = candidateFeatures(map, box);
+  const int n = config_.roiGrid;
+  for (int c = 0; c < kChannelCount; ++c) {
+    if (!map.channels().enabled(static_cast<Channel>(c))) continue;
+    for (int gy = 0; gy < n; ++gy) {
+      for (int gx = 0; gx < n; ++gx) {
+        const Rect cell{box.x + gx * box.width / n,
+                        box.y + gy * box.height / n,
+                        std::max(box.width / n, 1),
+                        std::max(box.height / n, 1)};
+        f.push_back(map.boxMean(static_cast<Channel>(c), cell));
+      }
+    }
+  }
+  return f;
+}
+
+std::vector<Rect> TwoStageDetector::proposals(
+    const gfx::Bitmap& screenshot) const {
+  const FeatureMap map(screenshot, backboneChannels(), config_.featureScale);
+  struct Scored {
+    Rect box;
+    float score;
+  };
+  std::vector<Scored> windows;
+  for (const Anchor& shape : config_.windowShapes) {
+    const int stride = shape.stride();
+    for (int cy = stride / 2; cy < screenshot.height(); cy += stride) {
+      for (int cx = stride / 2; cx < screenshot.width(); cx += stride) {
+        const Rect box{cx - shape.width / 2, cy - shape.height / 2,
+                       shape.width, shape.height};
+        // Class-agnostic objectness: pop-out of the region vs its ring.
+        const float score =
+            std::fabs(map.ringContrast(Channel::kContrast, box)) +
+            std::fabs(map.ringContrast(Channel::kEdge, box)) +
+            std::fabs(map.ringContrast(Channel::kLuma, box));
+        windows.push_back(Scored{box, score});
+      }
+    }
+  }
+  std::sort(windows.begin(), windows.end(),
+            [](const Scored& a, const Scored& b) { return a.score > b.score; });
+  // Loose NMS then top-K.
+  std::vector<Rect> kept;
+  for (const Scored& w : windows) {
+    if (static_cast<int>(kept.size()) >= config_.maxProposals) break;
+    const bool dup = std::any_of(kept.begin(), kept.end(), [&](const Rect& k) {
+      return iou(k, w.box) > config_.proposalNmsIou;
+    });
+    if (!dup) kept.push_back(w.box);
+  }
+  return kept;
+}
+
+TwoStageDetector TwoStageDetector::train(
+    const dataset::AuiDataset& data, const TwoStageConfig& config,
+    const TwoStageTrainConfig& trainConfig) {
+  TwoStageDetector detector(config);
+  Rng rng(trainConfig.seed);
+
+  struct Example {
+    std::vector<float> features;
+    int classTarget = -1;
+    float dx = 0, dy = 0, dw = 0, dh = 0;
+  };
+  std::vector<std::vector<Example>> perImage;
+
+  auto collect = [&](const dataset::Sample& sample) {
+    const FeatureMap map(sample.image, detector.backboneChannels(),
+                         config.featureScale);
+    std::vector<Example> examples;
+    std::vector<Example> negativesPool;
+    for (const Rect& prop : detector.proposals(sample.image)) {
+      double bestIou = 0.0;
+      const dataset::Annotation* bestGt = nullptr;
+      for (const dataset::Annotation& gt : sample.annotations) {
+        const double overlap = iou(prop, gt.box);
+        if (overlap > bestIou) {
+          bestIou = overlap;
+          bestGt = &gt;
+        }
+      }
+      if (bestGt != nullptr && bestIou >= 0.5) {
+        Example ex;
+        ex.features = detector.regionFeatures(map, prop);
+        ex.classTarget = bestGt->label == dataset::BoxLabel::kAgo ? 0 : 1;
+        const Point gtCenter = bestGt->box.center();
+        const Point pCenter = prop.center();
+        ex.dx = static_cast<float>(gtCenter.x - pCenter.x) / prop.width;
+        ex.dy = static_cast<float>(gtCenter.y - pCenter.y) / prop.height;
+        ex.dw = std::log(static_cast<float>(bestGt->box.width) / prop.width);
+        ex.dh = std::log(static_cast<float>(bestGt->box.height) / prop.height);
+        examples.push_back(std::move(ex));
+      } else if (bestIou < 0.3) {
+        Example ex;
+        ex.features = detector.regionFeatures(map, prop);
+        negativesPool.push_back(std::move(ex));
+      }
+    }
+    rng.shuffle(negativesPool);
+    const std::size_t keep = std::min<std::size_t>(
+        negativesPool.size(),
+        static_cast<std::size_t>(trainConfig.negativesPerImage));
+    for (std::size_t i = 0; i < keep; ++i) {
+      examples.push_back(std::move(negativesPool[i]));
+    }
+    perImage.push_back(std::move(examples));
+  };
+
+  for (std::size_t idx : data.trainIndices()) {
+    collect(data.materialize(idx));
+  }
+  for (int i = 0; i < trainConfig.benignImages; ++i) {
+    collect(dataset::materializeBenign(rng.next(), data.config().screenSize,
+                                       i % 3 == 0));
+  }
+
+  // Head MLP: the R backbone is "deeper" (an extra hidden layer), like
+  // ResNet50 vs VGG16.
+  int featureDim = kCandidateFeatureDim;
+  for (const auto& examples : perImage) {
+    if (!examples.empty()) {
+      featureDim = static_cast<int>(examples.front().features.size());
+      break;
+    }
+  }
+  std::vector<int> layerSizes{featureDim};
+  if (config.backbone == Backbone::kR) {
+    layerSizes.insert(layerSizes.end(), {64, 32, 16});
+  } else {
+    layerSizes.insert(layerSizes.end(), {48, 24});
+  }
+  layerSizes.push_back(6);
+  detector.head_ = std::make_unique<nn::Mlp>(layerSizes, rng);
+
+  std::vector<std::size_t> order(perImage.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  nn::AdamConfig adam;
+  adam.learningRate = trainConfig.learningRate;
+  for (int epoch = 0; epoch < trainConfig.epochs; ++epoch) {
+    if (trainConfig.lrDecayEvery > 0 && epoch > 0 &&
+        epoch % trainConfig.lrDecayEvery == 0) {
+      adam.learningRate *= 0.5f;
+    }
+    rng.shuffle(order);
+    for (std::size_t i : order) {
+      const std::vector<Example>& examples = perImage[i];
+      if (examples.empty()) continue;
+      int count = 0;
+      for (const Example& ex : examples) {
+        const int repeat =
+            ex.classTarget >= 0 ? std::max(trainConfig.positiveRepeat, 1) : 1;
+        for (int rep = 0; rep < repeat; ++rep) {
+          nn::Mlp::Cache cache;
+          const std::vector<float> out =
+              detector.head_->forwardCached(ex.features, cache);
+          std::vector<float> dOut(6, 0.0f);
+          dOut[0] = nn::bceWithLogitsGrad(out[0], ex.classTarget == 0 ? 1.f : 0.f);
+          dOut[1] = nn::bceWithLogitsGrad(out[1], ex.classTarget == 1 ? 1.f : 0.f);
+          if (ex.classTarget >= 0) {
+            const float w = trainConfig.boxLossWeight;
+            dOut[2] = w * nn::smoothL1Grad(out[2], ex.dx);
+            dOut[3] = w * nn::smoothL1Grad(out[3], ex.dy);
+            dOut[4] = w * nn::smoothL1Grad(out[4], ex.dw);
+            dOut[5] = w * nn::smoothL1Grad(out[5], ex.dh);
+          }
+          detector.head_->accumulateGradient(cache, dOut);
+          ++count;
+        }
+      }
+      detector.head_->applyAdam(adam, count);
+    }
+  }
+  return detector;
+}
+
+std::vector<Detection> TwoStageDetector::detect(
+    const gfx::Bitmap& screenshot) const {
+  const FeatureMap map(screenshot, backboneChannels(), config_.featureScale);
+  std::vector<Detection> raw;
+  for (const Rect& prop : proposals(screenshot)) {
+    const std::vector<float> features = regionFeatures(map, prop);
+    const std::vector<float> out = head_->forward(features);
+    const float confAgo = nn::sigmoid(out[0]);
+    const float confUpo = nn::sigmoid(out[1]);
+    const float best = std::max(confAgo, confUpo);
+    if (best < config_.confidenceThreshold) continue;
+    const float dx = std::clamp(out[2], -2.0f, 2.0f);
+    const float dy = std::clamp(out[3], -2.0f, 2.0f);
+    const float dw = std::clamp(out[4], -1.5f, 1.5f);
+    const float dh = std::clamp(out[5], -1.5f, 1.5f);
+    const float w = static_cast<float>(prop.width) * std::exp(dw);
+    const float h = static_cast<float>(prop.height) * std::exp(dh);
+    const float cx =
+        static_cast<float>(prop.center().x) + dx * static_cast<float>(prop.width);
+    const float cy = static_cast<float>(prop.center().y) +
+                     dy * static_cast<float>(prop.height);
+    Detection det;
+    det.box = RectF{cx - w / 2, cy - h / 2, w, h}.toRect();
+    det.label =
+        confAgo >= confUpo ? dataset::BoxLabel::kAgo : dataset::BoxLabel::kUpo;
+    det.confidence = best;
+    raw.push_back(det);
+  }
+  std::vector<Detection> kept =
+      nonMaxSuppression(std::move(raw), config_.nmsIou);
+  if (config_.head == HeadKind::kFaster) {
+    // The Faster head's RoI refinement snaps boxes to the underlying
+    // surface but has no mask pass to VERIFY them: failed snaps keep the
+    // coarse regressed box (often missing the IoU 0.9 bar) and spurious
+    // detections are never filtered. That verification gap is what
+    // separates it from the Mask variants here, as in the paper.
+    for (Detection& det : kept) {
+      if (const auto snapped =
+              snapToRegion(screenshot, det.box, config_.refine)) {
+        det.box = *snapped;
+      }
+    }
+    kept = nonMaxSuppression(std::move(kept), 0.8);
+  }
+  if (config_.head == HeadKind::kMask) {
+    // The "mask branch": pixel-accurate snap, dropped when the mask fails.
+    std::vector<Detection> refined;
+    for (Detection& det : kept) {
+      if (const auto snapped =
+              snapToRegion(screenshot, det.box, config_.refine)) {
+        det.box = *snapped;
+        refined.push_back(det);
+      }
+    }
+    kept = nonMaxSuppression(std::move(refined), 0.8);
+  }
+  return kept;
+}
+
+double TwoStageDetector::costMacsPerImage() const {
+  const Size size{360, 720};
+  // Dense proposal scan (3 ring contrasts x ~12 integral reads each)...
+  double windowCount = 0;
+  for (const Anchor& shape : config_.windowShapes) {
+    const int stride = shape.stride();
+    windowCount += (static_cast<double>(size.width) / stride) *
+                   (static_cast<double>(size.height) / stride);
+  }
+  const double proposalMacs = windowCount * 36.0;
+  // ...plus the per-region head over the kept proposals.
+  const double headMacs =
+      head_ ? static_cast<double>(head_->parameterCount()) : 0.0;
+  const double regionMacs = static_cast<double>(config_.maxProposals) *
+                            (headMacs + config_.roiGrid * config_.roiGrid *
+                                            kChannelCount * 4.0);
+  const double featureMacs =
+      static_cast<double>(size.width) * size.height * 3.0;
+  return proposalMacs + regionMacs + featureMacs;
+}
+
+}  // namespace darpa::cv

@@ -1,0 +1,219 @@
+#include "dataset/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "android/window_manager.h"
+#include "util/rng.h"
+
+namespace darpa::dataset {
+
+namespace {
+
+/// Scales the Table I quota of each AUI type to `total` screenshots, fixing
+/// rounding drift on the largest class so the counts sum exactly.
+std::vector<int> typeQuotas(int total) {
+  std::vector<int> quotas;
+  int assigned = 0;
+  for (apps::AuiType type : apps::kAllAuiTypes) {
+    const int q = static_cast<int>(std::lround(
+        static_cast<double>(apps::auiTypePaperCount(type)) * total / 1072.0));
+    quotas.push_back(q);
+    assigned += q;
+  }
+  quotas[0] += total - assigned;  // advertisements absorb rounding drift
+  return quotas;
+}
+
+/// Marks exactly `count` random positions of a bool vector true.
+void markQuota(std::vector<char>& flags, int count, Rng& rng) {
+  std::vector<std::size_t> order(flags.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+  count = std::clamp(count, 0, static_cast<int>(flags.size()));
+  for (int i = 0; i < count; ++i) flags[order[static_cast<std::size_t>(i)]] = 1;
+}
+
+Sample renderScreen(apps::GeneratedScreen screen, int id, bool fullscreen,
+                    Size screenSize, bool maskText) {
+  android::WindowManager::Config wmConfig;
+  wmConfig.screenSize = screenSize;
+  android::WindowManager wm(wmConfig);
+  const Rect frame = wm.appFrame(fullscreen);
+
+  Sample sample;
+  sample.id = id;
+  sample.spec = screen.truth.spec.value_or(apps::AuiSpec{});
+  sample.fullscreen = fullscreen;
+  for (const Rect& box : screen.truth.agoBoxes) {
+    sample.annotations.push_back(
+        Annotation{box.translated(frame.x, frame.y), BoxLabel::kAgo});
+  }
+  for (const Rect& box : screen.truth.upoBoxes) {
+    sample.annotations.push_back(
+        Annotation{box.translated(frame.x, frame.y), BoxLabel::kUpo});
+  }
+
+  const android::View& root = *screen.root;
+  wm.showAppWindow("com.dataset.sample", std::move(screen.root), fullscreen);
+  sample.image = wm.composite();
+
+  if (maskText) {
+    for (const Rect& r : collectTextRects(root, {frame.x, frame.y})) {
+      // Blur the glyph area, keeping the widget border crisp (paper Fig. 7
+      // blurs the texts). The blur is local (radius 3), so text views that
+      // are occluded by other surfaces only smear within themselves instead
+      // of bleeding the occluder's color across the layout.
+      const Rect inner = r.inflated(-2).intersect(sample.image.bounds());
+      if (inner.empty()) continue;
+      sample.image.boxBlur(inner, 3);
+    }
+  }
+  return sample;
+}
+
+}  // namespace
+
+AuiDataset AuiDataset::build(const DatasetConfig& config) {
+  AuiDataset dataset;
+  dataset.config_ = config;
+  Rng rng(config.seed);
+
+  const int total = config.totalScreenshots;
+  const std::vector<int> quotas = typeQuotas(total);
+
+  // Exact-quota attribute vectors (the paper's measured marginals).
+  std::vector<char> agoCentral(static_cast<std::size_t>(total), 0);
+  std::vector<char> upoCorner(static_cast<std::size_t>(total), 0);
+  std::vector<char> doubleUpo(static_cast<std::size_t>(total), 0);
+  std::vector<char> ghost(static_cast<std::size_t>(total), 0);
+  std::vector<char> fullscreen(static_cast<std::size_t>(total), 0);
+  markQuota(agoCentral, static_cast<int>(std::lround(total * 0.946)), rng);
+  markQuota(upoCorner, static_cast<int>(std::lround(total * 0.731)), rng);
+  markQuota(doubleUpo, static_cast<int>(std::lround(total * 31.0 / 1072.0)),
+            rng);
+  markQuota(ghost, static_cast<int>(std::lround(total * config.ghostUpoProb)),
+            rng);
+  markQuota(fullscreen,
+            static_cast<int>(std::lround(total * config.fullscreenProb)), rng);
+
+  // AGO-box quota: all non-ads have one; ads share the remainder so the
+  // total matches Table II's 744 boxes (scaled).
+  const int adQuota = quotas[0];
+  const int agoBoxTotal =
+      static_cast<int>(std::lround(total * 744.0 / 1072.0));
+  const int adsWithAgo = std::clamp(agoBoxTotal - (total - adQuota), 0, adQuota);
+  std::vector<char> adAgo(static_cast<std::size_t>(adQuota), 0);
+  markQuota(adAgo, adsWithAgo, rng);
+
+  int adIndex = 0;
+  int sampleId = 0;
+  for (std::size_t t = 0; t < apps::kAllAuiTypes.size(); ++t) {
+    for (int i = 0; i < quotas[t]; ++i) {
+      SampleSpec spec;
+      spec.id = sampleId;
+      spec.seed = rng.next();
+      spec.spec.type = apps::kAllAuiTypes[t];
+      spec.spec.host = spec.spec.type == apps::AuiType::kAdvertisement
+                           ? apps::AuiHost::kThirdParty
+                           : apps::AuiHost::kFirstParty;
+      spec.spec.hasAgoBox =
+          spec.spec.type != apps::AuiType::kAdvertisement ||
+          adAgo[static_cast<std::size_t>(adIndex++)] != 0;
+      const auto idx = static_cast<std::size_t>(sampleId);
+      spec.spec.numUpos = doubleUpo[idx] ? 2 : 1;
+      spec.spec.agoCentral = agoCentral[idx] != 0;
+      spec.spec.upoCorner = upoCorner[idx] != 0;
+      spec.spec.ghostUpo = ghost[idx] != 0;
+      spec.fullscreen = fullscreen[idx] != 0;
+      dataset.specs_.push_back(spec);
+      ++sampleId;
+    }
+  }
+  rng.shuffle(dataset.specs_);
+
+  // 6:2:2 split, paper-style rounding: val/test get ceil(0.2 * total) each
+  // and train the remainder (1072 -> 642/215/215).
+  const int evalSize = (total + 4) / 5;
+  const int trainSize = total - 2 * evalSize;
+  for (int i = 0; i < total; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (i < trainSize) {
+      dataset.train_.push_back(idx);
+    } else if (i < trainSize + evalSize) {
+      dataset.val_.push_back(idx);
+    } else {
+      dataset.test_.push_back(idx);
+    }
+  }
+  return dataset;
+}
+
+Sample AuiDataset::materialize(std::size_t idx, bool maskText) const {
+  const SampleSpec& spec = specs_.at(idx);
+  android::WindowManager::Config wmConfig;
+  wmConfig.screenSize = config_.screenSize;
+  const android::WindowManager wmProbe(wmConfig);
+  const Rect frame = wmProbe.appFrame(spec.fullscreen);
+
+  apps::ScreenGenerator::Params genParams;
+  genParams.frame = {frame.width, frame.height};
+  apps::ScreenGenerator generator(genParams, spec.seed);
+  return renderScreen(generator.makeAui(spec.spec), spec.id, spec.fullscreen,
+                      config_.screenSize, maskText);
+}
+
+AuiDataset::BoxCounts AuiDataset::countBoxes(
+    const std::vector<std::size_t>& indices) const {
+  BoxCounts counts;
+  for (std::size_t idx : indices) {
+    const SampleSpec& spec = specs_.at(idx);
+    ++counts.screenshots;
+    counts.ago += spec.spec.hasAgoBox ? 1 : 0;
+    counts.upo += spec.spec.numUpos;
+  }
+  return counts;
+}
+
+Sample materializeBenign(std::uint64_t seed, Size screenSize,
+                         bool hardNegative) {
+  android::WindowManager::Config wmConfig;
+  wmConfig.screenSize = screenSize;
+  const android::WindowManager wmProbe(wmConfig);
+  Rng rng(seed);
+  const bool fullscreen = rng.chance(0.2);
+  const Rect frame = wmProbe.appFrame(fullscreen);
+
+  apps::ScreenGenerator::Params genParams;
+  genParams.frame = {frame.width, frame.height};
+  apps::ScreenGenerator generator(genParams, rng.next());
+  apps::GeneratedScreen screen =
+      hardNegative ? generator.makeHardNegative() : generator.makeBenign();
+  return renderScreen(std::move(screen), -1, fullscreen, screenSize, false);
+}
+
+std::vector<Rect> collectTextRects(const android::View& root,
+                                   Point windowOrigin) {
+  std::vector<Rect> rects;
+  struct Walker {
+    std::vector<Rect>* out;
+    void walk(const android::View& view, Point origin) {
+      if (!view.visible()) return;
+      const Rect abs{origin.x + view.frame().x, origin.y + view.frame().y,
+                     view.frame().width, view.frame().height};
+      const std::string_view cls = view.className();
+      if (cls == "TextView" || cls == "Button") {
+        out->push_back(abs);
+      }
+      for (const auto& child : view.children()) {
+        walk(*child, {abs.x, abs.y});
+      }
+    }
+  };
+  Walker walker{&rects};
+  walker.walk(root, windowOrigin);
+  return rects;
+}
+
+}  // namespace darpa::dataset

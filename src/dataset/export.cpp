@@ -1,0 +1,93 @@
+#include "dataset/export.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace darpa::dataset {
+
+std::string jsonEscape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::optional<ExportSummary> exportCocoDataset(const AuiDataset& data,
+                                               const std::string& directory,
+                                               const ExportOptions& options) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(fs::path(directory) / "images", ec);
+  if (ec) return std::nullopt;
+
+  ExportSummary summary;
+  std::ostringstream images;
+  std::ostringstream annotations;
+  int annotationId = 1;
+
+  const std::size_t limit =
+      options.maxSamples > 0
+          ? std::min<std::size_t>(data.size(),
+                                  static_cast<std::size_t>(options.maxSamples))
+          : data.size();
+  for (std::size_t i = 0; i < limit; ++i) {
+    const Sample sample = data.materialize(i, options.maskText);
+    const std::string fileName = "images/" + std::to_string(sample.id) + ".ppm";
+    if (options.writeImages &&
+        !sample.image.writePpm((fs::path(directory) / fileName).string())) {
+      return std::nullopt;
+    }
+    if (summary.images > 0) images << ",";
+    images << "\n    {\"id\": " << sample.id << ", \"file_name\": \""
+           << jsonEscape(fileName) << "\", \"width\": " << sample.image.width()
+           << ", \"height\": " << sample.image.height()
+           << ", \"aui_type\": \""
+           << jsonEscape(apps::auiTypeName(sample.spec.type)) << "\", \"host\": \""
+           << jsonEscape(apps::auiHostName(sample.spec.host)) << "\"}";
+    ++summary.images;
+    for (const Annotation& a : sample.annotations) {
+      if (summary.annotations > 0) annotations << ",";
+      annotations << "\n    {\"id\": " << annotationId++
+                  << ", \"image_id\": " << sample.id << ", \"category_id\": "
+                  << (a.label == BoxLabel::kAgo ? 1 : 2) << ", \"bbox\": ["
+                  << a.box.x << ", " << a.box.y << ", " << a.box.width << ", "
+                  << a.box.height << "], \"area\": " << a.box.area()
+                  << ", \"iscrowd\": 0}";
+      ++summary.annotations;
+    }
+  }
+
+  const fs::path annotationsPath = fs::path(directory) / "annotations.json";
+  std::ofstream out(annotationsPath);
+  if (!out) return std::nullopt;
+  out << "{\n  \"info\": {\"description\": \"D_aui - asymmetric dark UI "
+         "dataset (synthetic reproduction)\", \"version\": \"1.0\"},\n"
+      << "  \"categories\": [\n"
+      << "    {\"id\": 1, \"name\": \"AGO\", \"supercategory\": \"option\"},\n"
+      << "    {\"id\": 2, \"name\": \"UPO\", \"supercategory\": \"option\"}\n"
+      << "  ],\n"
+      << "  \"images\": [" << images.str() << "\n  ],\n"
+      << "  \"annotations\": [" << annotations.str() << "\n  ]\n}\n";
+  if (!out) return std::nullopt;
+  summary.annotationsPath = annotationsPath.string();
+  return summary;
+}
+
+}  // namespace darpa::dataset

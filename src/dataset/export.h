@@ -1,0 +1,42 @@
+// Dataset export — the paper releases D_aui publicly; this module writes
+// the generated dataset in a COCO-style layout so downstream tools (or a
+// real YOLOv5 training run) can consume it:
+//
+//   <dir>/annotations.json   COCO-style: images, annotations, categories
+//   <dir>/images/<id>.ppm    screenshots (PPM: dependency-free)
+//
+// The JSON writer is a minimal from-scratch emitter (no third-party JSON
+// library in this offline build).
+#pragma once
+
+#include <string>
+
+#include "dataset/dataset.h"
+
+namespace darpa::dataset {
+
+struct ExportOptions {
+  /// Write the screenshot PPMs (can be large); annotations always written.
+  bool writeImages = true;
+  /// Cap on exported samples (0 = all) — handy for smoke tests.
+  int maxSamples = 0;
+  /// Apply the Fig.-7 text masking before export.
+  bool maskText = false;
+};
+
+struct ExportSummary {
+  int images = 0;
+  int annotations = 0;
+  std::string annotationsPath;
+};
+
+/// Exports the dataset under `directory` (created if missing). Returns
+/// std::nullopt on I/O failure.
+[[nodiscard]] std::optional<ExportSummary> exportCocoDataset(
+    const AuiDataset& data, const std::string& directory,
+    const ExportOptions& options = {});
+
+/// Escapes a string for embedding in a JSON document.
+[[nodiscard]] std::string jsonEscape(std::string_view raw);
+
+}  // namespace darpa::dataset

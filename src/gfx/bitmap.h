@@ -1,0 +1,78 @@
+// A from-scratch RGBA bitmap — the substrate for "screenshots".
+//
+// In the paper, DARPA's CV model consumes real screenshots taken through the
+// Accessibility Service. In this reproduction the WindowManager composites
+// live windows into a Bitmap, so the detector consumes actual pixel data and
+// the visual asymmetry of an AUI (size, position, contrast, transparency) is
+// genuinely present in the input rather than faked through metadata.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/color.h"
+#include "util/geometry.h"
+
+namespace darpa::gfx {
+
+class Bitmap {
+ public:
+  Bitmap() = default;
+  Bitmap(int width, int height, Color fill = colors::kWhite);
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+  [[nodiscard]] Size size() const { return {width_, height_}; }
+  [[nodiscard]] Rect bounds() const { return {0, 0, width_, height_}; }
+  [[nodiscard]] bool empty() const { return width_ <= 0 || height_ <= 0; }
+  [[nodiscard]] std::size_t pixelCount() const { return pixels_.size(); }
+
+  /// Unchecked pixel access; caller guarantees (x, y) is in bounds.
+  [[nodiscard]] Color at(int x, int y) const {
+    return pixels_[static_cast<std::size_t>(y) * width_ + x];
+  }
+  void set(int x, int y, Color c) {
+    pixels_[static_cast<std::size_t>(y) * width_ + x] = c;
+  }
+
+  /// Bounds-checked read; out-of-range returns transparent.
+  [[nodiscard]] Color atClamped(int x, int y) const;
+
+  /// Alpha-blends `c` onto the pixel if in bounds, else no-op.
+  void blendPixel(int x, int y, Color c);
+
+  void fill(Color c);
+  void fillRect(const Rect& r, Color c);
+
+  /// Copy of the sub-region clipped to bounds.
+  [[nodiscard]] Bitmap crop(const Rect& r) const;
+
+  /// Box-filter downscale to the given size (both dims >= 1).
+  [[nodiscard]] Bitmap downscale(int newWidth, int newHeight) const;
+
+  /// Separable box blur with the given radius (>= 1), clipped to `region`.
+  void boxBlur(const Rect& region, int radius);
+
+  /// Mean color over a region (clipped to bounds); white if region is empty.
+  [[nodiscard]] Color meanColor(const Rect& r) const;
+
+  /// Mean luma (0..255) over a region clipped to bounds.
+  [[nodiscard]] double meanLuma(const Rect& r) const;
+
+  /// Luma standard deviation over a region — a cheap texture measure.
+  [[nodiscard]] double lumaStddev(const Rect& r) const;
+
+  /// Writes a binary PPM (P6) file; returns false on I/O failure. Alpha is
+  /// dropped (screenshots are opaque after compositing).
+  bool writePpm(const std::string& path) const;
+
+  friend bool operator==(const Bitmap&, const Bitmap&) = default;
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<Color> pixels_;
+};
+
+}  // namespace darpa::gfx

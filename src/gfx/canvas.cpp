@@ -1,0 +1,218 @@
+#include "gfx/canvas.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+
+namespace darpa::gfx {
+
+void Canvas::fillRect(const Rect& r, Color c) {
+  const Rect clipped = r.intersect(target_->bounds());
+  if (c.a == 255) {
+    target_->fillRect(clipped, c);
+    return;
+  }
+  for (int y = clipped.top(); y < clipped.bottom(); ++y) {
+    for (int x = clipped.left(); x < clipped.right(); ++x) {
+      target_->blendPixel(x, y, c);
+    }
+  }
+}
+
+void Canvas::strokeRect(const Rect& r, Color c, int thickness) {
+  thickness = std::clamp(thickness, 1, std::max(1, std::min(r.width, r.height) / 2));
+  fillRect({r.x, r.y, r.width, thickness}, c);                              // top
+  fillRect({r.x, r.bottom() - thickness, r.width, thickness}, c);           // bottom
+  fillRect({r.x, r.y + thickness, thickness, r.height - 2 * thickness}, c); // left
+  fillRect({r.right() - thickness, r.y + thickness, thickness,
+            r.height - 2 * thickness},
+           c);                                                              // right
+}
+
+void Canvas::fillRoundedRect(const Rect& r, Color c, int radius) {
+  radius = std::clamp(radius, 0, std::min(r.width, r.height) / 2);
+  if (radius == 0) {
+    fillRect(r, c);
+    return;
+  }
+  const Rect clipped = r.intersect(target_->bounds());
+  for (int y = clipped.top(); y < clipped.bottom(); ++y) {
+    for (int x = clipped.left(); x < clipped.right(); ++x) {
+      // Distance to the nearest corner disc center; outside the disc in a
+      // corner square means outside the rounded rect.
+      const int cx = std::clamp(x, r.x + radius, r.right() - 1 - radius);
+      const int cy = std::clamp(y, r.y + radius, r.bottom() - 1 - radius);
+      const int dx = x - cx;
+      const int dy = y - cy;
+      if (dx * dx + dy * dy <= radius * radius) target_->blendPixel(x, y, c);
+    }
+  }
+}
+
+namespace {
+/// Whether (x, y) lies inside the rounded rect (r, radius).
+bool insideRounded(const Rect& r, int radius, int x, int y) {
+  if (!r.contains(Point{x, y})) return false;
+  const int cx = std::clamp(x, r.x + radius, r.right() - 1 - radius);
+  const int cy = std::clamp(y, r.y + radius, r.bottom() - 1 - radius);
+  const int dx = x - cx;
+  const int dy = y - cy;
+  return dx * dx + dy * dy <= radius * radius;
+}
+}  // namespace
+
+void Canvas::strokeRoundedRect(const Rect& r, Color c, int radius,
+                               int thickness) {
+  radius = std::clamp(radius, 0, std::min(r.width, r.height) / 2);
+  thickness = std::max(thickness, 1);
+  const Rect inner = r.inflated(-thickness);
+  const int innerRadius = std::max(radius - thickness, 0);
+  const Rect clipped = r.intersect(target_->bounds());
+  for (int y = clipped.top(); y < clipped.bottom(); ++y) {
+    for (int x = clipped.left(); x < clipped.right(); ++x) {
+      if (insideRounded(r, radius, x, y) &&
+          !(inner.width > 0 && inner.height > 0 &&
+            insideRounded(inner, innerRadius, x, y))) {
+        target_->blendPixel(x, y, c);
+      }
+    }
+  }
+}
+
+void Canvas::fillCircle(Point center, int radius, Color c) {
+  const Rect box{center.x - radius, center.y - radius, 2 * radius + 1,
+                 2 * radius + 1};
+  const Rect clipped = box.intersect(target_->bounds());
+  for (int y = clipped.top(); y < clipped.bottom(); ++y) {
+    for (int x = clipped.left(); x < clipped.right(); ++x) {
+      const int dx = x - center.x;
+      const int dy = y - center.y;
+      if (dx * dx + dy * dy <= radius * radius) target_->blendPixel(x, y, c);
+    }
+  }
+}
+
+void Canvas::strokeCircle(Point center, int radius, Color c, int thickness) {
+  const int inner = std::max(radius - thickness, 0);
+  const Rect box{center.x - radius, center.y - radius, 2 * radius + 1,
+                 2 * radius + 1};
+  const Rect clipped = box.intersect(target_->bounds());
+  for (int y = clipped.top(); y < clipped.bottom(); ++y) {
+    for (int x = clipped.left(); x < clipped.right(); ++x) {
+      const int dx = x - center.x;
+      const int dy = y - center.y;
+      const int d2 = dx * dx + dy * dy;
+      if (d2 <= radius * radius && d2 >= inner * inner) {
+        target_->blendPixel(x, y, c);
+      }
+    }
+  }
+}
+
+void Canvas::fillVerticalGradient(const Rect& r, Color top, Color bottom) {
+  const Rect clipped = r.intersect(target_->bounds());
+  for (int y = clipped.top(); y < clipped.bottom(); ++y) {
+    const double t =
+        r.height <= 1 ? 0.0 : static_cast<double>(y - r.y) / (r.height - 1);
+    const Color row = lerp(top, bottom, t);
+    for (int x = clipped.left(); x < clipped.right(); ++x) {
+      target_->blendPixel(x, y, row);
+    }
+  }
+}
+
+void Canvas::drawLine(Point a, Point b, Color c) {
+  int x0 = a.x, y0 = a.y;
+  const int dx = std::abs(b.x - x0), sx = x0 < b.x ? 1 : -1;
+  const int dy = -std::abs(b.y - y0), sy = y0 < b.y ? 1 : -1;
+  int err = dx + dy;
+  while (true) {
+    target_->blendPixel(x0, y0, c);
+    if (x0 == b.x && y0 == b.y) break;
+    const int e2 = 2 * err;
+    if (e2 >= dy) {
+      err += dy;
+      x0 += sx;
+    }
+    if (e2 <= dx) {
+      err += dx;
+      y0 += sy;
+    }
+  }
+}
+
+void Canvas::drawCross(const Rect& r, Color c, int thickness) {
+  const int inset = std::max(std::min(r.width, r.height) / 5, 1);
+  const Point tl{r.x + inset, r.y + inset};
+  const Point br{r.right() - 1 - inset, r.bottom() - 1 - inset};
+  const Point tr{r.right() - 1 - inset, r.y + inset};
+  const Point bl{r.x + inset, r.bottom() - 1 - inset};
+  for (int t = 0; t < thickness; ++t) {
+    drawLine({tl.x + t, tl.y}, {br.x, br.y - t}, c);
+    drawLine({tl.x, tl.y + t}, {br.x - t, br.y}, c);
+    drawLine({tr.x - t, tr.y}, {bl.x, bl.y - t}, c);
+    drawLine({tr.x, tr.y + t}, {bl.x + t, bl.y}, c);
+  }
+}
+
+namespace {
+// Deterministic 3x5 dot pattern per character. Mixing the char code through
+// an integer hash yields a stable 15-bit mask; we force a minimum number of
+// set dots so every glyph has visible ink.
+std::uint16_t glyphMask(char ch) {
+  std::uint32_t h = static_cast<std::uint32_t>(static_cast<unsigned char>(ch));
+  h ^= h << 13;
+  h *= 0x9e3779b1u;
+  h ^= h >> 15;
+  std::uint16_t mask = static_cast<std::uint16_t>(h & 0x7fff);
+  if (std::popcount(static_cast<unsigned>(mask)) < 5) mask |= 0x2955;
+  return mask;
+}
+}  // namespace
+
+Rect Canvas::drawPseudoText(Point origin, std::string_view text, Color c,
+                            int cell) {
+  cell = std::max(cell, 1);
+  int x = origin.x;
+  for (char ch : text) {
+    if (ch == ' ') {
+      x += 3 * cell;
+      continue;
+    }
+    const std::uint16_t mask = glyphMask(ch);
+    for (int row = 0; row < 5; ++row) {
+      for (int col = 0; col < 3; ++col) {
+        if (mask & (1u << (row * 3 + col))) {
+          fillRect({x + col * cell, origin.y + row * cell, cell, cell}, c);
+        }
+      }
+    }
+    x += 4 * cell;
+  }
+  return {origin.x, origin.y, x - origin.x, 5 * cell};
+}
+
+int Canvas::pseudoTextWidth(std::string_view text, int cell) {
+  cell = std::max(cell, 1);
+  int w = 0;
+  for (char ch : text) w += (ch == ' ' ? 3 : 4) * cell;
+  return w;
+}
+
+void Canvas::drawBitmap(const Bitmap& src, Point origin,
+                        std::uint8_t layerAlpha) {
+  if (layerAlpha == 0) return;
+  for (int y = 0; y < src.height(); ++y) {
+    for (int x = 0; x < src.width(); ++x) {
+      Color c = src.at(x, y);
+      if (layerAlpha != 255) {
+        c.a = static_cast<std::uint8_t>(c.a * layerAlpha / 255);
+      }
+      if (c.a == 0) continue;
+      target_->blendPixel(origin.x + x, origin.y + y, c);
+    }
+  }
+}
+
+}  // namespace darpa::gfx

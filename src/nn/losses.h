@@ -1,0 +1,49 @@
+// Loss functions used by the detection heads.
+//
+// All classification outputs are trained as logits with a numerically stable
+// sigmoid + binary cross-entropy; box regression uses smooth-L1 (Huber),
+// the standard choice in one- and two-stage detectors.
+#pragma once
+
+#include <cmath>
+
+namespace darpa::nn {
+
+/// Numerically stable sigmoid.
+[[nodiscard]] inline float sigmoid(float x) {
+  if (x >= 0.0f) {
+    const float z = std::exp(-x);
+    return 1.0f / (1.0f + z);
+  }
+  const float z = std::exp(x);
+  return z / (1.0f + z);
+}
+
+/// Binary cross-entropy with logits. `target` in {0, 1} (soft targets OK).
+[[nodiscard]] inline float bceWithLogits(float logit, float target) {
+  // max(x,0) - x*t + log(1 + exp(-|x|)) — the standard stable form.
+  const float maxPart = logit > 0.0f ? logit : 0.0f;
+  return maxPart - logit * target + std::log1p(std::exp(-std::fabs(logit)));
+}
+
+/// d(BCE)/d(logit) = sigmoid(logit) - target.
+[[nodiscard]] inline float bceWithLogitsGrad(float logit, float target) {
+  return sigmoid(logit) - target;
+}
+
+/// Smooth-L1 (Huber with delta = 1).
+[[nodiscard]] inline float smoothL1(float pred, float target) {
+  const float d = pred - target;
+  const float a = std::fabs(d);
+  return a < 1.0f ? 0.5f * d * d : a - 0.5f;
+}
+
+/// d(smoothL1)/d(pred).
+[[nodiscard]] inline float smoothL1Grad(float pred, float target) {
+  const float d = pred - target;
+  if (d > 1.0f) return 1.0f;
+  if (d < -1.0f) return -1.0f;
+  return d;
+}
+
+}  // namespace darpa::nn

@@ -1,0 +1,209 @@
+#include "nn/mlp.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+namespace darpa::nn {
+
+Mlp::Mlp(std::vector<int> layerSizes, Rng& rng)
+    : layerSizes_(std::move(layerSizes)) {
+  assert(layerSizes_.size() >= 2);
+  layers_.reserve(layerSizes_.size() - 1);
+  for (std::size_t i = 0; i + 1 < layerSizes_.size(); ++i) {
+    DenseLayer layer;
+    layer.inSize = layerSizes_[i];
+    layer.outSize = layerSizes_[i + 1];
+    const std::size_t n =
+        static_cast<std::size_t>(layer.inSize) * layer.outSize;
+    layer.weights.resize(n);
+    // He initialization: suited to the ReLU hidden activations.
+    const float stddev = std::sqrt(2.0f / static_cast<float>(layer.inSize));
+    for (float& w : layer.weights) {
+      w = static_cast<float>(rng.normal(0.0, stddev));
+    }
+    layer.bias.assign(layer.outSize, 0.0f);
+    layer.gradWeights.assign(n, 0.0f);
+    layer.gradBias.assign(layer.outSize, 0.0f);
+    layer.mWeights.assign(n, 0.0f);
+    layer.vWeights.assign(n, 0.0f);
+    layer.mBias.assign(layer.outSize, 0.0f);
+    layer.vBias.assign(layer.outSize, 0.0f);
+    layers_.push_back(std::move(layer));
+  }
+}
+
+std::size_t Mlp::parameterCount() const {
+  std::size_t n = 0;
+  for (const DenseLayer& layer : layers_) {
+    n += layer.weights.size() + layer.bias.size();
+  }
+  return n;
+}
+
+namespace {
+void denseForward(const DenseLayer& layer, std::span<const float> in,
+                  std::vector<float>& out, bool relu) {
+  out.assign(static_cast<std::size_t>(layer.outSize), 0.0f);
+  for (int j = 0; j < layer.outSize; ++j) {
+    const float* row =
+        layer.weights.data() + static_cast<std::size_t>(j) * layer.inSize;
+    float sum = layer.bias[static_cast<std::size_t>(j)];
+    for (int i = 0; i < layer.inSize; ++i) sum += row[i] * in[i];
+    out[static_cast<std::size_t>(j)] = relu && sum < 0.0f ? 0.0f : sum;
+  }
+}
+}  // namespace
+
+std::vector<float> Mlp::forward(std::span<const float> x) const {
+  assert(static_cast<int>(x.size()) == inputSize());
+  std::vector<float> current(x.begin(), x.end());
+  std::vector<float> next;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const bool hidden = l + 1 < layers_.size();
+    denseForward(layers_[l], current, next, hidden);
+    current.swap(next);
+  }
+  return current;
+}
+
+std::vector<float> Mlp::forwardCached(std::span<const float> x,
+                                      Cache& cache) const {
+  assert(static_cast<int>(x.size()) == inputSize());
+  cache.activations.clear();
+  cache.activations.emplace_back(x.begin(), x.end());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const bool hidden = l + 1 < layers_.size();
+    std::vector<float> out;
+    denseForward(layers_[l], cache.activations.back(), out, hidden);
+    cache.activations.push_back(std::move(out));
+  }
+  return cache.activations.back();
+}
+
+void Mlp::accumulateGradient(const Cache& cache, std::span<const float> dOut) {
+  assert(cache.activations.size() == layers_.size() + 1);
+  std::vector<float> delta(dOut.begin(), dOut.end());
+  for (std::size_t l = layers_.size(); l-- > 0;) {
+    DenseLayer& layer = layers_[l];
+    const std::vector<float>& input = cache.activations[l];
+    const std::vector<float>& output = cache.activations[l + 1];
+    const bool hidden = l + 1 < layers_.size();
+    // ReLU gradient gate on hidden layers (output layer is linear).
+    if (hidden) {
+      for (int j = 0; j < layer.outSize; ++j) {
+        if (output[static_cast<std::size_t>(j)] <= 0.0f) {
+          delta[static_cast<std::size_t>(j)] = 0.0f;
+        }
+      }
+    }
+    for (int j = 0; j < layer.outSize; ++j) {
+      const float d = delta[static_cast<std::size_t>(j)];
+      if (d == 0.0f) continue;
+      float* gRow = layer.gradWeights.data() +
+                    static_cast<std::size_t>(j) * layer.inSize;
+      for (int i = 0; i < layer.inSize; ++i) {
+        gRow[i] += d * input[static_cast<std::size_t>(i)];
+      }
+      layer.gradBias[static_cast<std::size_t>(j)] += d;
+    }
+    if (l == 0) break;  // No need to propagate into the raw input.
+    std::vector<float> prevDelta(static_cast<std::size_t>(layer.inSize), 0.0f);
+    for (int j = 0; j < layer.outSize; ++j) {
+      const float d = delta[static_cast<std::size_t>(j)];
+      if (d == 0.0f) continue;
+      const float* row =
+          layer.weights.data() + static_cast<std::size_t>(j) * layer.inSize;
+      for (int i = 0; i < layer.inSize; ++i) {
+        prevDelta[static_cast<std::size_t>(i)] += d * row[i];
+      }
+    }
+    delta.swap(prevDelta);
+  }
+}
+
+void Mlp::applyAdam(const AdamConfig& config, int batchSize) {
+  if (batchSize <= 0) batchSize = 1;
+  ++adamStep_;
+  const float t = static_cast<float>(adamStep_);
+  const float correction1 = 1.0f - std::pow(config.beta1, t);
+  const float correction2 = 1.0f - std::pow(config.beta2, t);
+  const float invBatch = 1.0f / static_cast<float>(batchSize);
+  auto update = [&](std::vector<float>& params, std::vector<float>& grads,
+                    std::vector<float>& m, std::vector<float>& v) {
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      const float g = grads[i] * invBatch;
+      m[i] = config.beta1 * m[i] + (1.0f - config.beta1) * g;
+      v[i] = config.beta2 * v[i] + (1.0f - config.beta2) * g * g;
+      const float mHat = m[i] / correction1;
+      const float vHat = v[i] / correction2;
+      params[i] -=
+          config.learningRate * mHat / (std::sqrt(vHat) + config.epsilon);
+      grads[i] = 0.0f;
+    }
+  };
+  for (DenseLayer& layer : layers_) {
+    update(layer.weights, layer.gradWeights, layer.mWeights, layer.vWeights);
+    update(layer.bias, layer.gradBias, layer.mBias, layer.vBias);
+  }
+}
+
+namespace {
+constexpr std::uint32_t kMagic = 0x44415250;  // "DARP"
+
+template <typename T>
+void writePod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+template <typename T>
+bool readPod(std::istream& in, T& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  return static_cast<bool>(in);
+}
+}  // namespace
+
+void Mlp::save(std::ostream& out) const {
+  writePod(out, kMagic);
+  writePod(out, static_cast<std::uint32_t>(layerSizes_.size()));
+  for (int s : layerSizes_) writePod(out, static_cast<std::int32_t>(s));
+  for (const DenseLayer& layer : layers_) {
+    out.write(reinterpret_cast<const char*>(layer.weights.data()),
+              static_cast<std::streamsize>(layer.weights.size() * sizeof(float)));
+    out.write(reinterpret_cast<const char*>(layer.bias.data()),
+              static_cast<std::streamsize>(layer.bias.size() * sizeof(float)));
+  }
+}
+
+std::optional<Mlp> Mlp::load(std::istream& in) {
+  std::uint32_t magic = 0;
+  if (!readPod(in, magic) || magic != kMagic) return std::nullopt;
+  std::uint32_t layerCount = 0;
+  if (!readPod(in, layerCount) || layerCount < 2 || layerCount > 64) {
+    return std::nullopt;
+  }
+  std::vector<int> sizes;
+  for (std::uint32_t i = 0; i < layerCount; ++i) {
+    std::int32_t s = 0;
+    if (!readPod(in, s) || s <= 0 || s > 1 << 20) return std::nullopt;
+    sizes.push_back(s);
+  }
+  Rng rng(0);  // weights are overwritten below
+  Mlp model(sizes, rng);
+  for (DenseLayer& layer : model.layers_) {
+    in.read(reinterpret_cast<char*>(layer.weights.data()),
+            static_cast<std::streamsize>(layer.weights.size() * sizeof(float)));
+    in.read(reinterpret_cast<char*>(layer.bias.data()),
+            static_cast<std::streamsize>(layer.bias.size() * sizeof(float)));
+    if (!in) return std::nullopt;
+  }
+  return model;
+}
+
+void Mlp::clearGradients() {
+  for (DenseLayer& layer : layers_) {
+    std::fill(layer.gradWeights.begin(), layer.gradWeights.end(), 0.0f);
+    std::fill(layer.gradBias.begin(), layer.gradBias.end(), 0.0f);
+  }
+}
+
+}  // namespace darpa::nn

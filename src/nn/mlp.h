@@ -1,0 +1,91 @@
+// A small from-scratch neural-network substrate.
+//
+// The paper trains YOLOv5 in PyTorch on a GPU server. Our reproduction's
+// detectors are grid/region detectors whose prediction heads are multi-layer
+// perceptrons trained with this module: dense layers, ReLU hidden
+// activations, a linear output layer (losses apply their own sigmoid),
+// backprop, and Adam. It is deliberately minimal — exactly what dense
+// prediction heads over engineered visual features need — but it is a real
+// trainable network, not a lookup table: weights are initialized from a
+// seeded RNG and fitted by gradient descent on the generated dataset.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace darpa::nn {
+
+/// One fully-connected layer, out = W x + b, with Adam state.
+struct DenseLayer {
+  int inSize = 0;
+  int outSize = 0;
+  std::vector<float> weights;  ///< Row-major (outSize x inSize).
+  std::vector<float> bias;     ///< outSize.
+
+  // Accumulated gradients (averaged at step time) and Adam moments.
+  std::vector<float> gradWeights;
+  std::vector<float> gradBias;
+  std::vector<float> mWeights, vWeights;
+  std::vector<float> mBias, vBias;
+};
+
+/// Hyperparameters for Adam.
+struct AdamConfig {
+  float learningRate = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+};
+
+/// MLP with ReLU hidden activations and a linear output layer.
+class Mlp {
+ public:
+  /// `layerSizes` = {in, hidden..., out}; requires >= 2 entries. Weights are
+  /// He-initialized from `rng`.
+  Mlp(std::vector<int> layerSizes, Rng& rng);
+
+  [[nodiscard]] int inputSize() const { return layerSizes_.front(); }
+  [[nodiscard]] int outputSize() const { return layerSizes_.back(); }
+  [[nodiscard]] std::size_t parameterCount() const;
+  [[nodiscard]] std::span<const DenseLayer> layers() const { return layers_; }
+
+  /// Inference-only forward pass.
+  [[nodiscard]] std::vector<float> forward(std::span<const float> x) const;
+
+  /// Per-example activation cache for backprop.
+  struct Cache {
+    std::vector<std::vector<float>> activations;  ///< Input + each layer out.
+  };
+
+  /// Forward pass that records activations; returns the output.
+  std::vector<float> forwardCached(std::span<const float> x, Cache& cache) const;
+
+  /// Accumulates parameter gradients for one example given dLoss/dOutput.
+  void accumulateGradient(const Cache& cache, std::span<const float> dOut);
+
+  /// Applies one Adam step using gradients averaged over `batchSize`
+  /// accumulated examples, then clears the accumulators.
+  void applyAdam(const AdamConfig& config, int batchSize);
+
+  /// Zeroes accumulated gradients (applyAdam does this automatically).
+  void clearGradients();
+
+  /// Binary serialization of the trained parameters (layer sizes, weights,
+  /// biases; optimizer state is not persisted). Lets benches cache trained
+  /// models on disk instead of retraining per binary.
+  void save(std::ostream& out) const;
+  [[nodiscard]] static std::optional<Mlp> load(std::istream& in);
+
+ private:
+  std::vector<int> layerSizes_;
+  std::vector<DenseLayer> layers_;
+  std::int64_t adamStep_ = 0;
+};
+
+}  // namespace darpa::nn

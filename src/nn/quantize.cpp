@@ -1,0 +1,106 @@
+#include "nn/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace darpa::nn {
+
+namespace {
+std::int8_t quantizeValue(float x, float scale) {
+  const float q = std::round(x / scale);
+  return static_cast<std::int8_t>(std::clamp(q, -127.0f, 127.0f));
+}
+}  // namespace
+
+QuantizedMlp QuantizedMlp::fromMlp(
+    const Mlp& model, std::span<const std::vector<float>> calibrationInputs) {
+  const auto layers = model.layers();
+
+  // Calibration: track the max |input| seen at each layer while replaying
+  // the float forward pass over the calibration set.
+  std::vector<float> inputMax(layers.size(), 0.0f);
+  for (const std::vector<float>& sample : calibrationInputs) {
+    std::vector<float> current = sample;
+    for (std::size_t l = 0; l < layers.size(); ++l) {
+      for (float v : current) {
+        inputMax[l] = std::max(inputMax[l], std::fabs(v));
+      }
+      // Float forward through layer l (ReLU on hidden layers).
+      const DenseLayer& layer = layers[l];
+      std::vector<float> next(static_cast<std::size_t>(layer.outSize), 0.0f);
+      for (int j = 0; j < layer.outSize; ++j) {
+        const float* row =
+            layer.weights.data() + static_cast<std::size_t>(j) * layer.inSize;
+        float sum = layer.bias[static_cast<std::size_t>(j)];
+        for (int i = 0; i < layer.inSize; ++i) {
+          sum += row[i] * current[static_cast<std::size_t>(i)];
+        }
+        const bool hidden = l + 1 < layers.size();
+        next[static_cast<std::size_t>(j)] =
+            hidden && sum < 0.0f ? 0.0f : sum;
+      }
+      current.swap(next);
+    }
+  }
+
+  QuantizedMlp out;
+  out.layers_.reserve(layers.size());
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    const DenseLayer& layer = layers[l];
+    QuantizedLayer q;
+    q.inSize = layer.inSize;
+    q.outSize = layer.outSize;
+    float weightMax = 0.0f;
+    for (float w : layer.weights) weightMax = std::max(weightMax, std::fabs(w));
+    const float weightScale = weightMax > 0.0f ? weightMax / 127.0f : 1.0f;
+    q.weights.resize(layer.weights.size());
+    for (std::size_t i = 0; i < layer.weights.size(); ++i) {
+      q.weights[i] = quantizeValue(layer.weights[i], weightScale);
+    }
+    q.bias = layer.bias;
+    q.inputScale = inputMax[l] > 0.0f ? inputMax[l] / 127.0f : 1.0f;
+    // Constant folding: one multiplier per layer instead of two.
+    q.dequantScale = weightScale * q.inputScale;
+    out.layers_.push_back(std::move(q));
+  }
+  return out;
+}
+
+std::vector<float> QuantizedMlp::forward(std::span<const float> x) const {
+  std::vector<float> current(x.begin(), x.end());
+  std::vector<std::int8_t> quantized;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const QuantizedLayer& layer = layers_[l];
+    quantized.resize(current.size());
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      quantized[i] = quantizeValue(current[i], layer.inputScale);
+    }
+    std::vector<float> next(static_cast<std::size_t>(layer.outSize), 0.0f);
+    const bool hidden = l + 1 < layers_.size();
+    for (int j = 0; j < layer.outSize; ++j) {
+      const std::int8_t* row =
+          layer.weights.data() + static_cast<std::size_t>(j) * layer.inSize;
+      std::int32_t acc = 0;
+      for (int i = 0; i < layer.inSize; ++i) {
+        acc += static_cast<std::int32_t>(row[i]) * quantized[static_cast<std::size_t>(i)];
+      }
+      const float sum = static_cast<float>(acc) * layer.dequantScale +
+                        layer.bias[static_cast<std::size_t>(j)];
+      next[static_cast<std::size_t>(j)] = hidden && sum < 0.0f ? 0.0f : sum;
+    }
+    current.swap(next);
+  }
+  return current;
+}
+
+std::size_t QuantizedMlp::modelBytes() const {
+  std::size_t bytes = 0;
+  for (const QuantizedLayer& layer : layers_) {
+    bytes += layer.weights.size() * sizeof(std::int8_t);
+    bytes += layer.bias.size() * sizeof(float);
+    bytes += 2 * sizeof(float);  // inputScale + dequantScale
+  }
+  return bytes;
+}
+
+}  // namespace darpa::nn

@@ -1,0 +1,66 @@
+#include "perf/device_model.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace darpa::perf {
+
+std::ostream& operator<<(std::ostream& os, const PerfMetrics& m) {
+  return os << "cpu=" << m.cpuPercent << "% mem=" << m.memoryMb
+            << "MB fps=" << m.frameRate << " power=" << m.powerMw << "mW";
+}
+
+PerfMetrics DeviceModel::baseline() const {
+  return PerfMetrics{config_.baseCpuPercent, config_.baseMemoryMb,
+                     config_.baseFrameRate, config_.basePowerMw};
+}
+
+PerfMetrics DeviceModel::withWork(const WorkCounts& work, Millis window,
+                                  double detectorMacs, bool monitoring,
+                                  bool detection, bool decoration) const {
+  const double windowMs = std::max<double>(static_cast<double>(window.count), 1.0);
+
+  double cpuMs = 0.0;
+  double memMb = 0.0;
+  double powerExtra = 0.0;
+  double fpsExtra = 0.0;
+
+  if (monitoring) {
+    cpuMs += static_cast<double>(work.events) * config_.eventCpuMs;
+    cpuMs += static_cast<double>(work.screenshots) * config_.screenshotCpuMs;
+    memMb += config_.monitoringMemMb;
+    powerExtra += static_cast<double>(work.screenshots) *
+                  config_.screenshotPowerMw * (60000.0 / windowMs);
+    // Screenshot capture stalls the render thread for a frame or two.
+    const double shotsPerSec =
+        1000.0 * static_cast<double>(work.screenshots) / windowMs;
+    fpsExtra += shotsPerSec * config_.screenshotFpsPerPerSec;
+  }
+  if (detection) {
+    cpuMs += static_cast<double>(work.detections) * detectorMacs /
+             config_.macsPerCpuMs;
+    memMb += config_.detectionMemMb;
+  }
+  if (decoration) {
+    cpuMs += static_cast<double>(work.decorations) * config_.decorationCpuMs;
+    memMb += config_.decorationMemMb;
+    if (work.decorations > 0) fpsExtra += config_.decorationFpsCost;
+  }
+
+  const double extraCpuPercent = 100.0 * cpuMs / windowMs;
+  PerfMetrics metrics = baseline();
+  metrics.cpuPercent =
+      std::min(metrics.cpuPercent + extraCpuPercent, 100.0 * 8.0);  // 8 cores
+  metrics.memoryMb += memMb;
+  // UI-thread contention: extra CPU steals frame-deadline headroom, plus
+  // the fixed capture/composition costs above.
+  metrics.frameRate = std::max(
+      metrics.frameRate - extraCpuPercent * config_.fpsPerCpuPercent -
+          fpsExtra,
+      15.0);
+  metrics.powerMw +=
+      extraCpuPercent * config_.powerPerCpuPercent + powerExtra;
+  return metrics;
+}
+
+}  // namespace darpa::perf

@@ -1,0 +1,195 @@
+#include "study/user_study.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "cv/features.h"
+#include "dataset/dataset.h"
+#include "util/rng.h"
+
+namespace darpa::study {
+
+namespace {
+
+Persona samplePersona(Rng& rng) {
+  Persona p;
+  // The paper's sample skews young and educated (recruited online).
+  const double ageWeights[] = {0.04, 0.764, 0.15, 0.046};
+  p.ageGroup = static_cast<int>(rng.pickWeighted(ageWeights));
+  p.bachelorOrAbove = rng.chance(0.939);
+  p.male = rng.chance(74.0 / 165.0);
+  p.usedForeignApps = rng.chance(112.0 / 165.0);
+  // Younger, more-educated users are savvier on average.
+  double savvy = 0.55;
+  savvy += p.ageGroup == 1 ? 0.1 : (p.ageGroup >= 2 ? -0.15 : 0.0);
+  savvy += p.bachelorOrAbove ? 0.05 : -0.1;
+  p.techSavvy = std::clamp(savvy + rng.normal(0.0, 0.12), 0.05, 0.95);
+  return p;
+}
+
+/// Visual salience of an option measured on the rendered screenshot:
+/// combines its size, pop-out contrast against the surroundings, and how
+/// central it sits — the same cues §III-A identifies as the asymmetry.
+double optionSalience(const cv::FeatureMap& map, const Rect& box) {
+  const double W = map.fullSize().width;
+  const double H = map.fullSize().height;
+  const double areaFrac =
+      static_cast<double>(box.area()) / std::max(W * H, 1.0);
+  const double sizeTerm = std::sqrt(std::min(areaFrac * 14.0, 1.0));
+  const double contrastTerm = std::min(
+      (std::fabs(map.ringContrast(cv::Channel::kLuma, box)) +
+       std::fabs(map.ringContrast(cv::Channel::kSaliency, box)) * 2.0) *
+          3.0,
+      1.0);
+  const Point c = box.center();
+  const double dx = (c.x - W / 2) / (W / 2);
+  const double dy = (c.y - H / 2) / (H / 2);
+  const double centerTerm = 1.0 - std::min(std::sqrt(dx * dx + dy * dy), 1.0);
+  return 0.42 * sizeTerm + 0.38 * contrastTerm + 0.20 * centerTerm;
+}
+
+}  // namespace
+
+StudyResults runUserStudy(const StudyConfig& config) {
+  Rng rng(config.seed);
+  StudyResults results;
+  results.participants = config.participants;
+
+  // Render a pool of AUI examples whose measured salience drives every
+  // perception answer.
+  dataset::DatasetConfig dataConfig;
+  dataConfig.totalScreenshots = 40;
+  dataConfig.seed = rng.next();
+  const dataset::AuiDataset examples = dataset::AuiDataset::build(dataConfig);
+
+  struct ExampleSalience {
+    std::vector<double> ago;
+    std::vector<double> upo;
+  };
+  std::vector<ExampleSalience> pool;
+  for (std::size_t i = 0; i < examples.size(); ++i) {
+    const dataset::Sample sample = examples.materialize(i);
+    const cv::FeatureMap map(sample.image);
+    ExampleSalience s;
+    for (const dataset::Annotation& a : sample.annotations) {
+      const double sal = optionSalience(map, a.box);
+      (a.label == dataset::BoxLabel::kAgo ? s.ago : s.upo).push_back(sal);
+    }
+    if (!s.upo.empty()) pool.push_back(std::move(s));
+  }
+
+  int misleadingAgree = 0;
+  int often = 0, occasionally = 0, never = 0;
+  int bothered = 0;
+  int moreInChina = 0, foreignUsers = 0;
+  int upoEqually = 0;
+  int wantHighlight = 0;
+  int bachelor = 0, age18to35 = 0;
+  double agoRatingSum = 0.0, upoRatingSum = 0.0;
+  std::int64_t agoRatings = 0, upoRatings = 0;
+  double demandSum = 0.0;
+
+  for (int i = 0; i < config.participants; ++i) {
+    const Persona p = samplePersona(rng);
+    bachelor += p.bachelorOrAbove;
+    age18to35 += p.ageGroup == 1;
+
+    // Q3-Q5: accessibility ratings for the options of `ratedExamples` AUIs.
+    double personalAgoAvg = 0.0, personalUpoAvg = 0.0;
+    int personalUpoCount = 0, personalAgoCount = 0;
+    for (int e = 0; e < config.ratedExamples; ++e) {
+      const ExampleSalience& ex = pool[rng.next() % pool.size()];
+      for (double sal : ex.ago) {
+        const double rating = std::clamp(
+            2.2 + 6.4 * sal + rng.normal(0.0, 0.9), 1.0, 10.0);
+        agoRatingSum += rating;
+        personalAgoAvg += rating;
+        ++agoRatings;
+        ++personalAgoCount;
+      }
+      for (double sal : ex.upo) {
+        const double rating = std::clamp(
+            2.2 + 6.4 * sal + rng.normal(0.0, 0.9), 1.0, 10.0);
+        upoRatingSum += rating;
+        personalUpoAvg += rating;
+        ++upoRatings;
+        ++personalUpoCount;
+      }
+    }
+    personalAgoAvg /= std::max(personalAgoCount, 1);
+    personalUpoAvg /= std::max(personalUpoCount, 1);
+
+    // Q1: "are these misleading?" — driven by the perceived asymmetry.
+    const double asymmetry = personalAgoAvg - personalUpoAvg;
+    if (asymmetry + rng.normal(0.0, 0.8) > 0.8) ++misleadingAgree;
+
+    // Q2: misclick frequency across simulated weekly encounters. Low UPO
+    // salience means the escape option is genuinely hard to hit.
+    int misclicks = 0;
+    // A small fraction of participants barely use apps; they are the
+    // plausible "never misclick" answers (4/165 in the paper).
+    const int encounters =
+        rng.chance(0.05) ? 3 : config.weeklyEncounters;
+    for (int e = 0; e < encounters; ++e) {
+      const ExampleSalience& ex = pool[rng.next() % pool.size()];
+      const double upoSal =
+          ex.upo.empty() ? 0.2 : ex.upo[rng.next() % ex.upo.size()];
+      const double pMisclick = std::clamp(
+          0.04 + 0.66 * (1.0 - upoSal) * (1.25 - p.techSavvy), 0.0, 0.95);
+      misclicks += rng.chance(pMisclick) ? 1 : 0;
+    }
+    const double misclickRate =
+        static_cast<double>(misclicks) / encounters;
+    if (misclickRate >= 0.25) {
+      ++often;
+    } else if (misclickRate > 0.02) {
+      ++occasionally;
+    } else {
+      ++never;
+    }
+
+    // Q7: bothered by unintended clicks (savvier users more annoyed).
+    if (misclickRate > 0.02 && rng.chance(0.55 + 0.45 * p.techSavvy)) {
+      ++bothered;
+    }
+
+    // Q8: among foreign-app users, do Chinese apps have more AUIs?
+    if (p.usedForeignApps) {
+      ++foreignUsers;
+      if (rng.chance(0.768)) ++moreInChina;
+    }
+
+    // Q9: is the UPO at least as important as the AGO?
+    if (rng.chance(0.45 + 0.45 * p.techSavvy)) ++upoEqually;
+
+    // Q10-Q12: demand for a mitigation scales with how much the user
+    // suffers (misclick rate) and their perceived asymmetry.
+    const double demand = std::clamp(
+        5.3 + 3.6 * misclickRate + 0.35 * asymmetry + rng.normal(0.0, 1.0),
+        1.0, 10.0);
+    demandSum += demand;
+    if (rng.chance(0.35 + 0.4 * misclickRate + 0.05 * asymmetry)) {
+      ++wantHighlight;
+    }
+  }
+
+  const double n = config.participants;
+  results.misleadingAgreePct = 100.0 * misleadingAgree / n;
+  results.avgAgoRating = agoRatingSum / std::max<std::int64_t>(agoRatings, 1);
+  results.avgUpoRating = upoRatingSum / std::max<std::int64_t>(upoRatings, 1);
+  results.upoEquallyImportantPct = 100.0 * upoEqually / n;
+  results.oftenMisclickPct = 100.0 * often / n;
+  results.occasionallyMisclickPct = 100.0 * occasionally / n;
+  results.neverMisclickPct = 100.0 * never / n;
+  results.botheredPct = 100.0 * bothered / n;
+  results.moreAuisInChinaPct =
+      foreignUsers == 0 ? 0.0 : 100.0 * moreInChina / foreignUsers;
+  results.demandRating = demandSum / n;
+  results.wantHighlightPct = 100.0 * wantHighlight / n;
+  results.bachelorPct = 100.0 * bachelor / n;
+  results.age18to35Pct = 100.0 * age18to35 / n;
+  return results;
+}
+
+}  // namespace darpa::study

@@ -1,0 +1,65 @@
+// User-study simulation (§III-B).
+//
+// The paper surveys 165 app users about AUIs: perceived misleadingness,
+// accessibility ratings for AGO vs UPO, misclick frequency, and demand for
+// a mitigation. We cannot survey humans, so we simulate a persona
+// population whose *perception model is grounded in the rendered pixels*:
+// each persona rates an option by its actual visual salience (area, ring
+// contrast, centrality measured on the generated screenshots), modulated by
+// tech-savviness and noise. Findings 1-3 then emerge from the same visual
+// asymmetry the CV detector exploits, rather than being hard-coded survey
+// percentages. The bench prints paper-vs-simulated side by side.
+#pragma once
+
+#include <cstdint>
+
+namespace darpa::study {
+
+/// One simulated participant.
+struct Persona {
+  int ageGroup = 1;            ///< 0:<18, 1:18-35, 2:36-50, 3:>50.
+  bool bachelorOrAbove = true; ///< 93.9 % in the paper's sample.
+  bool male = false;           ///< 74/165 in the paper.
+  double techSavvy = 0.5;      ///< 0..1; higher = fewer misclicks.
+  bool usedForeignApps = false;
+};
+
+/// Aggregated questionnaire outcomes (the quantities of Findings 1-3).
+struct StudyResults {
+  int participants = 0;
+
+  // Finding 1 — AUIs are misleading.
+  double misleadingAgreePct = 0;   ///< Q1; paper: 94.5 %.
+  double avgAgoRating = 0;         ///< Q3-Q5; paper: 7.49 / 10.
+  double avgUpoRating = 0;         ///< Q3-Q5; paper: 4.38 / 10.
+  double upoEquallyImportantPct = 0;  ///< Q9; paper: 72.7 %.
+
+  // Finding 2 — AUIs hurt usability.
+  double oftenMisclickPct = 0;        ///< Q2; paper: 77.0 %.
+  double occasionallyMisclickPct = 0; ///< Q2; paper: 20.6 %.
+  double neverMisclickPct = 0;        ///< Q2; paper: 2.4 %.
+  double botheredPct = 0;             ///< Q7; paper: 83.0 %.
+  double moreAuisInChinaPct = 0;      ///< Q8; paper: 76.8 % (of 112).
+
+  // Finding 3 — users want a mitigation.
+  double demandRating = 0;      ///< paper: 7.64 / 10.
+  double wantHighlightPct = 0;  ///< paper: > 50 %.
+
+  // Demographics echoes.
+  double bachelorPct = 0;  ///< paper: 93.9 %.
+  double age18to35Pct = 0; ///< paper: 76.4 %.
+};
+
+struct StudyConfig {
+  int participants = 165;
+  /// AUI examples each participant rates (the paper shows 3 in Q3-Q5).
+  int ratedExamples = 3;
+  /// Simulated everyday encounters used for the misclick-frequency answer.
+  int weeklyEncounters = 24;
+  std::uint64_t seed = 1121;  ///< Survey opened Nov 21, 2022.
+};
+
+/// Runs the simulated survey.
+[[nodiscard]] StudyResults runUserStudy(const StudyConfig& config);
+
+}  // namespace darpa::study

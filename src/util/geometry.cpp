@@ -1,0 +1,65 @@
+#include "util/geometry.h"
+
+namespace darpa {
+
+Rect Rect::intersect(const Rect& o) const {
+  const int l = std::max(x, o.x);
+  const int t = std::max(y, o.y);
+  const int r = std::min(right(), o.right());
+  const int b = std::min(bottom(), o.bottom());
+  if (r <= l || b <= t) return {l, t, 0, 0};
+  return {l, t, r - l, b - t};
+}
+
+Rect Rect::unite(const Rect& o) const {
+  if (empty()) return o;
+  if (o.empty()) return *this;
+  const int l = std::min(x, o.x);
+  const int t = std::min(y, o.y);
+  const int r = std::max(right(), o.right());
+  const int b = std::max(bottom(), o.bottom());
+  return {l, t, r - l, b - t};
+}
+
+std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << "Rect{" << r.x << "," << r.y << " " << r.width << "x"
+            << r.height << "}";
+}
+
+Rect RectF::toRect() const {
+  return {static_cast<int>(std::lround(x)), static_cast<int>(std::lround(y)),
+          static_cast<int>(std::lround(width)),
+          static_cast<int>(std::lround(height))};
+}
+
+std::ostream& operator<<(std::ostream& os, const RectF& r) {
+  return os << "RectF{" << r.x << "," << r.y << " " << r.width << "x"
+            << r.height << "}";
+}
+
+double iou(const Rect& a, const Rect& b) {
+  const Rect i = a.intersect(b);
+  if (i.empty()) return 0.0;
+  const double inter = static_cast<double>(i.area());
+  const double uni = static_cast<double>(a.area()) + b.area() - inter;
+  return uni <= 0.0 ? 0.0 : inter / uni;
+}
+
+double iou(const RectF& a, const RectF& b) {
+  const float l = std::max(a.left(), b.left());
+  const float t = std::max(a.top(), b.top());
+  const float r = std::min(a.right(), b.right());
+  const float btm = std::min(a.bottom(), b.bottom());
+  if (r <= l || btm <= t) return 0.0;
+  const double inter = static_cast<double>(r - l) * (btm - t);
+  const double uni = static_cast<double>(a.area()) + b.area() - inter;
+  return uni <= 0.0 ? 0.0 : inter / uni;
+}
+
+double distance(Point a, Point b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace darpa

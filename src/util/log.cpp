@@ -1,0 +1,33 @@
+#include "util/log.h"
+
+namespace darpa {
+
+namespace {
+LogLevel& levelStorage() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+std::string_view levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel logLevel() { return levelStorage(); }
+void setLogLevel(LogLevel level) { levelStorage() = level; }
+
+namespace detail {
+void logLine(LogLevel level, std::string_view message) {
+  std::ostream& os = level >= LogLevel::kWarn ? std::cerr : std::cout;
+  os << "[" << levelName(level) << "] " << message << "\n";
+}
+}  // namespace detail
+
+}  // namespace darpa

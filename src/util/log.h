@@ -1,0 +1,50 @@
+// Minimal leveled logger.
+//
+// The simulation is mostly silent by default (benches print their own
+// tables); logging exists for debugging and for the examples, which narrate
+// the DARPA life-cycle. No global mutable formatting state; thread safety is
+// irrelevant because the simulation core is single-threaded by design.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace darpa {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level. Defaults to Warn so tests stay quiet.
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+
+namespace detail {
+void logLine(LogLevel level, std::string_view message);
+
+template <typename... Args>
+void logFmt(LogLevel level, Args&&... args) {
+  if (level < logLevel()) return;
+  std::ostringstream os;
+  (os << ... << args);
+  logLine(level, os.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void logDebug(Args&&... args) {
+  detail::logFmt(LogLevel::kDebug, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void logInfo(Args&&... args) {
+  detail::logFmt(LogLevel::kInfo, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void logWarn(Args&&... args) {
+  detail::logFmt(LogLevel::kWarn, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void logError(Args&&... args) {
+  detail::logFmt(LogLevel::kError, std::forward<Args>(args)...);
+}
+
+}  // namespace darpa

@@ -1,0 +1,32 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace darpa {
+
+double Rng::normal() {
+  // Box-Muller; reject u1 == 0 to keep log() finite.
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+std::size_t Rng::pickWeighted(std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) total += w > 0.0 ? w : 0.0;
+  assert(total > 0.0);
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    if (target < w) return i;
+    target -= w;
+  }
+  return weights.size() - 1;  // Floating-point tail: return the last entry.
+}
+
+}  // namespace darpa

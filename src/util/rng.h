@@ -1,0 +1,81 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the simulation (app population, dataset
+// generator, detectors' weight init, user-study personas, Monkey driver)
+// takes an explicit seed and derives its own Rng, so whole-system runs are
+// reproducible bit-for-bit regardless of module evaluation order.
+//
+// The engine is SplitMix64 feeding a PCG-style output; it is tiny, fast, and
+// has no global state.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace darpa {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ULL) {}
+
+  /// Next raw 64-bit value (SplitMix64).
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Derives an independent child stream; use to hand sub-components their
+  /// own generator without coupling their draw sequences.
+  [[nodiscard]] Rng fork() { return Rng(next()); }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return (next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int uniformInt(int lo, int hi) {
+    assert(lo <= hi);
+    const std::uint64_t range = static_cast<std::uint64_t>(hi) - lo + 1;
+    return lo + static_cast<int>(next() % range);
+  }
+
+  /// Bernoulli draw with probability p of true.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Standard normal via Box-Muller (one value per call; no caching so the
+  /// draw count stays predictable for reproducibility).
+  double normal() ;
+
+  /// Normal with mean/stddev.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Picks an index in [0, weights.size()) proportionally to weights.
+  /// Requires at least one strictly positive weight.
+  std::size_t pickWeighted(std::span<const double> weights);
+
+  /// Uniformly picks one element of a non-empty span.
+  template <typename T>
+  const T& pick(std::span<const T> items) {
+    assert(!items.empty());
+    return items[next() % items.size()];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::swap(items[i - 1], items[next() % i]);
+    }
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace darpa

@@ -1,0 +1,265 @@
+// Unit tests for the app population: AUI taxonomy, screen generation
+// invariants, resource-id obfuscation, and the runtime app sessions.
+#include <gtest/gtest.h>
+
+#include "apps/app_model.h"
+#include "apps/aui_types.h"
+#include "apps/screen_generator.h"
+#include "gfx/canvas.h"
+
+namespace darpa::apps {
+namespace {
+
+TEST(AuiTypesTest, SharesSumToHundred) {
+  double total = 0.0;
+  for (AuiType type : kAllAuiTypes) total += auiTypePaperShare(type);
+  EXPECT_NEAR(total, 100.0, 0.01);
+}
+
+TEST(AuiTypesTest, CountsSumTo1072) {
+  int total = 0;
+  for (AuiType type : kAllAuiTypes) total += auiTypePaperCount(type);
+  EXPECT_EQ(total, 1072);
+}
+
+TEST(AuiTypesTest, NamesAreDistinct) {
+  for (AuiType a : kAllAuiTypes) {
+    for (AuiType b : kAllAuiTypes) {
+      if (a != b) {
+        EXPECT_NE(auiTypeName(a), auiTypeName(b));
+      }
+    }
+  }
+  EXPECT_EQ(auiHostName(AuiHost::kFirstParty), "first-party");
+  EXPECT_EQ(auiHostName(AuiHost::kThirdParty), "third-party");
+}
+
+ScreenGenerator makeGenerator(std::uint64_t seed = 99) {
+  return ScreenGenerator(ScreenGenerator::Params{}, seed);
+}
+
+TEST(ScreenGeneratorTest, AuiTruthConsistentWithSpec) {
+  ScreenGenerator gen = makeGenerator();
+  for (AuiType type : kAllAuiTypes) {
+    AuiSpec spec;
+    spec.type = type;
+    spec.hasAgoBox = true;
+    spec.numUpos = 1;
+    const GeneratedScreen screen = gen.makeAui(spec);
+    EXPECT_TRUE(screen.truth.isAui);
+    ASSERT_TRUE(screen.truth.spec.has_value());
+    EXPECT_EQ(screen.truth.spec->type, type);
+    EXPECT_EQ(screen.truth.agoBoxes.size(), 1u) << auiTypeName(type);
+    EXPECT_EQ(screen.truth.upoBoxes.size(), 1u) << auiTypeName(type);
+    EXPECT_NE(screen.root, nullptr);
+  }
+}
+
+TEST(ScreenGeneratorTest, BoxesWithinFrame) {
+  ScreenGenerator gen = makeGenerator(123);
+  const Rect frame{0, 0, 360, 648};
+  for (int i = 0; i < 40; ++i) {
+    AuiSpec spec;
+    ScreenGenerator probe = makeGenerator(1000 + i);
+    spec = probe.randomSpec();
+    const GeneratedScreen screen = gen.makeAui(spec);
+    for (const Rect& box : screen.truth.agoBoxes) {
+      EXPECT_TRUE(frame.contains(box)) << "AGO " << box;
+    }
+    for (const Rect& box : screen.truth.upoBoxes) {
+      EXPECT_TRUE(frame.contains(box)) << "UPO " << box;
+    }
+  }
+}
+
+TEST(ScreenGeneratorTest, UpoSmallerThanAgo) {
+  ScreenGenerator gen = makeGenerator(7);
+  for (int i = 0; i < 25; ++i) {
+    AuiSpec spec = gen.randomSpec();
+    spec.hasAgoBox = true;
+    const GeneratedScreen screen = gen.makeAui(spec);
+    ASSERT_FALSE(screen.truth.agoBoxes.empty());
+    ASSERT_FALSE(screen.truth.upoBoxes.empty());
+    EXPECT_GT(screen.truth.agoBoxes[0].area(),
+              screen.truth.upoBoxes[0].area() * 4);
+  }
+}
+
+TEST(ScreenGeneratorTest, GhostUpoIsNearlyInvisible) {
+  // Compare each screen against itself with the UPO hidden: the ghost
+  // variant's pixels barely change, the regular variant's change a lot.
+  auto upoInkDelta = [](const GeneratedScreen& screen) {
+    const Rect upo = screen.truth.upoBoxes[0];
+    android::View* upoView = nullptr;
+    for (const auto& child : screen.root->children()) {
+      if (child->frame() == upo) upoView = child.get();
+    }
+    EXPECT_NE(upoView, nullptr);
+    gfx::Bitmap with(360, 648, colors::kWhite);
+    gfx::Canvas cw(with);
+    screen.root->draw(cw, {0, 0});
+    upoView->setVisible(false);
+    gfx::Bitmap without(360, 648, colors::kWhite);
+    gfx::Canvas cwo(without);
+    screen.root->draw(cwo, {0, 0});
+    double delta = 0.0;
+    for (int y = upo.top(); y < upo.bottom(); ++y) {
+      for (int x = upo.left(); x < upo.right(); ++x) {
+        delta += std::fabs(luma(with.atClamped(x, y)) -
+                           luma(without.atClamped(x, y)));
+      }
+    }
+    return delta / static_cast<double>(upo.area());
+  };
+  double ghostSum = 0.0, plainSum = 0.0;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    AuiSpec spec;
+    spec.type = AuiType::kSalesPromotion;
+    spec.ghostUpo = false;
+    ScreenGenerator genA = makeGenerator(100 + seed);
+    plainSum += upoInkDelta(genA.makeAui(spec));
+    spec.ghostUpo = true;
+    ScreenGenerator genB = makeGenerator(100 + seed);
+    ghostSum += upoInkDelta(genB.makeAui(spec));
+  }
+  EXPECT_LT(ghostSum, plainSum * 0.5);
+}
+
+TEST(ScreenGeneratorTest, ObfuscationFollowsHostRates) {
+  ScreenGenerator::Params params;
+  params.obfuscateThirdParty = 1.0;  // always obfuscated
+  params.obfuscateFirstParty = 0.0;  // never
+  ScreenGenerator gen(params, 5);
+  AuiSpec adSpec;
+  adSpec.type = AuiType::kAdvertisement;
+  adSpec.host = AuiHost::kThirdParty;
+  const GeneratedScreen ad = gen.makeAui(adSpec);
+  // The ad's close button id must be obfuscated (junk or empty).
+  EXPECT_EQ(ad.root->findViewByResourceId("btn_close"), nullptr);
+
+  AuiSpec promoSpec;
+  promoSpec.type = AuiType::kSalesPromotion;
+  promoSpec.host = AuiHost::kFirstParty;
+  const GeneratedScreen promo = gen.makeAui(promoSpec);
+  EXPECT_NE(promo.root->findViewByResourceId("btn_close"), nullptr);
+}
+
+TEST(ScreenGeneratorTest, BenignScreensHaveNoTruth) {
+  ScreenGenerator gen = makeGenerator(55);
+  for (int i = 0; i < 10; ++i) {
+    const GeneratedScreen screen = gen.makeBenign();
+    EXPECT_FALSE(screen.truth.isAui);
+    EXPECT_TRUE(screen.truth.agoBoxes.empty());
+    EXPECT_TRUE(screen.truth.upoBoxes.empty());
+  }
+}
+
+TEST(ScreenGeneratorTest, HardNegativeHasCloseButtonButIsNotAui) {
+  ScreenGenerator gen = makeGenerator(66);
+  const GeneratedScreen screen = gen.makeHardNegative();
+  EXPECT_FALSE(screen.truth.isAui);
+  EXPECT_TRUE(screen.truth.hardNegative);
+  EXPECT_NE(screen.root->findViewByResourceId("btn_close"), nullptr);
+}
+
+TEST(ScreenGeneratorTest, DeterministicForSeed) {
+  AuiSpec spec;
+  spec.type = AuiType::kAppUpgrade;
+  ScreenGenerator genA = makeGenerator(9);
+  ScreenGenerator genB = makeGenerator(9);
+  const GeneratedScreen a = genA.makeAui(spec);
+  const GeneratedScreen b = genB.makeAui(spec);
+  EXPECT_EQ(a.truth.agoBoxes, b.truth.agoBoxes);
+  EXPECT_EQ(a.truth.upoBoxes, b.truth.upoBoxes);
+  gfx::Bitmap bmpA(360, 648), bmpB(360, 648);
+  gfx::Canvas ca(bmpA), cb(bmpB);
+  a.root->draw(ca, {0, 0});
+  b.root->draw(cb, {0, 0});
+  EXPECT_EQ(bmpA, bmpB);
+}
+
+TEST(ScreenGeneratorTest, RandomSpecFollowsPaperMarginals) {
+  ScreenGenerator gen = makeGenerator(314);
+  int ads = 0, central = 0, corner = 0, n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const AuiSpec spec = gen.randomSpec();
+    ads += spec.type == AuiType::kAdvertisement;
+    central += spec.agoCentral;
+    corner += spec.upoCorner;
+  }
+  EXPECT_NEAR(ads / static_cast<double>(n), 0.649, 0.04);
+  EXPECT_NEAR(central / static_cast<double>(n), 0.946, 0.02);
+  EXPECT_NEAR(corner / static_cast<double>(n), 0.731, 0.04);
+}
+
+// ------------------------------------------------------------- sessions
+TEST(AppSessionTest, SessionShowsScreensAndEmitsEvents) {
+  android::AndroidSystem system;
+  AppProfile profile;
+  profile.package = "com.test.app";
+  profile.auisPerMinute = 0.0;  // benign-only session
+  AppSession session(system, profile, 1);
+  session.start(ms(30000));
+  system.looper.runUntil(ms(30000));
+  EXPECT_GT(session.screensShown(), 3);
+  EXPECT_GT(system.accessibility.totalEmitted(), 20);
+  EXPECT_TRUE(session.exposures().empty());
+}
+
+TEST(AppSessionTest, AuiExposuresRecorded) {
+  android::AndroidSystem system;
+  AppProfile profile;
+  profile.auisPerMinute = 6.0;  // aggressive popups for the test
+  AppSession session(system, profile, 2);
+  session.start(ms(60000));
+  system.looper.runUntil(ms(60000));
+  ASSERT_FALSE(session.exposures().empty());
+  for (const AuiExposure& e : session.exposures()) {
+    EXPECT_GT(e.hiddenAt.count, e.shownAt.count);
+    EXPECT_FALSE(e.upoScreenBoxes.empty());
+    // Exposure boxes are in screen coordinates (inside the app frame).
+    const Rect frame = system.windowManager.appFrame(false);
+    for (const Rect& box : e.upoScreenBoxes) {
+      EXPECT_TRUE(frame.contains(box));
+    }
+    // exposureAt finds the exposure mid-window.
+    const Millis mid{(e.shownAt.count + e.hiddenAt.count) / 2};
+    EXPECT_EQ(session.exposureAt(mid), &e);
+  }
+}
+
+TEST(AppSessionTest, ExposureAtReturnsNullOutside) {
+  android::AndroidSystem system;
+  AppProfile profile;
+  profile.auisPerMinute = 0.0;
+  AppSession session(system, profile, 3);
+  session.start(ms(5000));
+  system.looper.runUntil(ms(5000));
+  EXPECT_EQ(session.exposureAt(ms(2500)), nullptr);
+}
+
+TEST(MonkeyDriverTest, TapsEmitTouchEvents) {
+  android::AndroidSystem system;
+  system.windowManager.showAppWindow("com.app", std::make_unique<android::View>(),
+                                     false);
+  MonkeyDriver monkey(system, 4);
+  monkey.start(ms(10000));
+  system.looper.runUntil(ms(10000));
+  EXPECT_GT(monkey.taps(), 5);
+  EXPECT_GT(system.accessibility.totalEmitted(), monkey.taps());
+}
+
+TEST(AppProfileTest, RandomProfilesVaryButAreSane) {
+  Rng rng(8);
+  for (int i = 0; i < 20; ++i) {
+    const AppProfile profile = randomAppProfile("com.app", rng);
+    EXPECT_GT(profile.screenChangeMeanMs, 0);
+    EXPECT_GT(profile.maxBurst, profile.minBurst);
+    EXPECT_GT(profile.auiMaxVisibleMs, profile.auiMinVisibleMs);
+    EXPECT_GE(profile.animatedAuiProb, 0.0);
+    EXPECT_LE(profile.animatedAuiProb, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace darpa::apps

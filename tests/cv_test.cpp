@@ -1,0 +1,301 @@
+// Unit tests for the CV library: feature extraction, NMS, evaluation
+// matching, flood-fill refinement, and detector scaffolding.
+#include <gtest/gtest.h>
+
+#include "cv/detection.h"
+#include "cv/features.h"
+#include "cv/one_stage.h"
+#include "cv/refine.h"
+#include "cv/two_stage.h"
+#include "gfx/canvas.h"
+
+namespace darpa::cv {
+namespace {
+
+gfx::Bitmap plateOnBackground(Size size, Color background, const Rect& plate,
+                              Color plateColor) {
+  gfx::Bitmap bmp(size.width, size.height, background);
+  bmp.fillRect(plate, plateColor);
+  return bmp;
+}
+
+// ---------------------------------------------------------------- channels
+TEST(ChannelSetTest, MaskOperations) {
+  EXPECT_EQ(ChannelSet::all().count(), kChannelCount);
+  const ChannelSet noEdge = ChannelSet::all().without(Channel::kEdge);
+  EXPECT_EQ(noEdge.count(), kChannelCount - 1);
+  EXPECT_FALSE(noEdge.enabled(Channel::kEdge));
+  EXPECT_TRUE(noEdge.enabled(Channel::kLuma));
+  const Channel two[] = {Channel::kLuma, Channel::kSaliency};
+  const ChannelSet only = ChannelSet::only(two);
+  EXPECT_EQ(only.count(), 2);
+  EXPECT_TRUE(only.enabled(Channel::kSaliency));
+  EXPECT_FALSE(only.enabled(Channel::kContrast));
+}
+
+// ---------------------------------------------------------------- features
+TEST(FeatureMapTest, LumaMeansReflectContent) {
+  gfx::Bitmap bmp(64, 64, colors::kWhite);
+  bmp.fillRect({0, 0, 32, 64}, colors::kBlack);
+  const FeatureMap map(bmp, ChannelSet::all(), 2);
+  EXPECT_LT(map.boxMean(Channel::kLuma, {0, 0, 32, 64}), 0.1f);
+  EXPECT_GT(map.boxMean(Channel::kLuma, {32, 0, 32, 64}), 0.9f);
+  EXPECT_NEAR(map.globalMean(Channel::kLuma), 0.5f, 0.05f);
+}
+
+TEST(FeatureMapTest, EdgeFiresOnBoundary) {
+  gfx::Bitmap bmp(64, 64, colors::kWhite);
+  bmp.fillRect({0, 0, 32, 64}, colors::kBlack);
+  const FeatureMap map(bmp, ChannelSet::all(), 2);
+  EXPECT_GT(map.boxMean(Channel::kEdge, {28, 0, 8, 64}),
+            map.boxMean(Channel::kEdge, {48, 0, 8, 64}) + 0.1f);
+}
+
+TEST(FeatureMapTest, RingContrastPositiveForBrightPlate) {
+  const gfx::Bitmap bmp = plateOnBackground({80, 80}, colors::kBlack,
+                                            {30, 30, 20, 20}, colors::kWhite);
+  const FeatureMap map(bmp, ChannelSet::all(), 2);
+  EXPECT_GT(map.ringContrast(Channel::kLuma, {30, 30, 20, 20}), 0.3f);
+  // A box over uniform background has ~zero ring contrast.
+  EXPECT_NEAR(map.ringContrast(Channel::kLuma, {2, 2, 10, 10}), 0.0f, 0.05f);
+}
+
+TEST(FeatureMapTest, DisabledChannelReadsZero) {
+  const gfx::Bitmap bmp = plateOnBackground({40, 40}, colors::kBlack,
+                                            {10, 10, 10, 10}, colors::kRed);
+  const FeatureMap map(bmp, ChannelSet::all().without(Channel::kSaturation), 2);
+  EXPECT_EQ(map.boxMean(Channel::kSaturation, {10, 10, 10, 10}), 0.0f);
+  EXPECT_GT(map.boxMean(Channel::kSaliency, {10, 10, 10, 10}), 0.0f);
+}
+
+TEST(FeatureMapTest, CenterSurroundDetectsDarkSurround) {
+  gfx::Bitmap bmp(80, 160, colors::kBlack);
+  bmp.fillRect({20, 40, 40, 80}, colors::kWhite);  // bright center panel
+  const FeatureMap map(bmp, ChannelSet::all(), 2);
+  EXPECT_GT(map.centerSurroundLuma(), 0.3f);
+}
+
+TEST(CandidateFeaturesTest, DimensionMatchesConstant) {
+  const gfx::Bitmap bmp(64, 64, colors::kGray);
+  const FeatureMap map(bmp, ChannelSet::all(), 2);
+  const std::vector<float> f = candidateFeatures(map, {10, 10, 20, 20});
+  EXPECT_EQ(static_cast<int>(f.size()), kCandidateFeatureDim);
+  for (float v : f) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(CandidateFeaturesTest, ContinuationSeparatesBlobFromBorder) {
+  // Isolated blob vs a long horizontal stripe of the same height.
+  gfx::Bitmap blobImg(200, 100, colors::kWhite);
+  blobImg.fillRect({90, 40, 20, 20}, colors::kBlack);
+  gfx::Bitmap stripeImg(200, 100, colors::kWhite);
+  stripeImg.fillRect({0, 40, 200, 20}, colors::kBlack);
+  const FeatureMap blobMap(blobImg, ChannelSet::all(), 2);
+  const FeatureMap stripeMap(stripeImg, ChannelSet::all(), 2);
+  const Rect box{90, 40, 20, 20};
+  const auto blobF = candidateFeatures(blobMap, box);
+  const auto stripeF = candidateFeatures(stripeMap, box);
+  // Horizontal continuation (second-to-last feature) is larger on stripes.
+  const std::size_t contX = blobF.size() - 2;
+  EXPECT_GT(stripeF[contX], blobF[contX] + 0.05f);
+}
+
+// ---------------------------------------------------------------- NMS/eval
+Detection det(Rect box, dataset::BoxLabel label, float conf) {
+  return Detection{box, label, conf};
+}
+
+TEST(NmsTest, SuppressesOverlappingSameClass) {
+  std::vector<Detection> dets = {
+      det({0, 0, 20, 20}, dataset::BoxLabel::kUpo, 0.9f),
+      det({2, 2, 20, 20}, dataset::BoxLabel::kUpo, 0.8f),
+      det({100, 100, 20, 20}, dataset::BoxLabel::kUpo, 0.7f),
+  };
+  const auto kept = nonMaxSuppression(std::move(dets), 0.5);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].confidence, 0.9f);  // highest kept first
+}
+
+TEST(NmsTest, DifferentClassesSurvive) {
+  std::vector<Detection> dets = {
+      det({0, 0, 20, 20}, dataset::BoxLabel::kUpo, 0.9f),
+      det({0, 0, 20, 20}, dataset::BoxLabel::kAgo, 0.8f),
+  };
+  EXPECT_EQ(nonMaxSuppression(std::move(dets), 0.5).size(), 2u);
+}
+
+TEST(EvalTest, PerfectDetectionCountsTp) {
+  const dataset::Annotation gt{{10, 10, 20, 20}, dataset::BoxLabel::kUpo};
+  const std::vector<Detection> dets = {
+      det({10, 10, 20, 20}, dataset::BoxLabel::kUpo, 0.9f)};
+  const EvalCounts counts = evaluateImage(dets, {&gt, 1}, 0.9);
+  EXPECT_EQ(counts.tp, 1);
+  EXPECT_EQ(counts.fp, 0);
+  EXPECT_EQ(counts.fn, 0);
+  EXPECT_DOUBLE_EQ(counts.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(counts.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(counts.f1(), 1.0);
+}
+
+TEST(EvalTest, WrongClassIsFpPlusFn) {
+  const dataset::Annotation gt{{10, 10, 20, 20}, dataset::BoxLabel::kUpo};
+  const std::vector<Detection> dets = {
+      det({10, 10, 20, 20}, dataset::BoxLabel::kAgo, 0.9f)};
+  const EvalCounts counts = evaluateImage(dets, {&gt, 1}, 0.9);
+  EXPECT_EQ(counts.tp, 0);
+  EXPECT_EQ(counts.fp, 1);
+  EXPECT_EQ(counts.fn, 1);
+}
+
+TEST(EvalTest, LooseBoxFailsStrictIouButPassesLoose) {
+  const dataset::Annotation gt{{10, 10, 20, 20}, dataset::BoxLabel::kUpo};
+  const std::vector<Detection> dets = {
+      det({12, 12, 20, 20}, dataset::BoxLabel::kUpo, 0.9f)};
+  EXPECT_EQ(evaluateImage(dets, {&gt, 1}, 0.9).tp, 0);
+  EXPECT_EQ(evaluateImage(dets, {&gt, 1}, 0.5).tp, 1);
+}
+
+TEST(EvalTest, EachGtMatchedOnce) {
+  const dataset::Annotation gt{{10, 10, 20, 20}, dataset::BoxLabel::kUpo};
+  const std::vector<Detection> dets = {
+      det({10, 10, 20, 20}, dataset::BoxLabel::kUpo, 0.9f),
+      det({10, 10, 20, 20}, dataset::BoxLabel::kUpo, 0.8f)};
+  const EvalCounts counts = evaluateImage(dets, {&gt, 1}, 0.9);
+  EXPECT_EQ(counts.tp, 1);
+  EXPECT_EQ(counts.fp, 1);
+}
+
+TEST(EvalTest, LabelFilterScopesCounts) {
+  const dataset::Annotation gts[] = {
+      {{10, 10, 20, 20}, dataset::BoxLabel::kUpo},
+      {{50, 50, 40, 40}, dataset::BoxLabel::kAgo}};
+  const std::vector<Detection> dets = {
+      det({10, 10, 20, 20}, dataset::BoxLabel::kUpo, 0.9f)};
+  const EvalCounts upoOnly =
+      evaluateImage(dets, gts, 0.9, dataset::BoxLabel::kUpo);
+  EXPECT_EQ(upoOnly.tp, 1);
+  EXPECT_EQ(upoOnly.fn, 0);
+  const EvalCounts agoOnly =
+      evaluateImage(dets, gts, 0.9, dataset::BoxLabel::kAgo);
+  EXPECT_EQ(agoOnly.fn, 1);
+}
+
+TEST(EvalTest, CountsAccumulate) {
+  EvalCounts a{3, 1, 2};
+  const EvalCounts b{1, 1, 1};
+  a += b;
+  EXPECT_EQ(a.tp, 4);
+  EXPECT_EQ(a.fp, 2);
+  EXPECT_EQ(a.fn, 3);
+}
+
+// ---------------------------------------------------------------- refine
+TEST(RefineTest, SnapsExactlyToSolidPlate) {
+  const Rect plate{40, 40, 18, 18};
+  const gfx::Bitmap bmp =
+      plateOnBackground({120, 120}, colors::kWhite, plate, Color::rgb(200, 200, 205));
+  // Coarse box offset by a few pixels still snaps to the exact plate.
+  const auto snapped = snapToRegion(bmp, plate.translated(3, -2));
+  ASSERT_TRUE(snapped.has_value());
+  EXPECT_EQ(*snapped, plate);
+}
+
+TEST(RefineTest, SnapsPlateWithGlyphOnTop) {
+  const Rect plate{40, 40, 20, 20};
+  gfx::Bitmap bmp =
+      plateOnBackground({120, 120}, colors::kWhite, plate, Color::rgb(200, 200, 205));
+  gfx::Canvas canvas(bmp);
+  canvas.drawCross(plate, Color::rgb(90, 90, 90), 2);  // glyph over the plate
+  const auto snapped = snapToRegion(bmp, plate.inflated(2));
+  ASSERT_TRUE(snapped.has_value());
+  EXPECT_GT(iou(*snapped, plate), 0.9);
+}
+
+TEST(RefineTest, FailsOnUniformBackground) {
+  const gfx::Bitmap bmp(100, 100, colors::kWhite);
+  EXPECT_FALSE(snapToRegion(bmp, {40, 40, 20, 20}).has_value());
+}
+
+TEST(RefineTest, FailsOnGhostPlate) {
+  // A plate whose color is within tolerance of the background: the fill
+  // leaks into the window border and is rejected (the paper's transparent
+  // close-button FNs).
+  const Rect plate{40, 40, 18, 18};
+  const gfx::Bitmap bmp = plateOnBackground(
+      {120, 120}, Color::rgb(240, 240, 240), plate, Color::rgb(232, 232, 232));
+  EXPECT_FALSE(snapToRegion(bmp, plate.inflated(2)).has_value());
+}
+
+TEST(RefineTest, SnapsPlateStraddlingPanelEdge) {
+  // Plate half on a white panel, half on dark scrim: the ring-discounted
+  // mode must still find the plate color.
+  gfx::Bitmap bmp(140, 140, Color::rgb(90, 90, 90));  // scrim
+  bmp.fillRect({0, 60, 140, 80}, colors::kWhite);     // panel below
+  const Rect plate{60, 52, 18, 18};                   // straddles y=60
+  bmp.fillRect(plate, Color::rgb(190, 150, 60));
+  const auto snapped = snapToRegion(bmp, plate.inflated(3));
+  ASSERT_TRUE(snapped.has_value());
+  EXPECT_GT(iou(*snapped, plate), 0.9);
+}
+
+TEST(RefineTest, EmptyInputsRejected) {
+  const gfx::Bitmap bmp(50, 50, colors::kWhite);
+  EXPECT_FALSE(snapToRegion(bmp, Rect{}).has_value());
+  EXPECT_FALSE(snapToRegion(gfx::Bitmap{}, {0, 0, 10, 10}).has_value());
+  EXPECT_FALSE(snapToRegion(bmp, {200, 200, 10, 10}).has_value());
+}
+
+// ------------------------------------------------------------- detectors
+TEST(OneStageTest, AnchorStrideScalesWithSize) {
+  EXPECT_EQ((Anchor{20, 20}).stride(), 10);
+  EXPECT_EQ((Anchor{8, 8}).stride(), 8);    // clamped low
+  EXPECT_EQ((Anchor{210, 48}).stride(), 24);
+  EXPECT_EQ((Anchor{130, 130}).stride(), 32);  // clamped high
+}
+
+TEST(OneStageTest, TinyTrainedModelDetectsObviousAui) {
+  // A deliberately tiny dataset/short schedule: this is a smoke test that
+  // the full train->detect->refine pipeline is wired correctly end to end.
+  dataset::DatasetConfig dataConfig;
+  dataConfig.totalScreenshots = 170;
+  dataConfig.seed = 77;
+  const dataset::AuiDataset data = dataset::AuiDataset::build(dataConfig);
+  cv::TrainConfig trainConfig;
+  trainConfig.epochs = 14;
+  trainConfig.benignImages = 30;
+  const OneStageDetector detector =
+      OneStageDetector::train(data, OneStageConfig{}, trainConfig);
+  const ModelMetrics metrics =
+      evaluateDetector(detector, data, data.testIndices(), false, 0.5);
+  // Loose bar: at IoU 0.5 the tiny model must already find most AGOs.
+  EXPECT_GT(metrics.ago.recall(), 0.4);
+  EXPECT_GT(detector.costMacsPerImage(), 0.0);
+}
+
+TEST(TwoStageTest, ModelNames) {
+  EXPECT_EQ(twoStageModelName(HeadKind::kFaster, Backbone::kV),
+            "Faster RCNN-like+V16");
+  EXPECT_EQ(twoStageModelName(HeadKind::kMask, Backbone::kR),
+            "Mask RCNN-like+R50");
+}
+
+TEST(TwoStageTest, ProposalsCoverSalientPlate) {
+  gfx::Bitmap bmp(360, 720, colors::kWhite);
+  bmp.fillRect({100, 300, 150, 150}, colors::kRed);  // big salient block
+  dataset::DatasetConfig dataConfig;
+  dataConfig.totalScreenshots = 20;
+  dataConfig.seed = 3;
+  const dataset::AuiDataset data = dataset::AuiDataset::build(dataConfig);
+  TwoStageTrainConfig trainConfig;
+  trainConfig.epochs = 1;
+  trainConfig.benignImages = 2;
+  const TwoStageDetector detector =
+      TwoStageDetector::train(data, TwoStageConfig{}, trainConfig);
+  double best = 0.0;
+  for (const Rect& prop : detector.proposals(bmp)) {
+    best = std::max(best, iou(prop, Rect{100, 300, 150, 150}));
+  }
+  EXPECT_GT(best, 0.5);
+}
+
+}  // namespace
+}  // namespace darpa::cv

@@ -1,0 +1,165 @@
+// Unit tests for the dataset builder: Table I/II quotas, split sizes,
+// deterministic materialization, text masking, benign negatives.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "dataset/dataset.h"
+
+namespace darpa::dataset {
+namespace {
+
+DatasetConfig smallConfig(int total = 200, std::uint64_t seed = 5) {
+  DatasetConfig config;
+  config.totalScreenshots = total;
+  config.seed = seed;
+  return config;
+}
+
+TEST(DatasetTest, PaperScaleQuotasMatchTableI) {
+  const AuiDataset data = AuiDataset::build(smallConfig(1072, 2023));
+  std::map<apps::AuiType, int> counts;
+  for (const SampleSpec& spec : data.specs()) ++counts[spec.spec.type];
+  for (apps::AuiType type : apps::kAllAuiTypes) {
+    EXPECT_EQ(counts[type], apps::auiTypePaperCount(type))
+        << apps::auiTypeName(type);
+  }
+}
+
+TEST(DatasetTest, PaperScaleSplitMatchesTableII) {
+  const AuiDataset data = AuiDataset::build(smallConfig(1072, 2023));
+  EXPECT_EQ(data.trainIndices().size(), 642u);
+  EXPECT_EQ(data.valIndices().size(), 215u);
+  EXPECT_EQ(data.testIndices().size(), 215u);
+  // Box cardinalities: 744 AGO / 1,103 UPO over the whole dataset.
+  std::vector<std::size_t> all;
+  for (std::size_t i = 0; i < data.size(); ++i) all.push_back(i);
+  const auto counts = data.countBoxes(all);
+  EXPECT_EQ(counts.screenshots, 1072);
+  EXPECT_EQ(counts.ago, 744);
+  EXPECT_EQ(counts.upo, 1103);
+}
+
+TEST(DatasetTest, SplitsPartitionTheDataset) {
+  const AuiDataset data = AuiDataset::build(smallConfig());
+  std::vector<bool> seen(data.size(), false);
+  for (const auto& indices :
+       {data.trainIndices(), data.valIndices(), data.testIndices()}) {
+    for (std::size_t idx : indices) {
+      EXPECT_FALSE(seen[idx]) << "index in two splits";
+      seen[idx] = true;
+    }
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(DatasetTest, LayoutQuotasScale) {
+  const AuiDataset data = AuiDataset::build(smallConfig(500, 9));
+  int central = 0, corner = 0;
+  for (const SampleSpec& spec : data.specs()) {
+    central += spec.spec.agoCentral;
+    corner += spec.spec.upoCorner;
+  }
+  EXPECT_NEAR(central / 500.0, 0.946, 0.01);
+  EXPECT_NEAR(corner / 500.0, 0.731, 0.01);
+}
+
+TEST(DatasetTest, AdsAreThirdPartyOthersFirstParty) {
+  const AuiDataset data = AuiDataset::build(smallConfig());
+  for (const SampleSpec& spec : data.specs()) {
+    if (spec.spec.type == apps::AuiType::kAdvertisement) {
+      EXPECT_EQ(spec.spec.host, apps::AuiHost::kThirdParty);
+    } else {
+      EXPECT_EQ(spec.spec.host, apps::AuiHost::kFirstParty);
+      EXPECT_TRUE(spec.spec.hasAgoBox);  // only ads may lack an AGO box
+    }
+  }
+}
+
+TEST(DatasetTest, MaterializeIsDeterministic) {
+  const AuiDataset data = AuiDataset::build(smallConfig());
+  const Sample a = data.materialize(7);
+  const Sample b = data.materialize(7);
+  EXPECT_EQ(a.image, b.image);
+  ASSERT_EQ(a.annotations.size(), b.annotations.size());
+  for (std::size_t i = 0; i < a.annotations.size(); ++i) {
+    EXPECT_EQ(a.annotations[i].box, b.annotations[i].box);
+    EXPECT_EQ(a.annotations[i].label, b.annotations[i].label);
+  }
+}
+
+TEST(DatasetTest, DifferentSamplesDiffer) {
+  const AuiDataset data = AuiDataset::build(smallConfig());
+  EXPECT_NE(data.materialize(0).image, data.materialize(1).image);
+}
+
+TEST(DatasetTest, AnnotationsInsideScreen) {
+  const AuiDataset data = AuiDataset::build(smallConfig(60, 21));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const Sample sample = data.materialize(i);
+    const Rect screen = sample.image.bounds();
+    for (const Annotation& a : sample.annotations) {
+      EXPECT_FALSE(a.box.empty());
+      EXPECT_TRUE(screen.contains(a.box))
+          << "sample " << i << " box " << a.box;
+    }
+  }
+}
+
+TEST(DatasetTest, AnnotationCountsMatchSpec) {
+  const AuiDataset data = AuiDataset::build(smallConfig(80, 31));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const Sample sample = data.materialize(i);
+    int ago = 0, upo = 0;
+    for (const Annotation& a : sample.annotations) {
+      (a.label == BoxLabel::kAgo ? ago : upo)++;
+    }
+    EXPECT_EQ(ago, sample.spec.hasAgoBox ? 1 : 0);
+    EXPECT_EQ(upo, sample.spec.numUpos);
+  }
+}
+
+TEST(DatasetTest, TextMaskingChangesPixelsKeepsAnnotations) {
+  const AuiDataset data = AuiDataset::build(smallConfig());
+  const Sample plain = data.materialize(3, false);
+  const Sample masked = data.materialize(3, true);
+  EXPECT_NE(plain.image, masked.image);
+  ASSERT_EQ(plain.annotations.size(), masked.annotations.size());
+  for (std::size_t i = 0; i < plain.annotations.size(); ++i) {
+    EXPECT_EQ(plain.annotations[i].box, masked.annotations[i].box);
+  }
+}
+
+TEST(DatasetTest, BenignSamplesHaveNoAnnotations) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Sample benign = materializeBenign(seed, {360, 720}, false);
+    EXPECT_TRUE(benign.annotations.empty());
+    EXPECT_FALSE(benign.image.empty());
+    const Sample hard = materializeBenign(seed, {360, 720}, true);
+    EXPECT_TRUE(hard.annotations.empty());
+  }
+}
+
+TEST(DatasetTest, GhostQuotaApproximate) {
+  const AuiDataset data = AuiDataset::build(smallConfig(400, 13));
+  int ghosts = 0;
+  for (const SampleSpec& spec : data.specs()) ghosts += spec.spec.ghostUpo;
+  EXPECT_NEAR(ghosts / 400.0, data.config().ghostUpoProb, 0.01);
+}
+
+TEST(DatasetTest, CollectTextRectsFindsTextViews) {
+  android::View root;
+  root.setFrame({0, 0, 100, 100});
+  auto text = std::make_unique<android::TextView>();
+  text->setFrame({10, 10, 50, 20});
+  root.addChild(std::move(text));
+  auto plain = std::make_unique<android::View>();
+  plain->setFrame({10, 50, 50, 20});
+  root.addChild(std::move(plain));
+  const std::vector<Rect> rects = collectTextRects(root, {0, 24});
+  ASSERT_EQ(rects.size(), 1u);
+  EXPECT_EQ(rects[0], (Rect{10, 34, 50, 20}));
+}
+
+}  // namespace
+}  // namespace darpa::dataset

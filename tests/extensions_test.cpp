@@ -1,0 +1,213 @@
+// Tests for the extension features: COCO export, decoration styles,
+// selective (trusted-package) monitoring, and the adversarial patch attack.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "android/system.h"
+#include "core/darpa_service.h"
+#include "cv/adversarial.h"
+#include "dataset/export.h"
+
+namespace darpa {
+namespace {
+
+// ---------------------------------------------------------------- export
+TEST(ExportTest, JsonEscape) {
+  EXPECT_EQ(dataset::jsonEscape("plain"), "plain");
+  EXPECT_EQ(dataset::jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(dataset::jsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(dataset::jsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(dataset::jsonEscape(std::string_view("a\x01" "b", 3)), "a\\u0001b");
+}
+
+TEST(ExportTest, WritesCocoLayout) {
+  dataset::DatasetConfig config;
+  config.totalScreenshots = 30;
+  config.seed = 3;
+  const dataset::AuiDataset data = dataset::AuiDataset::build(config);
+  const std::string dir = "/tmp/darpa_export_test";
+  std::filesystem::remove_all(dir);
+  dataset::ExportOptions options;
+  options.maxSamples = 6;
+  const auto summary = dataset::exportCocoDataset(data, dir, options);
+  ASSERT_TRUE(summary.has_value());
+  EXPECT_EQ(summary->images, 6);
+  EXPECT_GT(summary->annotations, 5);
+
+  std::ifstream in(summary->annotationsPath);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_NE(json.find("\"categories\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"AGO\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"UPO\""), std::string::npos);
+  EXPECT_NE(json.find("\"bbox\""), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  // Image files exist.
+  EXPECT_TRUE(std::filesystem::exists(
+      std::filesystem::path(dir) / "images" /
+      (std::to_string(data.specs()[0].id) + ".ppm")));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ExportTest, AnnotationsOnlyMode) {
+  dataset::DatasetConfig config;
+  config.totalScreenshots = 20;
+  config.seed = 5;
+  const dataset::AuiDataset data = dataset::AuiDataset::build(config);
+  const std::string dir = "/tmp/darpa_export_test2";
+  std::filesystem::remove_all(dir);
+  dataset::ExportOptions options;
+  options.writeImages = false;
+  options.maxSamples = 4;
+  const auto summary = dataset::exportCocoDataset(data, dir, options);
+  ASSERT_TRUE(summary.has_value());
+  EXPECT_FALSE(std::filesystem::exists(
+      std::filesystem::path(dir) / "images" /
+      (std::to_string(data.specs()[0].id) + ".ppm")));
+  std::filesystem::remove_all(dir);
+}
+
+// ------------------------------------------------------- decoration styles
+TEST(DecorationStyleTest, AllStylesPaintInk) {
+  for (core::DecorationStyle style :
+       {core::DecorationStyle::kRect, core::DecorationStyle::kRounded,
+        core::DecorationStyle::kCircle, core::DecorationStyle::kCorners}) {
+    gfx::Bitmap bmp(60, 60, colors::kWhite);
+    gfx::Canvas canvas(bmp);
+    core::DecorationView view(colors::kGreen, 3, style);
+    view.setFrame({10, 10, 40, 40});
+    view.draw(canvas, {0, 0});
+    int inked = 0;
+    for (int y = 0; y < 60; ++y) {
+      for (int x = 0; x < 60; ++x) {
+        if (!(bmp.at(x, y) == colors::kWhite)) ++inked;
+      }
+    }
+    EXPECT_GT(inked, 30) << "style " << static_cast<int>(style);
+    // The very center stays unobstructed for every style.
+    EXPECT_EQ(bmp.at(30, 30), colors::kWhite)
+        << "style " << static_cast<int>(style);
+  }
+}
+
+TEST(DecorationStyleTest, CornersOnlyInkNearCorners) {
+  gfx::Bitmap bmp(60, 60, colors::kWhite);
+  gfx::Canvas canvas(bmp);
+  core::DecorationView view(colors::kRed, 2, core::DecorationStyle::kCorners);
+  view.setFrame({10, 10, 40, 40});
+  view.draw(canvas, {0, 0});
+  // Mid-edge is clear (the bracket arms stop before it).
+  EXPECT_EQ(bmp.at(30, 10), colors::kWhite);
+  EXPECT_EQ(bmp.at(30, 49), colors::kWhite);
+  // Corners inked.
+  EXPECT_EQ(bmp.at(11, 11), colors::kRed);
+  EXPECT_EQ(bmp.at(48, 48), colors::kRed);
+}
+
+// --------------------------------------------------- selective monitoring
+class CountingDetector : public cv::Detector {
+ public:
+  mutable int calls = 0;
+  std::vector<cv::Detection> detect(const gfx::Bitmap&) const override {
+    ++calls;
+    return {};
+  }
+  double costMacsPerImage() const override { return 1.0; }
+};
+
+TEST(SelectiveMonitoringTest, TrustedPackagesIgnored) {
+  android::AndroidSystem system;
+  CountingDetector detector;
+  core::DarpaConfig config;
+  config.trustedPackages = {"com.trusted.bank"};
+  core::DarpaService service(detector, config);
+  system.accessibility.connect(service);
+
+  system.windowManager.showAppWindow("com.trusted.bank",
+                                     std::make_unique<android::View>(), false);
+  system.windowManager.notifyContentChanged(4);
+  system.looper.runUntilIdle();
+  EXPECT_EQ(service.stats().eventsReceived, 0);
+  EXPECT_EQ(service.stats().analysesRun, 0);
+  EXPECT_EQ(detector.calls, 0);
+
+  // An untrusted app on top re-enables the pipeline.
+  system.windowManager.showAppWindow("com.shady.ads",
+                                     std::make_unique<android::View>(), false);
+  system.looper.runUntilIdle();
+  EXPECT_GT(service.stats().eventsReceived, 0);
+  EXPECT_GE(service.stats().analysesRun, 1);
+}
+
+TEST(SelectiveMonitoringTest, EmptyTrustListMonitorsEverything) {
+  android::AndroidSystem system;
+  CountingDetector detector;
+  core::DarpaService service(detector, core::DarpaConfig{});
+  system.accessibility.connect(service);
+  system.windowManager.showAppWindow("com.any.app",
+                                     std::make_unique<android::View>(), false);
+  system.looper.runUntilIdle();
+  EXPECT_GT(service.stats().eventsReceived, 0);
+}
+
+// ------------------------------------------------------------ adversarial
+/// Deterministic detector: reports a UPO wherever the image region around
+/// `target` still looks like the original (mean color unchanged).
+class FragileDetector : public cv::Detector {
+ public:
+  Rect target;
+  Color expectedRing;
+
+  std::vector<cv::Detection> detect(const gfx::Bitmap& image) const override {
+    // "Detects" the UPO only if the ring region kept its original look —
+    // crude, but mimics a context-sensitive model an attacker can trip.
+    const Color ring = image.meanColor(target.inflated(24));
+    const int dist = std::abs(ring.r - expectedRing.r) +
+                     std::abs(ring.g - expectedRing.g) +
+                     std::abs(ring.b - expectedRing.b);
+    if (dist > 8) return {};
+    return {cv::Detection{target, dataset::BoxLabel::kUpo, 0.9f}};
+  }
+  double costMacsPerImage() const override { return 1.0; }
+};
+
+TEST(AdversarialTest, PatchEvadesFragileDetector) {
+  gfx::Bitmap image(200, 200, colors::kWhite);
+  const Rect upo{90, 90, 20, 20};
+  image.fillRect(upo, Color::rgb(200, 200, 205));
+  FragileDetector detector;
+  detector.target = upo;
+  detector.expectedRing = image.meanColor(upo.inflated(24));
+
+  ASSERT_EQ(detector.detect(image).size(), 1u);  // detected pre-attack
+  const cv::PatchAttackResult result = cv::attackUpo(detector, image, upo);
+  EXPECT_TRUE(result.evaded);
+  EXPECT_GT(result.trialsUsed, 0);
+  // The patch must not cover the UPO itself (the option stays usable).
+  EXPECT_TRUE(result.patchRect.intersect(upo).empty());
+  // The returned screenshot indeed fools the detector.
+  EXPECT_TRUE(detector.detect(result.patched).empty());
+}
+
+TEST(AdversarialTest, AlreadyMissedCountsAsEvadedWithZeroTrials) {
+  gfx::Bitmap image(100, 100, colors::kWhite);
+  FragileDetector detector;
+  detector.target = {40, 40, 20, 20};
+  detector.expectedRing = colors::kBlack;  // never matches -> never detects
+  const cv::PatchAttackResult result =
+      cv::attackUpo(detector, image, detector.target);
+  EXPECT_TRUE(result.evaded);
+  EXPECT_EQ(result.trialsUsed, 0);
+}
+
+}  // namespace
+}  // namespace darpa

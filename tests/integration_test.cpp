@@ -1,0 +1,125 @@
+// Integration tests: the whole system wired together — a real (small)
+// trained detector, live app sessions with Monkey, and DarpaService
+// mediating through the accessibility framework.
+#include <gtest/gtest.h>
+
+#include "android/system.h"
+#include "apps/app_model.h"
+#include "core/darpa_service.h"
+#include "cv/one_stage.h"
+#include "dataset/dataset.h"
+
+namespace darpa {
+namespace {
+
+/// One small detector shared by every integration test (training once).
+const cv::OneStageDetector& sharedDetector() {
+  static const cv::OneStageDetector detector = [] {
+    dataset::DatasetConfig dataConfig;
+    dataConfig.totalScreenshots = 260;
+    dataConfig.seed = 99;
+    const dataset::AuiDataset data = dataset::AuiDataset::build(dataConfig);
+    cv::TrainConfig trainConfig;
+    trainConfig.epochs = 16;
+    trainConfig.benignImages = 90;
+    return cv::OneStageDetector::train(data, cv::OneStageConfig{}, trainConfig);
+  }();
+  return detector;
+}
+
+TEST(IntegrationTest, FullPipelineOverLiveSession) {
+  android::AndroidSystem device;
+  core::DarpaService darpa(sharedDetector());
+  device.accessibility.connect(darpa);
+
+  apps::AppProfile profile;
+  profile.package = "com.integration.app";
+  profile.auisPerMinute = 4.0;
+  apps::AppSession session(device, profile, 17);
+  apps::MonkeyDriver monkey(device, 18);
+
+  int positives = 0;
+  darpa.setAnalysisListener([&](bool isAui, const auto&) {
+    positives += isAui ? 1 : 0;
+  });
+
+  session.start(ms(40'000));
+  monkey.start(ms(40'000));
+  device.looper.runUntil(ms(40'000));
+
+  // The pipeline ran: events flowed, screens were analyzed, screenshots
+  // were taken and every one was rinsed.
+  EXPECT_GT(darpa.stats().eventsReceived, 20);
+  EXPECT_GT(darpa.stats().analysesRun, 3);
+  EXPECT_EQ(darpa.stats().screenshotsTaken, darpa.stats().analysesRun);
+  EXPECT_EQ(darpa.vault().stored(), darpa.vault().rinsed());
+  EXPECT_FALSE(darpa.vault().holding());
+  EXPECT_EQ(darpa.vault().peakHeld(), 1);
+  // At least one AUI was exposed; DARPA flagged at least one analysis.
+  EXPECT_FALSE(session.exposures().empty());
+  EXPECT_GT(positives, 0);
+  EXPECT_EQ(darpa.stats().auisFlagged, positives);
+}
+
+TEST(IntegrationTest, DetectorFindsKnownUpoAndDecoratesIt) {
+  // Over a handful of clear (non-ghost) promo screens, the small shared
+  // model must localize the UPO on most, and whenever it is the top UPO
+  // detection the decoration must sit on it (calibration correctness).
+  int found = 0, decorated = 0;
+  constexpr int kScreens = 5;
+  for (int k = 0; k < kScreens; ++k) {
+    android::AndroidSystem device;
+    core::DarpaService darpa(sharedDetector());
+    device.accessibility.connect(darpa);
+    const Rect frame = device.windowManager.appFrame(false);
+    apps::ScreenGenerator::Params genParams;
+    genParams.frame = {frame.width, frame.height};
+    apps::ScreenGenerator generator(genParams, 2024 + k);
+    apps::AuiSpec spec;
+    spec.type = apps::AuiType::kSalesPromotion;
+    spec.ghostUpo = false;
+    spec.upoCorner = true;
+    apps::GeneratedScreen screen = generator.makeAui(spec);
+    const Rect upoOnScreen =
+        screen.truth.upoBoxes.front().translated(frame.x, frame.y);
+    device.windowManager.showAppWindow("com.integration.app",
+                                       std::move(screen.root), false);
+    device.looper.runFor(ms(1000));
+
+    bool hit = false;
+    for (const cv::Detection& det : darpa.lastDetections()) {
+      hit |= det.label == dataset::BoxLabel::kUpo &&
+             iou(det.box, upoOnScreen) > 0.5;
+    }
+    found += hit;
+    for (const Rect& r : darpa.decorationRects()) {
+      decorated += iou(r, upoOnScreen.inflated(4)) > 0.5;
+    }
+  }
+  EXPECT_GE(found, kScreens / 2 + 1);
+  EXPECT_GE(decorated, 1);
+}
+
+TEST(IntegrationTest, BenignSessionRarelyFlagged) {
+  android::AndroidSystem device;
+  core::DarpaService darpa(sharedDetector());
+  device.accessibility.connect(darpa);
+  apps::AppProfile profile;
+  profile.package = "com.benign.app";
+  profile.auisPerMinute = 0.0;
+  apps::AppSession session(device, profile, 23);
+  int positives = 0, analyses = 0;
+  darpa.setAnalysisListener([&](bool isAui, const auto&) {
+    ++analyses;
+    positives += isAui ? 1 : 0;
+  });
+  session.start(ms(45'000));
+  device.looper.runUntil(ms(45'000));
+  ASSERT_GT(analyses, 2);
+  // False-positive rate on benign screens stays a clear minority (the
+  // full-scale model is far better; this is the small test model).
+  EXPECT_LT(positives, analyses * 6 / 10 + 1);
+}
+
+}  // namespace
+}  // namespace darpa

@@ -1,0 +1,164 @@
+// Unit tests for the layout system (LinearLayout / FrameLayout).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "android/layout.h"
+
+namespace darpa::android {
+namespace {
+
+std::unique_ptr<View> sized(int w, int h) {
+  auto v = std::make_unique<View>();
+  v->setFrame({0, 0, w, h});
+  return v;
+}
+
+TEST(LinearLayoutTest, VerticalStackingWithSpacing) {
+  LinearLayout column(LinearLayout::Orientation::kVertical);
+  column.setFrame({0, 0, 100, 300});
+  column.setSpacing(10);
+  auto* a = column.addLayoutChild(sized(80, 40), {});
+  auto* b = column.addLayoutChild(sized(60, 50), {});
+  column.performLayout();
+  EXPECT_EQ(a->frame(), (Rect{0, 0, 80, 40}));
+  EXPECT_EQ(b->frame(), (Rect{0, 50, 60, 50}));  // 40 + 10 spacing
+}
+
+TEST(LinearLayoutTest, HorizontalStacking) {
+  LinearLayout row(LinearLayout::Orientation::kHorizontal);
+  row.setFrame({0, 0, 300, 60});
+  auto* a = row.addLayoutChild(sized(50, 40), {});
+  auto* b = row.addLayoutChild(sized(70, 40), {});
+  row.performLayout();
+  EXPECT_EQ(a->frame().x, 0);
+  EXPECT_EQ(b->frame().x, 50);
+}
+
+TEST(LinearLayoutTest, MatchParentCrossAxis) {
+  LinearLayout column;
+  column.setFrame({0, 0, 200, 100});
+  ChildLayout cl;
+  cl.width = SizeSpec::matchParent();
+  cl.height = SizeSpec::fixed(30);
+  auto* a = column.addLayoutChild(sized(10, 10), cl);
+  column.performLayout();
+  EXPECT_EQ(a->frame(), (Rect{0, 0, 200, 30}));
+}
+
+TEST(LinearLayoutTest, PaddingAndMargins) {
+  LinearLayout column;
+  column.setFrame({0, 0, 100, 100});
+  column.setPadding(8);
+  ChildLayout cl;
+  cl.margin = 4;
+  cl.width = SizeSpec::fixed(20);
+  cl.height = SizeSpec::fixed(20);
+  auto* a = column.addLayoutChild(sized(0, 0), cl);
+  column.performLayout();
+  EXPECT_EQ(a->frame(), (Rect{12, 12, 20, 20}));  // padding + margin
+}
+
+TEST(LinearLayoutTest, GravityCentersOnCrossAxis) {
+  LinearLayout column;
+  column.setFrame({0, 0, 100, 100});
+  ChildLayout cl;
+  cl.width = SizeSpec::fixed(40);
+  cl.height = SizeSpec::fixed(20);
+  cl.gravity = Gravity::kCenter;
+  auto* a = column.addLayoutChild(sized(0, 0), cl);
+  cl.gravity = Gravity::kEnd;
+  auto* b = column.addLayoutChild(sized(0, 0), cl);
+  column.performLayout();
+  EXPECT_EQ(a->frame().x, 30);  // (100-40)/2
+  EXPECT_EQ(b->frame().x, 60);  // 100-40
+}
+
+TEST(LinearLayoutTest, WeightsShareLeftover) {
+  LinearLayout column;
+  column.setFrame({0, 0, 100, 300});
+  ChildLayout fixedChild;
+  fixedChild.height = SizeSpec::fixed(100);
+  fixedChild.width = SizeSpec::matchParent();
+  column.addLayoutChild(sized(0, 0), fixedChild);
+  ChildLayout w1;
+  w1.weight = 1.0;
+  w1.width = SizeSpec::matchParent();
+  auto* a = column.addLayoutChild(sized(0, 0), w1);
+  ChildLayout w3 = w1;
+  w3.weight = 3.0;
+  auto* b = column.addLayoutChild(sized(0, 0), w3);
+  column.performLayout();
+  EXPECT_EQ(a->frame().height, 50);   // (300-100) * 1/4
+  EXPECT_EQ(b->frame().height, 150);  // (300-100) * 3/4
+}
+
+TEST(FrameLayoutTest, GravityPlacesCorners) {
+  FrameLayout frame;
+  frame.setFrame({0, 0, 200, 100});
+  ChildLayout tl;
+  tl.width = SizeSpec::fixed(20);
+  tl.height = SizeSpec::fixed(20);
+  tl.gravity = Gravity::kStart;
+  auto* a = frame.addLayoutChild(sized(0, 0), tl);
+  ChildLayout br = tl;
+  br.gravity = Gravity::kEnd;
+  auto* b = frame.addLayoutChild(sized(0, 0), br);
+  ChildLayout center = tl;
+  center.gravity = Gravity::kCenter;
+  auto* c = frame.addLayoutChild(sized(0, 0), center);
+  frame.performLayout();
+  EXPECT_EQ(a->frame(), (Rect{0, 0, 20, 20}));
+  EXPECT_EQ(b->frame(), (Rect{180, 80, 20, 20}));
+  EXPECT_EQ(c->frame(), (Rect{90, 40, 20, 20}));
+}
+
+TEST(FrameLayoutTest, MatchParentFillsContainer) {
+  FrameLayout frame;
+  frame.setFrame({0, 0, 120, 80});
+  frame.setPadding(10);
+  ChildLayout fill;
+  fill.width = SizeSpec::matchParent();
+  fill.height = SizeSpec::matchParent();
+  auto* a = frame.addLayoutChild(sized(0, 0), fill);
+  frame.performLayout();
+  EXPECT_EQ(a->frame(), (Rect{10, 10, 100, 60}));
+}
+
+TEST(LayoutTest, NestedContainersLayoutRecursively) {
+  LinearLayout outer;
+  outer.setFrame({0, 0, 200, 200});
+  ChildLayout rowSpec;
+  rowSpec.width = SizeSpec::matchParent();
+  rowSpec.height = SizeSpec::fixed(50);
+  auto row = std::make_unique<LinearLayout>(
+      LinearLayout::Orientation::kHorizontal);
+  LinearLayout* rowPtr = row.get();
+  outer.addLayoutChild(std::move(row), rowSpec);
+  ChildLayout cell;
+  cell.width = SizeSpec::fixed(40);
+  cell.height = SizeSpec::matchParent();
+  auto* inner = rowPtr->addLayoutChild(sized(0, 0), cell);
+  outer.performLayout();
+  EXPECT_EQ(rowPtr->frame(), (Rect{0, 0, 200, 50}));
+  EXPECT_EQ(inner->frame(), (Rect{0, 0, 40, 50}));
+}
+
+TEST(LayoutTest, ClassNamesForDumps) {
+  EXPECT_EQ(LinearLayout{}.className(), "LinearLayout");
+  EXPECT_EQ(FrameLayout{}.className(), "FrameLayout");
+}
+
+TEST(LayoutTest, FixedClampedToAvailable) {
+  LinearLayout column;
+  column.setFrame({0, 0, 50, 50});
+  ChildLayout huge;
+  huge.width = SizeSpec::fixed(500);
+  huge.height = SizeSpec::fixed(20);
+  auto* a = column.addLayoutChild(sized(0, 0), huge);
+  column.performLayout();
+  EXPECT_LE(a->frame().width, 50);
+}
+
+}  // namespace
+}  // namespace darpa::android

@@ -1,0 +1,203 @@
+// Unit tests for the NN substrate: MLP forward/backward, Adam training,
+// losses, and int8 quantization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/losses.h"
+#include "nn/mlp.h"
+#include "nn/quantize.h"
+#include "util/rng.h"
+
+namespace darpa::nn {
+namespace {
+
+TEST(LossesTest, SigmoidRangeAndSymmetry) {
+  EXPECT_NEAR(sigmoid(0.0f), 0.5f, 1e-6f);
+  EXPECT_GT(sigmoid(10.0f), 0.9999f);
+  EXPECT_LT(sigmoid(-10.0f), 0.0001f);
+  EXPECT_NEAR(sigmoid(2.0f) + sigmoid(-2.0f), 1.0f, 1e-6f);
+}
+
+TEST(LossesTest, BceMatchesDefinition) {
+  // BCE(logit, 1) = -log(sigmoid(logit))
+  const float logit = 0.7f;
+  EXPECT_NEAR(bceWithLogits(logit, 1.0f), -std::log(sigmoid(logit)), 1e-5f);
+  EXPECT_NEAR(bceWithLogits(logit, 0.0f), -std::log(1.0f - sigmoid(logit)),
+              1e-5f);
+}
+
+TEST(LossesTest, BceStableForExtremeLogits) {
+  EXPECT_TRUE(std::isfinite(bceWithLogits(100.0f, 0.0f)));
+  EXPECT_TRUE(std::isfinite(bceWithLogits(-100.0f, 1.0f)));
+  EXPECT_NEAR(bceWithLogits(100.0f, 1.0f), 0.0f, 1e-5f);
+}
+
+TEST(LossesTest, BceGradientIsSigmoidMinusTarget) {
+  EXPECT_NEAR(bceWithLogitsGrad(0.0f, 1.0f), -0.5f, 1e-6f);
+  EXPECT_NEAR(bceWithLogitsGrad(0.0f, 0.0f), 0.5f, 1e-6f);
+}
+
+TEST(LossesTest, SmoothL1QuadraticNearZeroLinearFar) {
+  EXPECT_NEAR(smoothL1(0.5f, 0.0f), 0.125f, 1e-6f);  // 0.5 * 0.25
+  EXPECT_NEAR(smoothL1(3.0f, 0.0f), 2.5f, 1e-6f);    // |3| - 0.5
+  EXPECT_NEAR(smoothL1Grad(0.5f, 0.0f), 0.5f, 1e-6f);
+  EXPECT_NEAR(smoothL1Grad(3.0f, 0.0f), 1.0f, 1e-6f);
+  EXPECT_NEAR(smoothL1Grad(-3.0f, 0.0f), -1.0f, 1e-6f);
+}
+
+TEST(MlpTest, ShapesAndParameterCount) {
+  Rng rng(1);
+  const Mlp mlp({4, 8, 3}, rng);
+  EXPECT_EQ(mlp.inputSize(), 4);
+  EXPECT_EQ(mlp.outputSize(), 3);
+  EXPECT_EQ(mlp.parameterCount(), 4u * 8 + 8 + 8u * 3 + 3);
+  const std::vector<float> out = mlp.forward(std::vector<float>{1, 2, 3, 4});
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(MlpTest, DeterministicGivenSeed) {
+  Rng rngA(42);
+  Rng rngB(42);
+  const Mlp a({5, 6, 2}, rngA);
+  const Mlp b({5, 6, 2}, rngB);
+  const std::vector<float> x{0.1f, -0.2f, 0.3f, 0.5f, -0.9f};
+  EXPECT_EQ(a.forward(x), b.forward(x));
+}
+
+TEST(MlpTest, ForwardCachedMatchesForward) {
+  Rng rng(3);
+  const Mlp mlp({3, 4, 4, 2}, rng);
+  const std::vector<float> x{0.5f, -1.0f, 2.0f};
+  Mlp::Cache cache;
+  EXPECT_EQ(mlp.forwardCached(x, cache), mlp.forward(x));
+  EXPECT_EQ(cache.activations.size(), 4u);  // input + 3 layers
+}
+
+TEST(MlpTest, GradientMatchesFiniteDifference) {
+  Rng rng(7);
+  Mlp mlp({2, 3, 1}, rng);
+  const std::vector<float> x{0.4f, -0.6f};
+  const float target = 1.0f;
+
+  // Analytic gradient via BCE on the single output.
+  Mlp::Cache cache;
+  const std::vector<float> out = mlp.forwardCached(x, cache);
+  mlp.accumulateGradient(cache, std::vector<float>{
+                                    bceWithLogitsGrad(out[0], target)});
+  // Perturb the first weight of layer 0 and compare numeric gradient.
+  const float analytic = mlp.layers()[0].gradWeights[0];
+  // Rebuild identical model and evaluate loss at w +- eps.
+  const float eps = 1e-3f;
+  auto lossWithDelta = [&](float delta) {
+    Rng rng2(7);
+    Mlp probe({2, 3, 1}, rng2);
+    const_cast<DenseLayer&>(probe.layers()[0]).weights[0] += delta;
+    return bceWithLogits(probe.forward(x)[0], target);
+  };
+  const float numeric = (lossWithDelta(eps) - lossWithDelta(-eps)) / (2 * eps);
+  EXPECT_NEAR(analytic, numeric, 5e-3f);
+}
+
+TEST(MlpTest, LearnsXor) {
+  Rng rng(5);
+  Mlp mlp({2, 8, 1}, rng);
+  const float inputs[4][2] = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  const float targets[4] = {0, 1, 1, 0};
+  AdamConfig adam;
+  adam.learningRate = 0.05f;
+  for (int epoch = 0; epoch < 400; ++epoch) {
+    for (int i = 0; i < 4; ++i) {
+      Mlp::Cache cache;
+      const std::vector<float> out = mlp.forwardCached(
+          std::vector<float>{inputs[i][0], inputs[i][1]}, cache);
+      mlp.accumulateGradient(
+          cache, std::vector<float>{bceWithLogitsGrad(out[0], targets[i])});
+    }
+    mlp.applyAdam(adam, 4);
+  }
+  for (int i = 0; i < 4; ++i) {
+    const float prob = sigmoid(
+        mlp.forward(std::vector<float>{inputs[i][0], inputs[i][1]})[0]);
+    if (targets[i] > 0.5f) {
+      EXPECT_GT(prob, 0.8f) << "case " << i;
+    } else {
+      EXPECT_LT(prob, 0.2f) << "case " << i;
+    }
+  }
+}
+
+TEST(MlpTest, ClearGradientsZeroesAccumulators) {
+  Rng rng(9);
+  Mlp mlp({2, 2, 1}, rng);
+  Mlp::Cache cache;
+  mlp.forwardCached(std::vector<float>{1.0f, 1.0f}, cache);
+  mlp.accumulateGradient(cache, std::vector<float>{1.0f});
+  mlp.clearGradients();
+  for (const DenseLayer& layer : mlp.layers()) {
+    for (float g : layer.gradWeights) EXPECT_EQ(g, 0.0f);
+    for (float g : layer.gradBias) EXPECT_EQ(g, 0.0f);
+  }
+}
+
+TEST(QuantizeTest, QuantizedCloselyTracksFloatModel) {
+  Rng rng(11);
+  const Mlp mlp({6, 12, 4}, rng);
+  // Calibration inputs spanning the input range.
+  std::vector<std::vector<float>> calibration;
+  Rng dataRng(13);
+  for (int i = 0; i < 64; ++i) {
+    std::vector<float> x(6);
+    for (float& v : x) v = static_cast<float>(dataRng.uniform(-1.0, 1.0));
+    calibration.push_back(std::move(x));
+  }
+  const QuantizedMlp quantized = QuantizedMlp::fromMlp(mlp, calibration);
+  EXPECT_EQ(quantized.inputSize(), 6);
+  EXPECT_EQ(quantized.outputSize(), 4);
+
+  double maxErr = 0.0;
+  double maxMag = 0.0;
+  for (const std::vector<float>& x : calibration) {
+    const std::vector<float> a = mlp.forward(x);
+    const std::vector<float> b = quantized.forward(x);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      maxErr = std::max(maxErr, std::fabs(static_cast<double>(a[i]) - b[i]));
+      maxMag = std::max(maxMag, std::fabs(static_cast<double>(a[i])));
+    }
+  }
+  EXPECT_LT(maxErr, 0.1 * maxMag + 0.05);  // small relative error
+}
+
+TEST(QuantizeTest, ModelShrinksRoughly4x) {
+  Rng rng(17);
+  const Mlp mlp({20, 32, 16, 6}, rng);
+  const QuantizedMlp quantized = QuantizedMlp::fromMlp(mlp, {});
+  const std::size_t floatBytes = mlp.parameterCount() * sizeof(float);
+  EXPECT_LT(quantized.modelBytes(), floatBytes / 3);
+}
+
+TEST(QuantizeTest, EmptyCalibrationStillRuns) {
+  Rng rng(19);
+  const Mlp mlp({3, 4, 2}, rng);
+  const QuantizedMlp quantized = QuantizedMlp::fromMlp(mlp, {});
+  const std::vector<float> out =
+      quantized.forward(std::vector<float>{0.1f, 0.2f, 0.3f});
+  EXPECT_EQ(out.size(), 2u);
+  for (float v : out) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(QuantizeTest, WeightsAreInt8Range) {
+  Rng rng(23);
+  const Mlp mlp({4, 8, 2}, rng);
+  const QuantizedMlp quantized = QuantizedMlp::fromMlp(mlp, {});
+  for (const QuantizedLayer& layer : quantized.layers()) {
+    for (std::int8_t w : layer.weights) {
+      EXPECT_GE(w, -127);
+      EXPECT_LE(w, 127);
+    }
+    EXPECT_GT(layer.dequantScale, 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace darpa::nn

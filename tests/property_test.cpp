@@ -1,0 +1,390 @@
+// Property-based tests (parameterized gtest sweeps) over module invariants:
+// geometry algebra, color math, NMS/eval semantics, flood-fill refinement,
+// looper ordering, quantization error, dataset quota invariants, and the
+// DARPA debounce contract — each checked across many seeded random inputs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "android/system.h"
+#include "core/darpa_service.h"
+#include "cv/detection.h"
+#include "cv/refine.h"
+#include "dataset/dataset.h"
+#include "nn/quantize.h"
+#include "util/rng.h"
+
+namespace darpa {
+namespace {
+
+Rect randomRect(Rng& rng, int maxDim = 200) {
+  return {rng.uniformInt(-50, 300), rng.uniformInt(-50, 600),
+          rng.uniformInt(1, maxDim), rng.uniformInt(1, maxDim)};
+}
+
+// ------------------------------------------------------------ geometry
+class GeometryProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeometryProperty, IouAlgebra) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const Rect a = randomRect(rng);
+    const Rect b = randomRect(rng);
+    const double ab = iou(a, b);
+    // Range, symmetry, identity.
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, 1.0);
+    EXPECT_DOUBLE_EQ(ab, iou(b, a));
+    EXPECT_DOUBLE_EQ(iou(a, a), 1.0);
+    // Intersection is commutative and contained in both.
+    const Rect inter = a.intersect(b);
+    EXPECT_EQ(inter, b.intersect(a));
+    if (!inter.empty()) {
+      EXPECT_TRUE(a.contains(inter));
+      EXPECT_TRUE(b.contains(inter));
+    }
+    // Union contains both; intersection area <= min area.
+    const Rect uni = a.unite(b);
+    EXPECT_TRUE(uni.contains(a));
+    EXPECT_TRUE(uni.contains(b));
+    EXPECT_LE(inter.area(), std::min(a.area(), b.area()));
+    // Translation invariance of IoU.
+    EXPECT_NEAR(ab, iou(a.translated(13, -7), b.translated(13, -7)), 1e-12);
+  }
+}
+
+TEST_P(GeometryProperty, IntRectAndFloatRectAgree) {
+  Rng rng(GetParam() + 1);
+  for (int i = 0; i < 100; ++i) {
+    const Rect a = randomRect(rng);
+    const Rect b = randomRect(rng);
+    EXPECT_NEAR(iou(a, b), iou(RectF::fromRect(a), RectF::fromRect(b)), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeometryProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+// ------------------------------------------------------------ color
+class ColorProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ColorProperty, BlendAndContrastInvariants) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 300; ++i) {
+    const Color a = Color::rgba(static_cast<std::uint8_t>(rng.uniformInt(0, 255)),
+                                static_cast<std::uint8_t>(rng.uniformInt(0, 255)),
+                                static_cast<std::uint8_t>(rng.uniformInt(0, 255)),
+                                static_cast<std::uint8_t>(rng.uniformInt(0, 255)));
+    const Color b = Color::rgb(static_cast<std::uint8_t>(rng.uniformInt(0, 255)),
+                               static_cast<std::uint8_t>(rng.uniformInt(0, 255)),
+                               static_cast<std::uint8_t>(rng.uniformInt(0, 255)));
+    // ARGB round trip.
+    EXPECT_EQ(Color::fromArgb(a.toArgb()), a);
+    // Contrast ratio: symmetric, in [1, 21].
+    const double cr = contrastRatio(a, b);
+    EXPECT_GE(cr, 1.0);
+    EXPECT_LE(cr, 21.0 + 1e-9);
+    EXPECT_DOUBLE_EQ(cr, contrastRatio(b, a));
+    // Blending opaque over anything returns the source.
+    EXPECT_EQ(blend(b, a.withAlpha(255)), a.withAlpha(255));
+    // Blending transparent is identity.
+    EXPECT_EQ(blend(b, a.withAlpha(0)), b);
+    // Luma is bounded.
+    EXPECT_GE(luma(b), 0.0);
+    EXPECT_LE(luma(b), 255.0);
+    // highContrastAgainst really contrasts (>= 4.5:1, the WCAG AA bar, or
+    // it picked the accent for mid-gray).
+    const Color hc = highContrastAgainst(b);
+    if (hc == colors::kWhite || hc == colors::kBlack) {
+      EXPECT_GE(contrastRatio(b, hc), 4.5);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ColorProperty, ::testing::Values(7u, 8u, 9u));
+
+// ------------------------------------------------------------ NMS / eval
+class NmsProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NmsProperty, SuppressionInvariants) {
+  Rng rng(GetParam());
+  std::vector<cv::Detection> detections;
+  const int n = rng.uniformInt(5, 60);
+  for (int i = 0; i < n; ++i) {
+    detections.push_back(cv::Detection{
+        randomRect(rng, 120),
+        rng.chance(0.5) ? dataset::BoxLabel::kAgo : dataset::BoxLabel::kUpo,
+        static_cast<float>(rng.uniform())});
+  }
+  const auto kept = cv::nonMaxSuppression(detections, 0.5);
+  // Output is a subset, sorted by confidence.
+  EXPECT_LE(kept.size(), detections.size());
+  for (std::size_t i = 1; i < kept.size(); ++i) {
+    EXPECT_GE(kept[i - 1].confidence, kept[i].confidence);
+  }
+  // No same-class pair overlaps above the threshold.
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    for (std::size_t j = i + 1; j < kept.size(); ++j) {
+      if (kept[i].label == kept[j].label) {
+        EXPECT_LE(iou(kept[i].box, kept[j].box), 0.5 + 1e-12);
+      }
+    }
+  }
+  // Idempotence.
+  const auto again = cv::nonMaxSuppression(kept, 0.5);
+  EXPECT_EQ(again.size(), kept.size());
+}
+
+TEST_P(NmsProperty, EvalCountsConserveTotals) {
+  Rng rng(GetParam() + 100);
+  std::vector<dataset::Annotation> gts;
+  const int g = rng.uniformInt(0, 6);
+  for (int i = 0; i < g; ++i) {
+    gts.push_back(dataset::Annotation{
+        randomRect(rng, 80),
+        rng.chance(0.5) ? dataset::BoxLabel::kAgo : dataset::BoxLabel::kUpo});
+  }
+  std::vector<cv::Detection> dets;
+  const int d = rng.uniformInt(0, 8);
+  for (int i = 0; i < d; ++i) {
+    dets.push_back(cv::Detection{
+        randomRect(rng, 80),
+        rng.chance(0.5) ? dataset::BoxLabel::kAgo : dataset::BoxLabel::kUpo,
+        static_cast<float>(rng.uniform())});
+  }
+  const cv::EvalCounts counts = cv::evaluateImage(dets, gts, 0.5);
+  // Every detection is TP or FP; every GT is TP or FN.
+  EXPECT_EQ(counts.tp + counts.fp, d);
+  EXPECT_EQ(counts.tp + counts.fn, g);
+  // Per-class counts sum to the unfiltered ones.
+  const cv::EvalCounts upo =
+      cv::evaluateImage(dets, gts, 0.5, dataset::BoxLabel::kUpo);
+  const cv::EvalCounts ago =
+      cv::evaluateImage(dets, gts, 0.5, dataset::BoxLabel::kAgo);
+  EXPECT_EQ(upo.tp + ago.tp, counts.tp);
+  EXPECT_EQ(upo.fn + ago.fn, counts.fn);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NmsProperty,
+                         ::testing::Values(11u, 12u, 13u, 14u, 15u));
+
+// ------------------------------------------------------------ refinement
+struct RefineCase {
+  int plateSize;
+  int offset;  ///< Coarse box displacement from the plate.
+};
+
+class RefineProperty : public ::testing::TestWithParam<RefineCase> {};
+
+TEST_P(RefineProperty, RecoversContrastingPlates) {
+  const RefineCase param = GetParam();
+  Rng rng(static_cast<std::uint64_t>(param.plateSize * 131 + param.offset));
+  int recovered = 0;
+  constexpr int kTrials = 25;
+  for (int i = 0; i < kTrials; ++i) {
+    const Color bg = Color::rgb(
+        static_cast<std::uint8_t>(rng.uniformInt(0, 255)),
+        static_cast<std::uint8_t>(rng.uniformInt(0, 255)),
+        static_cast<std::uint8_t>(rng.uniformInt(0, 255)));
+    // Plate color with at least ~tolerance contrast on every draw.
+    Color plate;
+    do {
+      plate = Color::rgb(static_cast<std::uint8_t>(rng.uniformInt(0, 255)),
+                         static_cast<std::uint8_t>(rng.uniformInt(0, 255)),
+                         static_cast<std::uint8_t>(rng.uniformInt(0, 255)));
+    } while (std::abs(plate.r - bg.r) + std::abs(plate.g - bg.g) +
+                 std::abs(plate.b - bg.b) <
+             90);
+    gfx::Bitmap bmp(160, 160, bg);
+    const Rect plateRect{60, 60, param.plateSize, param.plateSize};
+    bmp.fillRect(plateRect, plate);
+    const auto snapped = cv::snapToRegion(
+        bmp, plateRect.translated(param.offset, -param.offset));
+    if (snapped && iou(*snapped, plateRect) > 0.95) ++recovered;
+  }
+  EXPECT_GE(recovered, kTrials * 9 / 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RefineProperty,
+                         ::testing::Values(RefineCase{14, 0}, RefineCase{14, 3},
+                                           RefineCase{20, 5}, RefineCase{32, 8},
+                                           RefineCase{60, 10}));
+
+// ------------------------------------------------------------ looper
+class LooperProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LooperProperty, ExecutionRespectsDueTimes) {
+  Rng rng(GetParam());
+  SimClock clock;
+  android::Looper looper(clock);
+  std::vector<std::int64_t> executionTimes;
+  const int n = rng.uniformInt(10, 50);
+  for (int i = 0; i < n; ++i) {
+    looper.postDelayed(
+        [&executionTimes, &clock] {
+          executionTimes.push_back(clock.now().count);
+        },
+        ms(rng.uniformInt(0, 500)));
+  }
+  looper.runUntilIdle();
+  EXPECT_EQ(executionTimes.size(), static_cast<std::size_t>(n));
+  EXPECT_TRUE(std::is_sorted(executionTimes.begin(), executionTimes.end()));
+}
+
+TEST_P(LooperProperty, CancelledNeverRun) {
+  Rng rng(GetParam() + 7);
+  SimClock clock;
+  android::Looper looper(clock);
+  int ran = 0;
+  std::vector<android::TaskId> ids;
+  for (int i = 0; i < 30; ++i) {
+    ids.push_back(
+        looper.postDelayed([&ran] { ++ran; }, ms(rng.uniformInt(0, 100))));
+  }
+  int cancelled = 0;
+  for (android::TaskId id : ids) {
+    if (rng.chance(0.5) && looper.cancel(id)) ++cancelled;
+  }
+  looper.runUntilIdle();
+  EXPECT_EQ(ran, 30 - cancelled);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LooperProperty,
+                         ::testing::Values(21u, 22u, 23u, 24u));
+
+// ------------------------------------------------------------ quantization
+class QuantizeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QuantizeProperty, BoundedErrorOnCalibratedRange) {
+  Rng rng(GetParam());
+  const nn::Mlp mlp({8, 16, 8, 4}, rng);
+  std::vector<std::vector<float>> calibration;
+  for (int i = 0; i < 50; ++i) {
+    std::vector<float> x(8);
+    for (float& v : x) v = static_cast<float>(rng.uniform(-2.0, 2.0));
+    calibration.push_back(std::move(x));
+  }
+  const nn::QuantizedMlp quantized = nn::QuantizedMlp::fromMlp(mlp, calibration);
+  // Int8 error compounds across the three layers of an *untrained* random
+  // network; bound the worst absolute error by a fraction of the global
+  // output magnitude over the calibration set.
+  double globalMag = 1e-3;
+  for (const auto& x : calibration) {
+    for (float v : mlp.forward(x)) {
+      globalMag = std::max(globalMag, std::fabs(static_cast<double>(v)));
+    }
+  }
+  double worstAbs = 0.0;
+  for (const auto& x : calibration) {
+    const auto a = mlp.forward(x);
+    const auto b = quantized.forward(x);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      worstAbs =
+          std::max(worstAbs, std::fabs(static_cast<double>(a[i]) - b[i]));
+    }
+  }
+  EXPECT_LT(worstAbs, 0.2 * globalMag);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantizeProperty,
+                         ::testing::Values(31u, 32u, 33u, 34u, 35u));
+
+// ------------------------------------------------------------ dataset
+class DatasetProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DatasetProperty, QuotaInvariantsAtAnyScale) {
+  dataset::DatasetConfig config;
+  config.totalScreenshots = GetParam();
+  config.seed = 77;
+  const dataset::AuiDataset data = dataset::AuiDataset::build(config);
+  EXPECT_EQ(data.size(), static_cast<std::size_t>(GetParam()));
+  // Split partitions with 6:2:2 proportions.
+  EXPECT_EQ(data.trainIndices().size() + data.valIndices().size() +
+                data.testIndices().size(),
+            data.size());
+  EXPECT_EQ(data.valIndices().size(), data.testIndices().size());
+  EXPECT_GE(data.trainIndices().size(), 2 * data.valIndices().size() - 2);
+  // Type shares track Table I within rounding.
+  int ads = 0;
+  for (const dataset::SampleSpec& spec : data.specs()) {
+    ads += spec.spec.type == apps::AuiType::kAdvertisement;
+  }
+  EXPECT_NEAR(static_cast<double>(ads) / GetParam(), 0.649, 0.02);
+  // Box totals scale with Table II cardinalities.
+  std::vector<std::size_t> all(data.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  const auto counts = data.countBoxes(all);
+  EXPECT_NEAR(static_cast<double>(counts.ago) / GetParam(), 744.0 / 1072.0,
+              0.02);
+  EXPECT_NEAR(static_cast<double>(counts.upo) / GetParam(), 1103.0 / 1072.0,
+              0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, DatasetProperty,
+                         ::testing::Values(100, 250, 536, 1072));
+
+// ------------------------------------------------------------ debounce
+class DebounceProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+namespace {
+class NullDetector : public cv::Detector {
+ public:
+  std::vector<cv::Detection> detect(const gfx::Bitmap&) const override {
+    return {};
+  }
+  double costMacsPerImage() const override { return 1.0; }
+};
+}  // namespace
+
+TEST_P(DebounceProperty, AnalysisOnlyAfterQuietPeriod) {
+  Rng rng(GetParam());
+  android::AndroidSystem system;
+  NullDetector detector;
+  core::DarpaConfig config;
+  config.cutoff = ms(200);
+  config.notificationDelay = ms(0);  // deliver events immediately
+  core::DarpaService service(detector, config);
+  system.accessibility.connect(service);
+  system.windowManager.showAppWindow("com.app",
+                                     std::make_unique<android::View>(), false);
+
+  // Random event train; record event delivery times. The window-show above
+  // already emitted events at t=0.
+  std::vector<std::int64_t> eventTimes{0};
+  std::int64_t t = 0;
+  for (int i = 0; i < 60; ++i) {
+    t += rng.uniformInt(20, 600);
+    const std::int64_t at = t;
+    system.looper.postDelayed(
+        [&system, &eventTimes, at] {
+          eventTimes.push_back(at);
+          system.windowManager.notifyContentChanged();
+        },
+        ms(at - system.looper.now().count));
+  }
+  std::vector<std::int64_t> analysisTimes;
+  service.setAnalysisListener([&](bool, const auto&) {
+    analysisTimes.push_back(system.clock.now().count);
+  });
+  system.looper.runUntilIdle();
+
+  // Property: every analysis happens exactly `cutoff` after some event, and
+  // NO event lands strictly inside the (analysis - cutoff, analysis) window.
+  for (std::int64_t a : analysisTimes) {
+    bool anchored = false;
+    for (std::int64_t e : eventTimes) {
+      EXPECT_FALSE(e > a - 200 && e < a)
+          << "event at " << e << " inside quiet window of analysis " << a;
+      anchored |= e == a - 200;
+    }
+    EXPECT_TRUE(anchored) << "analysis at " << a << " not ct after an event";
+  }
+  EXPECT_FALSE(analysisTimes.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DebounceProperty,
+                         ::testing::Values(41u, 42u, 43u));
+
+}  // namespace
+}  // namespace darpa
