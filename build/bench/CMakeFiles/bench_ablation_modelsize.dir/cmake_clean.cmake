@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_modelsize.dir/bench_ablation_modelsize.cpp.o"
+  "CMakeFiles/bench_ablation_modelsize.dir/bench_ablation_modelsize.cpp.o.d"
+  "bench_ablation_modelsize"
+  "bench_ablation_modelsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_modelsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_strawman.dir/bench_ablation_strawman.cpp.o"
+  "CMakeFiles/bench_ablation_strawman.dir/bench_ablation_strawman.cpp.o.d"
+  "bench_ablation_strawman"
+  "bench_ablation_strawman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_strawman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_migration_masking.dir/bench_table4_migration_masking.cpp.o"
+  "CMakeFiles/bench_table4_migration_masking.dir/bench_table4_migration_masking.cpp.o.d"
+  "bench_table4_migration_masking"
+  "bench_table4_migration_masking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_migration_masking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

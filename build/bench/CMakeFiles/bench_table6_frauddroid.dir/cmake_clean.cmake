@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_frauddroid.dir/bench_table6_frauddroid.cpp.o"
+  "CMakeFiles/bench_table6_frauddroid.dir/bench_table6_frauddroid.cpp.o.d"
+  "bench_table6_frauddroid"
+  "bench_table6_frauddroid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_frauddroid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

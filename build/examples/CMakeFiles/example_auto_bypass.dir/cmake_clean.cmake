@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_auto_bypass.dir/auto_bypass.cpp.o"
+  "CMakeFiles/example_auto_bypass.dir/auto_bypass.cpp.o.d"
+  "example_auto_bypass"
+  "example_auto_bypass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_auto_bypass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

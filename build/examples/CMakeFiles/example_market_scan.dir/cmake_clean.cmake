@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_market_scan.dir/market_scan.cpp.o"
+  "CMakeFiles/example_market_scan.dir/market_scan.cpp.o.d"
+  "example_market_scan"
+  "example_market_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_market_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

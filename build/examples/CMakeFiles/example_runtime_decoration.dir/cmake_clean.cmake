@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_runtime_decoration.dir/runtime_decoration.cpp.o"
+  "CMakeFiles/example_runtime_decoration.dir/runtime_decoration.cpp.o.d"
+  "example_runtime_decoration"
+  "example_runtime_decoration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_runtime_decoration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

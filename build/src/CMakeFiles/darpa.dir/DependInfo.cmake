@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/android/accessibility.cpp" "src/CMakeFiles/darpa.dir/android/accessibility.cpp.o" "gcc" "src/CMakeFiles/darpa.dir/android/accessibility.cpp.o.d"
+  "/root/repo/src/android/accessibility_event.cpp" "src/CMakeFiles/darpa.dir/android/accessibility_event.cpp.o" "gcc" "src/CMakeFiles/darpa.dir/android/accessibility_event.cpp.o.d"
+  "/root/repo/src/android/layout.cpp" "src/CMakeFiles/darpa.dir/android/layout.cpp.o" "gcc" "src/CMakeFiles/darpa.dir/android/layout.cpp.o.d"
+  "/root/repo/src/android/looper.cpp" "src/CMakeFiles/darpa.dir/android/looper.cpp.o" "gcc" "src/CMakeFiles/darpa.dir/android/looper.cpp.o.d"
+  "/root/repo/src/android/view.cpp" "src/CMakeFiles/darpa.dir/android/view.cpp.o" "gcc" "src/CMakeFiles/darpa.dir/android/view.cpp.o.d"
+  "/root/repo/src/android/window_manager.cpp" "src/CMakeFiles/darpa.dir/android/window_manager.cpp.o" "gcc" "src/CMakeFiles/darpa.dir/android/window_manager.cpp.o.d"
+  "/root/repo/src/apps/app_model.cpp" "src/CMakeFiles/darpa.dir/apps/app_model.cpp.o" "gcc" "src/CMakeFiles/darpa.dir/apps/app_model.cpp.o.d"
+  "/root/repo/src/apps/screen_generator.cpp" "src/CMakeFiles/darpa.dir/apps/screen_generator.cpp.o" "gcc" "src/CMakeFiles/darpa.dir/apps/screen_generator.cpp.o.d"
+  "/root/repo/src/baselines/frauddroid.cpp" "src/CMakeFiles/darpa.dir/baselines/frauddroid.cpp.o" "gcc" "src/CMakeFiles/darpa.dir/baselines/frauddroid.cpp.o.d"
+  "/root/repo/src/core/darpa_service.cpp" "src/CMakeFiles/darpa.dir/core/darpa_service.cpp.o" "gcc" "src/CMakeFiles/darpa.dir/core/darpa_service.cpp.o.d"
+  "/root/repo/src/core/decoration.cpp" "src/CMakeFiles/darpa.dir/core/decoration.cpp.o" "gcc" "src/CMakeFiles/darpa.dir/core/decoration.cpp.o.d"
+  "/root/repo/src/core/security.cpp" "src/CMakeFiles/darpa.dir/core/security.cpp.o" "gcc" "src/CMakeFiles/darpa.dir/core/security.cpp.o.d"
+  "/root/repo/src/cv/adversarial.cpp" "src/CMakeFiles/darpa.dir/cv/adversarial.cpp.o" "gcc" "src/CMakeFiles/darpa.dir/cv/adversarial.cpp.o.d"
+  "/root/repo/src/cv/detection.cpp" "src/CMakeFiles/darpa.dir/cv/detection.cpp.o" "gcc" "src/CMakeFiles/darpa.dir/cv/detection.cpp.o.d"
+  "/root/repo/src/cv/features.cpp" "src/CMakeFiles/darpa.dir/cv/features.cpp.o" "gcc" "src/CMakeFiles/darpa.dir/cv/features.cpp.o.d"
+  "/root/repo/src/cv/one_stage.cpp" "src/CMakeFiles/darpa.dir/cv/one_stage.cpp.o" "gcc" "src/CMakeFiles/darpa.dir/cv/one_stage.cpp.o.d"
+  "/root/repo/src/cv/refine.cpp" "src/CMakeFiles/darpa.dir/cv/refine.cpp.o" "gcc" "src/CMakeFiles/darpa.dir/cv/refine.cpp.o.d"
+  "/root/repo/src/cv/two_stage.cpp" "src/CMakeFiles/darpa.dir/cv/two_stage.cpp.o" "gcc" "src/CMakeFiles/darpa.dir/cv/two_stage.cpp.o.d"
+  "/root/repo/src/dataset/dataset.cpp" "src/CMakeFiles/darpa.dir/dataset/dataset.cpp.o" "gcc" "src/CMakeFiles/darpa.dir/dataset/dataset.cpp.o.d"
+  "/root/repo/src/dataset/export.cpp" "src/CMakeFiles/darpa.dir/dataset/export.cpp.o" "gcc" "src/CMakeFiles/darpa.dir/dataset/export.cpp.o.d"
+  "/root/repo/src/gfx/bitmap.cpp" "src/CMakeFiles/darpa.dir/gfx/bitmap.cpp.o" "gcc" "src/CMakeFiles/darpa.dir/gfx/bitmap.cpp.o.d"
+  "/root/repo/src/gfx/canvas.cpp" "src/CMakeFiles/darpa.dir/gfx/canvas.cpp.o" "gcc" "src/CMakeFiles/darpa.dir/gfx/canvas.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "src/CMakeFiles/darpa.dir/nn/mlp.cpp.o" "gcc" "src/CMakeFiles/darpa.dir/nn/mlp.cpp.o.d"
+  "/root/repo/src/nn/quantize.cpp" "src/CMakeFiles/darpa.dir/nn/quantize.cpp.o" "gcc" "src/CMakeFiles/darpa.dir/nn/quantize.cpp.o.d"
+  "/root/repo/src/perf/device_model.cpp" "src/CMakeFiles/darpa.dir/perf/device_model.cpp.o" "gcc" "src/CMakeFiles/darpa.dir/perf/device_model.cpp.o.d"
+  "/root/repo/src/study/user_study.cpp" "src/CMakeFiles/darpa.dir/study/user_study.cpp.o" "gcc" "src/CMakeFiles/darpa.dir/study/user_study.cpp.o.d"
+  "/root/repo/src/util/color.cpp" "src/CMakeFiles/darpa.dir/util/color.cpp.o" "gcc" "src/CMakeFiles/darpa.dir/util/color.cpp.o.d"
+  "/root/repo/src/util/geometry.cpp" "src/CMakeFiles/darpa.dir/util/geometry.cpp.o" "gcc" "src/CMakeFiles/darpa.dir/util/geometry.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/darpa.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/darpa.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/darpa.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/darpa.dir/util/rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

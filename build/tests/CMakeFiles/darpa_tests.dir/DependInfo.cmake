@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/android_test.cpp" "tests/CMakeFiles/darpa_tests.dir/android_test.cpp.o" "gcc" "tests/CMakeFiles/darpa_tests.dir/android_test.cpp.o.d"
+  "/root/repo/tests/apps_test.cpp" "tests/CMakeFiles/darpa_tests.dir/apps_test.cpp.o" "gcc" "tests/CMakeFiles/darpa_tests.dir/apps_test.cpp.o.d"
+  "/root/repo/tests/baselines_perf_study_test.cpp" "tests/CMakeFiles/darpa_tests.dir/baselines_perf_study_test.cpp.o" "gcc" "tests/CMakeFiles/darpa_tests.dir/baselines_perf_study_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/darpa_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/darpa_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/cv_test.cpp" "tests/CMakeFiles/darpa_tests.dir/cv_test.cpp.o" "gcc" "tests/CMakeFiles/darpa_tests.dir/cv_test.cpp.o.d"
+  "/root/repo/tests/dataset_test.cpp" "tests/CMakeFiles/darpa_tests.dir/dataset_test.cpp.o" "gcc" "tests/CMakeFiles/darpa_tests.dir/dataset_test.cpp.o.d"
+  "/root/repo/tests/extensions_test.cpp" "tests/CMakeFiles/darpa_tests.dir/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/darpa_tests.dir/extensions_test.cpp.o.d"
+  "/root/repo/tests/gfx_test.cpp" "tests/CMakeFiles/darpa_tests.dir/gfx_test.cpp.o" "gcc" "tests/CMakeFiles/darpa_tests.dir/gfx_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/darpa_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/darpa_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/layout_test.cpp" "tests/CMakeFiles/darpa_tests.dir/layout_test.cpp.o" "gcc" "tests/CMakeFiles/darpa_tests.dir/layout_test.cpp.o.d"
+  "/root/repo/tests/nn_test.cpp" "tests/CMakeFiles/darpa_tests.dir/nn_test.cpp.o" "gcc" "tests/CMakeFiles/darpa_tests.dir/nn_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/darpa_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/darpa_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/darpa_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/darpa_tests.dir/util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/darpa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

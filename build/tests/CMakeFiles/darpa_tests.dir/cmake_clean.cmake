@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darpa_tests.dir/android_test.cpp.o"
+  "CMakeFiles/darpa_tests.dir/android_test.cpp.o.d"
+  "CMakeFiles/darpa_tests.dir/apps_test.cpp.o"
+  "CMakeFiles/darpa_tests.dir/apps_test.cpp.o.d"
+  "CMakeFiles/darpa_tests.dir/baselines_perf_study_test.cpp.o"
+  "CMakeFiles/darpa_tests.dir/baselines_perf_study_test.cpp.o.d"
+  "CMakeFiles/darpa_tests.dir/core_test.cpp.o"
+  "CMakeFiles/darpa_tests.dir/core_test.cpp.o.d"
+  "CMakeFiles/darpa_tests.dir/cv_test.cpp.o"
+  "CMakeFiles/darpa_tests.dir/cv_test.cpp.o.d"
+  "CMakeFiles/darpa_tests.dir/dataset_test.cpp.o"
+  "CMakeFiles/darpa_tests.dir/dataset_test.cpp.o.d"
+  "CMakeFiles/darpa_tests.dir/extensions_test.cpp.o"
+  "CMakeFiles/darpa_tests.dir/extensions_test.cpp.o.d"
+  "CMakeFiles/darpa_tests.dir/gfx_test.cpp.o"
+  "CMakeFiles/darpa_tests.dir/gfx_test.cpp.o.d"
+  "CMakeFiles/darpa_tests.dir/integration_test.cpp.o"
+  "CMakeFiles/darpa_tests.dir/integration_test.cpp.o.d"
+  "CMakeFiles/darpa_tests.dir/layout_test.cpp.o"
+  "CMakeFiles/darpa_tests.dir/layout_test.cpp.o.d"
+  "CMakeFiles/darpa_tests.dir/nn_test.cpp.o"
+  "CMakeFiles/darpa_tests.dir/nn_test.cpp.o.d"
+  "CMakeFiles/darpa_tests.dir/property_test.cpp.o"
+  "CMakeFiles/darpa_tests.dir/property_test.cpp.o.d"
+  "CMakeFiles/darpa_tests.dir/util_test.cpp.o"
+  "CMakeFiles/darpa_tests.dir/util_test.cpp.o.d"
+  "darpa_tests"
+  "darpa_tests.pdb"
+  "darpa_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darpa_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
