@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/lint.h"
 #include "android/system.h"
 #include "apps/app_model.h"
 #include "baselines/frauddroid.h"
@@ -36,6 +37,7 @@ struct ConfusionMatrix {
 struct RuntimeResult {
   ConfusionMatrix darpa;       ///< Screenshot-level verdicts vs ground truth.
   ConfusionMatrix fraudDroid;  ///< Same screenshots, FraudDroid-like verdict.
+  ConfusionMatrix lint;        ///< Same screens, static-lint-only verdict.
   perf::WorkCounts work;
   std::int64_t analyses = 0;
   std::int64_t eventsEmitted = 0;
@@ -51,6 +53,10 @@ struct RuntimeOptions {
   bool runFraudDroid = false;
   bool runMonkey = true;
   std::uint64_t seed = 606;
+  /// When set, every analyzed screen is also scored by this lint engine
+  /// (independently of any lintPrefilter inside darpaConfig), filling
+  /// RuntimeResult::lint for side-by-side lint-vs-CV comparisons.
+  const analysis::LintEngine* lintScorer = nullptr;
 };
 
 /// Runs `appCount` one-minute sessions, each on a fresh simulated device
@@ -90,6 +96,21 @@ inline RuntimeResult runSessions(const cv::Detector& detector,
         ++result.darpa.fp;
       } else {
         ++result.darpa.tn;
+      }
+      if (options.lintScorer != nullptr) {
+        const analysis::LintReport lintReport = options.lintScorer->run(
+            system.windowManager.dumpTopWindow(),
+            system.windowManager.config().screenSize);
+        const bool flagged = lintReport.verdict.isAui;
+        if (truth && flagged) {
+          ++result.lint.tp;
+        } else if (truth && !flagged) {
+          ++result.lint.fn;
+        } else if (!truth && flagged) {
+          ++result.lint.fp;
+        } else {
+          ++result.lint.tn;
+        }
       }
       if (options.runFraudDroid) {
         const android::UiDump dump = system.windowManager.dumpTopWindow();

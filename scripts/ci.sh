@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Full local CI: configure, build, test, the same again under ASan+UBSan,
+# then clang-tidy (skipped automatically when LLVM is not installed).
+#
+#   scripts/ci.sh            # everything
+#   SKIP_SANITIZE=1 scripts/ci.sh   # plain build + tests + tidy only
+#
+# Uses build/ and build-asan/ at the repo root; both are gitignored.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== configure + build (build/) =="
+cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+cmake --build build -j "$JOBS"
+
+echo "== ctest (build/) =="
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [ "${SKIP_SANITIZE:-0}" != "1" ]; then
+  echo "== configure + build, ASan+UBSan (build-asan/) =="
+  cmake -B build-asan -S . -DDARPA_SANITIZE=ON
+  cmake --build build-asan -j "$JOBS"
+
+  echo "== ctest, sanitized (build-asan/) =="
+  # halt_on_error keeps UBSan findings fatal so ctest reports them.
+  ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+fi
+
+echo "== clang-tidy =="
+scripts/tidy.sh build
+
+echo "CI OK"

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over the first-party
+# sources using an existing build tree's compile_commands.json.
+#
+#   scripts/tidy.sh [build-dir] [paths...]
+#
+# Defaults: build dir "build", paths src/core and src/android (the layers the
+# lint/tidy toolchain targets first). The script is a no-op with a notice when
+# clang-tidy is not installed, so CI images without LLVM still pass.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+shift || true
+PATHS=("$@")
+if [ ${#PATHS[@]} -eq 0 ]; then
+  PATHS=(src/core src/android)
+fi
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "tidy: $TIDY not installed; skipping (install LLVM to enable)" >&2
+  exit 0
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "tidy: generating $BUILD_DIR/compile_commands.json" >&2
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+mapfile -t FILES < <(find "${PATHS[@]}" -name '*.cpp' | sort)
+echo "tidy: ${#FILES[@]} files under: ${PATHS[*]}" >&2
+"$TIDY" -p "$BUILD_DIR" --quiet "${FILES[@]}"

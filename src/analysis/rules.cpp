@@ -1,0 +1,282 @@
+// The built-in lint rules. Each inspects the shared LintContext and appends
+// structured findings; thresholds live in the per-rule Config structs so a
+// deployment can tighten or relax any rule independently.
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "analysis/lint.h"
+
+namespace darpa::analysis {
+
+namespace {
+
+Severity capSeverity(Severity s, Severity cap) { return s < cap ? s : cap; }
+
+LintFinding makeFinding(const LintContext& ctx, const LintRule& rule, int node,
+                        Severity severity, double score, std::string message) {
+  LintFinding finding;
+  finding.ruleId = std::string(rule.id());
+  finding.severity = severity;
+  finding.score = std::clamp(score, 0.0, 1.0);
+  finding.message = std::move(message);
+  finding.nodeIndex = node;
+  finding.viewPath = ctx.path(node);
+  finding.box = ctx.dump()[node].boundsOnScreen;
+  return finding;
+}
+
+std::string describeBox(const Rect& b) {
+  return std::to_string(b.width) + "x" + std::to_string(b.height);
+}
+
+/// Perceived contrast of a node's declared ink: the stronger of glyph/text
+/// against its plate and plate against the composited surround, faded by the
+/// effective alpha (an option at alpha 0.2 reads at a fifth of its nominal
+/// contrast).
+double perceivedContrast(const LintContext& ctx, int node) {
+  const android::UiNode& n = ctx.dump()[node];
+  const Color surround = ctx.effectiveBackdrop(node);
+  const Color plate =
+      n.background.a > 0 ? blend(surround, n.background) : surround;
+  double contrast = contrastRatio(plate, surround);
+  if (n.hasContentColor) {
+    contrast = std::max(contrast, contrastRatio(n.contentColor, plate));
+  }
+  return 1.0 + (contrast - 1.0) * n.effAlpha;
+}
+
+}  // namespace
+
+// Default constructors live here so each Config's default member
+// initializers are instantiated with the class complete (cf. WindowManager).
+SizeAsymmetryRule::SizeAsymmetryRule() : SizeAsymmetryRule(Config{}) {}
+CornerPlacementRule::CornerPlacementRule() : CornerPlacementRule(Config{}) {}
+ContrastAsymmetryRule::ContrastAsymmetryRule()
+    : ContrastAsymmetryRule(Config{}) {}
+TouchTargetRule::TouchTargetRule() : TouchTargetRule(Config{}) {}
+HiddenClickableRule::HiddenClickableRule() : HiddenClickableRule(Config{}) {}
+IdTokenRule::IdTokenRule() : IdTokenRule(Config{}) {}
+
+void SizeAsymmetryRule::run(const LintContext& ctx,
+                            std::vector<LintFinding>& out) const {
+  if (!config_.enabled) return;
+  const int dominant = ctx.dominantClickable(config_.minDominantAreaFrac);
+  if (dominant < 0) return;
+  const android::UiNode& big = ctx.dump()[dominant];
+  const double dominantFrac =
+      static_cast<double>(big.boundsOnScreen.area()) /
+      static_cast<double>(std::max<std::int64_t>(1, ctx.windowRect().area()));
+
+  for (int i : ctx.dismissCandidates(config_.maxDismissArea,
+                                     config_.maxDismissMinSide)) {
+    if (i == dominant) continue;
+    const Rect& small = ctx.dump()[i].boundsOnScreen;
+    const double ratio =
+        static_cast<double>(big.boundsOnScreen.area()) /
+        static_cast<double>(std::max<std::int64_t>(1, small.area()));
+    if (ratio < config_.minAreaRatio) continue;
+
+    double score = std::min(1.0, ratio / config_.saturationRatio);
+    Severity severity = ratio >= 2.5 * config_.minAreaRatio
+                            ? Severity::kError
+                            : Severity::kWarning;
+    if (ctx.symmetricPair()) {
+      // The screen also offers two comparable options: the tiny control is
+      // an ordinary close button on a symmetric dialog, not the only exit.
+      severity = Severity::kInfo;
+      score *= 0.25;
+    } else if (!ctx.modal() && dominantFrac < 0.2) {
+      // Outside a modal and without a screen-dominating surface this is a
+      // banner-with-close shape, suspicious but not popup-shaped.
+      severity = Severity::kWarning;
+      score *= 0.5;
+    }
+    out.push_back(makeFinding(
+        ctx, *this, i, capSeverity(severity, config_.maxSeverity), score,
+        "clickable " + describeBox(small) + " is " +
+            std::to_string(static_cast<int>(ratio)) +
+            "x smaller than the dominant option (" +
+            describeBox(big.boundsOnScreen) + ")"));
+  }
+}
+
+void CornerPlacementRule::run(const LintContext& ctx,
+                              std::vector<LintFinding>& out) const {
+  if (!config_.enabled) return;
+  if (ctx.dominantClickable(config_.minDominantAreaFrac) < 0) return;
+  const Rect& panel = ctx.panelRect();
+  const int margin = config_.cornerMargin;
+
+  for (int i : ctx.dismissCandidates(config_.maxDismissArea,
+                                     config_.maxDismissMinSide)) {
+    const Rect& b = ctx.dump()[i].boundsOnScreen;
+    const bool nearX = std::min(std::abs(b.left() - panel.left()),
+                                std::abs(b.right() - panel.right())) <= margin;
+    const bool nearY = std::min(std::abs(b.top() - panel.top()),
+                                std::abs(b.bottom() - panel.bottom())) <= margin;
+    // UPOs also float centered just below the panel (§III-A layouts).
+    const bool belowPanel = b.top() >= panel.bottom() &&
+                            b.top() - panel.bottom() <= 2 * margin;
+    double score = 0.0;
+    const char* placement = nullptr;
+    if (nearX && nearY) {
+      score = 1.0;
+      placement = "corner";
+    } else if (nearX || nearY || belowPanel) {
+      score = 0.65;
+      placement = "edge";
+    } else {
+      continue;
+    }
+    if (!ctx.modal()) score *= 0.6;
+    Severity severity = nearX && nearY && ctx.modal() ? Severity::kError
+                                                      : Severity::kWarning;
+    if (ctx.symmetricPair()) {
+      severity = Severity::kInfo;
+      score *= 0.4;
+    }
+    out.push_back(makeFinding(
+        ctx, *this, i, capSeverity(severity, config_.maxSeverity), score,
+        std::string("small dismiss option pinned to the ") + placement +
+            " of the " + (ctx.panelIndex() >= 0 ? "dialog panel" : "window") +
+            " while a dominant option sits inside"));
+  }
+}
+
+void ContrastAsymmetryRule::run(const LintContext& ctx,
+                                std::vector<LintFinding>& out) const {
+  if (!config_.enabled) return;
+  // The loud side: the most prominent declared styling among large
+  // clickables (the dominant surface itself may be an image with no declared
+  // colors — a CTA button next to it still sets the loudness bar).
+  const double minArea = config_.minDominantAreaFrac *
+                         static_cast<double>(ctx.windowRect().area());
+  double loudest = 0.0;
+  bool haveLoud = false;
+  for (int i : ctx.clickables()) {
+    const android::UiNode& n = ctx.dump()[i];
+    if (static_cast<double>(n.boundsOnScreen.area()) < minArea) continue;
+    if (n.background.a == 0 && !n.hasContentColor) continue;
+    loudest = std::max(loudest, perceivedContrast(ctx, i));
+    haveLoud = true;
+  }
+
+  for (int i : ctx.dismissCandidates(config_.maxDismissArea,
+                                     config_.maxDismissMinSide)) {
+    const android::UiNode& n = ctx.dump()[i];
+    if (n.effAlpha < config_.ghostAlpha) {
+      out.push_back(makeFinding(
+          ctx, *this, i, capSeverity(Severity::kError, config_.maxSeverity),
+          1.0,
+          "ghost dismiss option: effective alpha " +
+              std::to_string(n.effAlpha).substr(0, 4) +
+              " renders it nearly invisible"));
+      continue;
+    }
+    if (!haveLoud) continue;
+    const double muted = std::max(1.0, perceivedContrast(ctx, i));
+    const double ratio = loudest / muted;
+    if (ratio < config_.minProminenceRatio) continue;
+    double score = std::min(1.0, ratio / config_.saturationRatio);
+    if (ctx.symmetricPair()) score *= 0.5;
+    const Severity severity = ratio >= 2.0 ? Severity::kError
+                                           : Severity::kWarning;
+    out.push_back(makeFinding(
+        ctx, *this, i, capSeverity(severity, config_.maxSeverity), score,
+        "declared contrast asymmetry: dismiss option reads at " +
+            std::to_string(muted).substr(0, 4) + ":1 vs " +
+            std::to_string(loudest).substr(0, 4) +
+            ":1 for the app-guided option"));
+  }
+}
+
+void TouchTargetRule::run(const LintContext& ctx,
+                          std::vector<LintFinding>& out) const {
+  if (!config_.enabled) return;
+  for (int i : ctx.clickables()) {
+    const Rect& b = ctx.dump()[i].boundsOnScreen;
+    const int minSide = std::min(b.width, b.height);
+    if (minSide >= config_.minSidePx) continue;
+    const double range =
+        std::max(1, config_.minSidePx - config_.criticalSidePx);
+    const double score =
+        std::clamp((config_.minSidePx - minSide) / range, 0.0, 1.0);
+    const Severity severity = minSide < config_.criticalSidePx
+                                  ? config_.maxSeverity
+                                  : capSeverity(Severity::kWarning,
+                                                config_.maxSeverity);
+    out.push_back(makeFinding(
+        ctx, *this, i, severity, score,
+        "touch target " + describeBox(b) + " is below the 48dp minimum"));
+  }
+}
+
+void HiddenClickableRule::run(const LintContext& ctx,
+                              std::vector<LintFinding>& out) const {
+  if (!config_.enabled) return;
+  const Rect screen{0, 0, ctx.screenSize().width, ctx.screenSize().height};
+  const android::UiDump& dump = ctx.dump();
+  for (int i : ctx.clickables()) {
+    const Rect& b = dump[i].boundsOnScreen;
+    const double visibleFrac =
+        static_cast<double>(b.intersect(screen).area()) /
+        static_cast<double>(std::max<std::int64_t>(1, b.area()));
+    if (1.0 - visibleFrac >= config_.minOffscreenFrac) {
+      out.push_back(makeFinding(
+          ctx, *this, i,
+          capSeverity(visibleFrac <= 0.0 ? Severity::kError
+                                         : Severity::kWarning,
+                      config_.maxSeverity),
+          1.0 - visibleFrac,
+          "clickable view is " +
+              std::to_string(static_cast<int>((1.0 - visibleFrac) * 100)) +
+              "% off-screen"));
+      continue;
+    }
+    // Occlusion: any node painted after this view's subtree that covers it
+    // with an opaque surface makes it unreachable (pre-order = paint order).
+    for (int j = ctx.subtreeEnd(i); j < static_cast<int>(dump.size()); ++j) {
+      const android::UiNode& over = dump[j];
+      if (over.background.a != 255 ||
+          over.effAlpha < config_.minOccluderAlpha) {
+        continue;
+      }
+      if (!over.boundsOnScreen.contains(b)) continue;
+      out.push_back(makeFinding(
+          ctx, *this, i, capSeverity(Severity::kError, config_.maxSeverity),
+          1.0, "clickable view is fully occluded by " + ctx.path(j)));
+      break;
+    }
+  }
+}
+
+void IdTokenRule::run(const LintContext& ctx,
+                      std::vector<LintFinding>& out) const {
+  if (!config_.enabled) return;
+  using baselines::FraudDroidDetector;
+  const double minAgoArea = config_.minAgoAreaFrac *
+                            static_cast<double>(ctx.windowRect().area());
+  const android::UiDump& dump = ctx.dump();
+  for (int i = 0; i < static_cast<int>(dump.size()); ++i) {
+    const android::UiNode& node = dump[i];
+    const Rect& b = node.boundsOnScreen;
+    if (b.empty() || node.resourceId.empty()) continue;
+    if (node.clickable && b.area() <= config_.maxDismissArea &&
+        FraudDroidDetector::idMatchesAny(node.resourceId, config_.upoTokens)) {
+      out.push_back(makeFinding(
+          ctx, *this, i, config_.maxSeverity, 0.4,
+          "dismiss-vocabulary resource id '" + node.resourceId + "'"));
+    }
+    if (static_cast<double>(b.area()) >= minAgoArea &&
+        FraudDroidDetector::idMatchesAny(node.resourceId, config_.agoTokens)) {
+      // "CTA" prefix is load-bearing: the verdict merge sorts these boxes
+      // into the AGO set by it.
+      out.push_back(makeFinding(
+          ctx, *this, i, config_.maxSeverity, 0.3,
+          "CTA-vocabulary resource id '" + node.resourceId + "'"));
+    }
+  }
+}
+
+}  // namespace darpa::analysis

@@ -7,7 +7,7 @@ namespace darpa::android {
 TaskId Looper::postDelayed(std::function<void()> fn, Millis delay) {
   if (delay.count < 0) delay = ms(0);
   const TaskId id = nextId_++;
-  queue_.push(Task{now() + delay, id, std::move(fn)});
+  queue_.emplace(now() + delay, id, std::move(fn));
   pending_.insert(id);
   return id;
 }

@@ -137,21 +137,31 @@ gfx::Bitmap WindowManager::composite() const {
 }
 
 void WindowManager::dumpViewRecursive(const View& view, Point origin,
+                                      int depth, double parentAlpha,
                                       UiDump& out) const {
   if (!view.visible()) return;
   const Rect abs{origin.x + view.frame().x, origin.y + view.frame().y,
                  view.frame().width, view.frame().height};
+  const double effAlpha = parentAlpha * view.alpha();
   UiNode node;
   node.className = std::string(view.className());
   node.resourceId = view.resourceId();
   node.boundsOnScreen = abs;
   node.clickable = view.clickable();
+  node.depth = depth;
+  node.background = view.background();
+  node.effAlpha = effAlpha;
   if (const auto* text = dynamic_cast<const TextView*>(&view)) {
     node.text = text->text();
+    node.contentColor = text->textColor();
+    node.hasContentColor = true;
+  } else if (const auto* icon = dynamic_cast<const IconView*>(&view)) {
+    node.contentColor = icon->glyphColor();
+    node.hasContentColor = true;
   }
   out.push_back(std::move(node));
   for (const auto& child : view.children()) {
-    dumpViewRecursive(*child, {abs.x, abs.y}, out);
+    dumpViewRecursive(*child, {abs.x, abs.y}, depth + 1, effAlpha, out);
   }
 }
 
@@ -160,7 +170,7 @@ UiDump WindowManager::dumpTopWindow() const {
   const Window* top = topAppWindow();
   if (top == nullptr) return dump;
   const Rect frame = appFrame(top->fullscreen());
-  dumpViewRecursive(top->content(), {frame.x, frame.y}, dump);
+  dumpViewRecursive(top->content(), {frame.x, frame.y}, 0, 1.0, dump);
   return dump;
 }
 

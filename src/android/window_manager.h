@@ -71,13 +71,24 @@ class Window {
   bool fullscreen_;
 };
 
-/// One node of the ADB-style hierarchy dump.
+/// One node of the ADB-style hierarchy dump. Besides the classic
+/// uiautomator fields (class, resource id, bounds, clickable, text) the dump
+/// carries the *declared* style attributes a static analyzer can read from a
+/// layout file without rendering: background color, content (text/glyph)
+/// color, and the effective alpha inherited down the tree. Nodes appear in
+/// pre-order, so `depth` reconstructs the hierarchy and z-order (later
+/// siblings draw on top).
 struct UiNode {
   std::string className;
   std::string resourceId;  ///< Empty when obfuscated / dynamic.
   Rect boundsOnScreen;
   bool clickable = false;
   std::string text;  ///< TextView content, if any.
+  int depth = 0;     ///< 0 for the window root; children are parent + 1.
+  Color background = colors::kTransparent;  ///< Declared background color.
+  Color contentColor = colors::kTransparent;  ///< Text/glyph color.
+  bool hasContentColor = false;  ///< True for TextView/IconView nodes.
+  double effAlpha = 1.0;  ///< View alpha multiplied through its ancestors.
 };
 
 using UiDump = std::vector<UiNode>;
@@ -169,7 +180,8 @@ class WindowManager {
 
   void emit(EventType type, const std::string& package);
   [[nodiscard]] Millis now() const { return clock_ ? clock_->now() : Millis{}; }
-  void dumpViewRecursive(const View& view, Point origin, UiDump& out) const;
+  void dumpViewRecursive(const View& view, Point origin, int depth,
+                         double parentAlpha, UiDump& out) const;
 
   Config config_;
   UiEventSink* sink_ = nullptr;

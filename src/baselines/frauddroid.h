@@ -50,10 +50,13 @@ class FraudDroidDetector {
   [[nodiscard]] FraudDroidResult analyze(const android::UiDump& dump,
                                          Size screenSize) const;
 
- private:
+  /// Substring match of a resource id against a token vocabulary. Public so
+  /// other metadata analyzers (the static lint's id-hint rule) share exactly
+  /// the FraudDroid matching semantics.
   [[nodiscard]] static bool idMatchesAny(std::string_view resourceId,
                                          const std::vector<std::string>& tokens);
 
+ private:
   Config config_{};
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "analysis/lint.h"
 #include "core/decoration.h"
 #include "util/log.h"
 
@@ -29,7 +30,7 @@ void DarpaService::onAccessibilityEvent(
   // Selective monitoring: trusted packages are exempt before any work is
   // accounted (the framework still wakes us, but we return immediately).
   if (!config_.trustedPackages.empty() &&
-      config_.trustedPackages.count(event.packageName) > 0) {
+      config_.trustedPackages.contains(event.packageName)) {
     return;
   }
   ++stats_.eventsReceived;
@@ -57,17 +58,47 @@ void DarpaService::analyzeNow() {
   // sees (and re-detects) DARPA's overlay.
   clearDecorations();
 
-  // Screenshot into the vault.
-  vault_.store(takeScreenshot());
-  ++stats_.screenshotsTaken;
-  report(WorkKind::kScreenshot);
+  std::vector<cv::Detection> detections;
+  bool resolvedByLint = false;
 
-  // CV detection, then rinse the screenshot immediately (§IV-E).
-  const gfx::Bitmap* shot = vault_.current();
-  std::vector<cv::Detection> detections =
-      shot != nullptr ? detector_->detect(*shot) : std::vector<cv::Detection>{};
-  vault_.rinse();
-  report(WorkKind::kDetection);
+  // Static pre-filter: lint the UI dump (no pixels). A confident verdict
+  // resolves the analysis for a fraction of the CV cost; lint-flagged
+  // option boxes stand in for detections so decoration/bypass work as
+  // usual. Unconfident screens fall through to the screenshot + CV path.
+  android::WindowManager* wm = windowManager();
+  if (config_.lintPrefilter != nullptr && wm != nullptr) {
+    const analysis::LintReport lint = config_.lintPrefilter->run(
+        wm->dumpTopWindow(), wm->config().screenSize);
+    ++stats_.lintRuns;
+    report(WorkKind::kLint);
+    if (lint.verdict.confident) {
+      resolvedByLint = true;
+      ++stats_.cvSkippedByLint;
+      if (lint.verdict.isAui) {
+        const auto confidence = static_cast<float>(lint.verdict.score);
+        for (const Rect& box : lint.verdict.upoBoxes) {
+          detections.push_back({box, dataset::BoxLabel::kUpo, confidence});
+        }
+        for (const Rect& box : lint.verdict.agoBoxes) {
+          detections.push_back({box, dataset::BoxLabel::kAgo, confidence});
+        }
+      }
+    }
+  }
+
+  if (!resolvedByLint) {
+    // Screenshot into the vault.
+    vault_.store(takeScreenshot());
+    ++stats_.screenshotsTaken;
+    report(WorkKind::kScreenshot);
+
+    // CV detection, then rinse the screenshot immediately (§IV-E).
+    const gfx::Bitmap* shot = vault_.current();
+    detections = shot != nullptr ? detector_->detect(*shot)
+                                 : std::vector<cv::Detection>{};
+    vault_.rinse();
+    report(WorkKind::kDetection);
+  }
 
   bool hasUpo = false;
   bool hasAgo = false;

@@ -30,6 +30,10 @@
 #include "core/security.h"
 #include "cv/detector.h"
 
+namespace darpa::analysis {
+class LintEngine;
+}
+
 namespace darpa::core {
 
 struct DarpaConfig {
@@ -66,10 +70,22 @@ struct DarpaConfig {
   /// re-trigger analysis and, if the AUI survives the click, DARPA would
   /// click forever.
   Millis bypassCooldown{3000};
+  /// Optional static-lint pre-filter (borrowed; must outlive the service).
+  /// When set, every stable screen is linted from its UI dump first — a
+  /// zero-screenshot pass costing microseconds — and screens the lint
+  /// clears or flags *confidently* skip the screenshot + CV stage entirely.
+  /// Unconfident verdicts fall through to the full CV path.
+  const analysis::LintEngine* lintPrefilter = nullptr;
 };
 
 /// Work performed by DARPA, reported for performance accounting.
-enum class WorkKind { kEventHandling, kScreenshot, kDetection, kDecoration };
+enum class WorkKind {
+  kEventHandling,
+  kScreenshot,
+  kDetection,
+  kDecoration,
+  kLint,
+};
 
 struct DarpaStats {
   std::int64_t eventsReceived = 0;
@@ -78,6 +94,8 @@ struct DarpaStats {
   std::int64_t auisFlagged = 0;
   std::int64_t decorationsDrawn = 0;
   std::int64_t bypassClicks = 0;
+  std::int64_t lintRuns = 0;          ///< Static pre-filter passes.
+  std::int64_t cvSkippedByLint = 0;   ///< Analyses resolved without CV.
 };
 
 class DarpaService : public android::AccessibilityService {

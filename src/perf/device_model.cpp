@@ -27,6 +27,7 @@ PerfMetrics DeviceModel::withWork(const WorkCounts& work, Millis window,
 
   if (monitoring) {
     cpuMs += static_cast<double>(work.events) * config_.eventCpuMs;
+    cpuMs += static_cast<double>(work.lints) * config_.lintCpuMs;
     cpuMs += static_cast<double>(work.screenshots) * config_.screenshotCpuMs;
     memMb += config_.monitoringMemMb;
     powerExtra += static_cast<double>(work.screenshots) *

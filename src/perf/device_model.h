@@ -27,12 +27,14 @@ struct WorkCounts {
   std::int64_t screenshots = 0;
   std::int64_t detections = 0;
   std::int64_t decorations = 0;
+  std::int64_t lints = 0;  ///< Static pre-filter passes (no screenshot).
 
   WorkCounts& operator+=(const WorkCounts& o) {
     events += o.events;
     screenshots += o.screenshots;
     detections += o.detections;
     decorations += o.decorations;
+    lints += o.lints;
     return *this;
   }
 
@@ -43,6 +45,7 @@ struct WorkCounts {
       case core::WorkKind::kScreenshot: ++screenshots; break;
       case core::WorkKind::kDetection: ++detections; break;
       case core::WorkKind::kDecoration: ++decorations; break;
+      case core::WorkKind::kLint: ++lints; break;
     }
   }
 };
@@ -74,6 +77,9 @@ class DeviceModel {
     /// Detection cost derives from the detector's MAC count (int8 NEON-ish
     /// throughput).
     double macsPerCpuMs = 1.8e6;
+    /// A static lint pass walks the view hierarchy once: pointer-chasing
+    /// over a few dozen nodes, no pixels touched.
+    double lintCpuMs = 0.18;
 
     // Memory: the resident CV model + buffers (the paper attributes most of
     // the +121.84 MB to hosting the model), plus small per-component costs.

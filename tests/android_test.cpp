@@ -209,6 +209,73 @@ TEST(LooperTest, NegativeDelayClampsToNow) {
   EXPECT_EQ(ran, 1);
 }
 
+TEST(LooperTest, NegativeDelayKeepsFifoOrderWithImmediatePosts) {
+  SimClock clock;
+  Looper looper(clock);
+  std::vector<int> order;
+  looper.post([&] { order.push_back(1); });
+  looper.postDelayed([&] { order.push_back(2); }, ms(-50));  // clamps to now
+  looper.post([&] { order.push_back(3); });
+  looper.runUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(clock.now().count, 0);  // clamping never rewinds the clock
+}
+
+TEST(LooperTest, CancelOfAlreadyRunDelayedTaskFails) {
+  SimClock clock;
+  Looper looper(clock);
+  int ran = 0;
+  const TaskId id = looper.postDelayed([&] { ++ran; }, ms(25));
+  looper.runUntil(ms(25));  // task due exactly at the deadline runs
+  EXPECT_EQ(ran, 1);
+  EXPECT_FALSE(looper.cancel(id));
+  EXPECT_EQ(looper.pendingCount(), 0u);
+}
+
+TEST(LooperTest, TasksPostedFromWithinRunUntilIdleAreDrained) {
+  SimClock clock;
+  Looper looper(clock);
+  std::vector<int> order;
+  looper.post([&] {
+    order.push_back(1);
+    looper.post([&] { order.push_back(3); });
+    looper.postDelayed([&] { order.push_back(4); }, ms(5));
+  });
+  looper.post([&] { order.push_back(2); });
+  looper.runUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(clock.now().count, 5);
+  EXPECT_TRUE(looper.idle());
+}
+
+TEST(LooperTest, TaskPostedFromTaskBeyondDeadlineStaysPending) {
+  SimClock clock;
+  Looper looper(clock);
+  int lateRan = 0;
+  looper.postDelayed(
+      [&] { looper.postDelayed([&] { ++lateRan; }, ms(100)); }, ms(10));
+  looper.runUntil(ms(50));
+  EXPECT_EQ(lateRan, 0);
+  EXPECT_EQ(looper.pendingCount(), 1u);
+  EXPECT_EQ(clock.now().count, 50);
+  looper.runUntilIdle();
+  EXPECT_EQ(lateRan, 1);
+  EXPECT_EQ(clock.now().count, 110);
+}
+
+TEST(LooperTest, TaskCanCancelAPendingSibling) {
+  SimClock clock;
+  Looper looper(clock);
+  int victimRan = 0;
+  const TaskId victim = looper.postDelayed([&] { ++victimRan; }, ms(20));
+  bool cancelled = false;
+  looper.postDelayed([&] { cancelled = looper.cancel(victim); }, ms(10));
+  looper.runUntilIdle();
+  EXPECT_TRUE(cancelled);
+  EXPECT_EQ(victimRan, 0);
+  EXPECT_TRUE(looper.idle());
+}
+
 // -------------------------------------------------------- window manager
 std::unique_ptr<View> makeScreenRoot(Color bg = colors::kWhite) {
   auto root = std::make_unique<View>();
