@@ -9,7 +9,8 @@
 
 using namespace darpa;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::initFromArgs(argc, argv);
   bench::printHeader("SVII limitation — adversarial patch attack");
   const dataset::AuiDataset data = bench::paperDataset();
   const cv::OneStageDetector detector =

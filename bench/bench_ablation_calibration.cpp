@@ -43,7 +43,8 @@ double placementIou(bool fullscreen, bool calibrate, const Rect& target) {
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::initFromArgs(argc, argv);
   bench::printHeader("Ablation — decoration calibration (paper SIV-D, Fig. 4)");
   Rng rng(17);
   double sumCal = 0, sumNoCalFull = 0, sumNoCalWindowed = 0;

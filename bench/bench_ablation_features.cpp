@@ -7,16 +7,17 @@
 
 using namespace darpa;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::initFromArgs(argc, argv);
   bench::printHeader("Ablation — feature channels (reduced dataset, 420 shots)");
   dataset::DatasetConfig dataConfig;
-  dataConfig.totalScreenshots = 420;
+  dataConfig.totalScreenshots = bench::scaled(420, 96);
   dataConfig.seed = 2023;
   const dataset::AuiDataset data = dataset::AuiDataset::build(dataConfig);
 
   cv::TrainConfig trainConfig;
-  trainConfig.epochs = 20;
-  trainConfig.benignImages = 80;
+  trainConfig.epochs = bench::scaled(20, 4);
+  trainConfig.benignImages = bench::scaled(80, 20);
 
   auto evalWith = [&](cv::ChannelSet channels) {
     cv::OneStageConfig config;

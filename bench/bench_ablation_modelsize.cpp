@@ -9,10 +9,11 @@
 
 using namespace darpa;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::initFromArgs(argc, argv);
   bench::printHeader("Ablation — detector size vs accuracy vs device cost");
   dataset::DatasetConfig dataConfig;
-  dataConfig.totalScreenshots = 420;
+  dataConfig.totalScreenshots = bench::scaled(420, 96);
   dataConfig.seed = 2023;
   const dataset::AuiDataset data = dataset::AuiDataset::build(dataConfig);
 
@@ -35,19 +36,21 @@ int main() {
     // full-scale model's tuned threshold.
     config.confidenceThresholdUpo = 0.3f;
     cv::TrainConfig trainConfig;
-    trainConfig.epochs = 20;
-    trainConfig.benignImages = 80;
+    trainConfig.epochs = bench::scaled(20, 4);
+    trainConfig.benignImages = bench::scaled(80, 20);
     const cv::OneStageDetector detector =
         cv::OneStageDetector::train(data, config, trainConfig);
     const cv::ModelMetrics metrics =
         cv::evaluateDetector(detector, data, data.testIndices());
-    // Device cost of one analysis per second for a minute.
-    perf::WorkCounts work;
-    work.events = 120;
-    work.screenshots = 60;
-    work.detections = 60;
-    const perf::PerfMetrics perfMetrics =
-        device.withWork(work, ms(60'000), detector.costMacsPerImage());
+    // Device cost of one analysis per second for a minute, as a synthetic
+    // ledger priced with the same StageCosts table the pipeline uses.
+    core::WorkLedger ledger;
+    const core::StageCosts& costs = ledger.costs();
+    ledger.recordRuns(core::Stage::kEvent, 120, costs.eventCpuMs);
+    ledger.recordRuns(core::Stage::kScreenshot, 60, costs.screenshotCpuMs);
+    ledger.recordRuns(core::Stage::kDetect, 60,
+                      detector.costMacsPerImage() / costs.macsPerCpuMs);
+    const perf::PerfMetrics perfMetrics = device.withWork(ledger, ms(60'000));
     std::printf("  %-18s %8.3f %10zu %12.1f %10.1f\n", variant.name,
                 metrics.all().f1(), detector.head().parameterCount(),
                 detector.costMacsPerImage() / 1e6, perfMetrics.cpuPercent);

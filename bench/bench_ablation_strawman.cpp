@@ -33,7 +33,8 @@ bool strawmanFlagsUpo(const gfx::Bitmap& image) {
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::initFromArgs(argc, argv);
   bench::printHeader(
       "Ablation — small-close-button strawman vs DARPA (footnote 4)");
   const dataset::AuiDataset data = bench::paperDataset();

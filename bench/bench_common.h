@@ -9,6 +9,7 @@
 
 #include <cstdio>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cv/one_stage.h"
@@ -16,10 +17,38 @@
 
 namespace darpa::bench {
 
+/// CI smoke mode (--quick): tiny dataset, light training schedule, few
+/// sessions. Numbers are NOT paper-comparable; the point is that every
+/// bench binary runs end to end in seconds.
+inline bool& quickFlag() {
+  static bool quick = false;
+  return quick;
+}
+inline bool quick() { return quickFlag(); }
+
+/// Parses common bench flags (currently just --quick). Call first thing in
+/// main(); returns argc with the consumed flags compacted away so benches
+/// that forward argv (google-benchmark) see only what they understand.
+inline int initFromArgs(int argc, char** argv) {
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--quick") {
+      quickFlag() = true;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  if (quick()) std::printf("[bench] --quick: CI smoke mode, reduced scale\n");
+  return kept;
+}
+
+/// `full` normally, `reduced` under --quick.
+inline int scaled(int full, int reduced) { return quick() ? reduced : full; }
+
 /// The paper-scale dataset every accuracy bench uses.
 inline dataset::AuiDataset paperDataset() {
   dataset::DatasetConfig config;
-  config.totalScreenshots = 1072;
+  config.totalScreenshots = quick() ? 96 : 1072;
   config.seed = 2023;
   return dataset::AuiDataset::build(config);
 }
@@ -27,8 +56,8 @@ inline dataset::AuiDataset paperDataset() {
 /// Standard training schedule used across benches.
 inline cv::TrainConfig paperTrainConfig() {
   cv::TrainConfig config;
-  config.epochs = 36;
-  config.benignImages = 150;
+  config.epochs = quick() ? 4 : 36;
+  config.benignImages = quick() ? 20 : 150;
   return config;
 }
 
@@ -38,7 +67,8 @@ inline cv::OneStageDetector trainOrLoadOneStage(
     const dataset::AuiDataset& data, const std::string& variant,
     bool maskText = false) {
   const cv::OneStageConfig config;
-  const std::string path = "darpa_model_" + variant + ".bin";
+  const std::string path =
+      "darpa_model_" + variant + (quick() ? "_quick" : "") + ".bin";
   if (auto loaded = cv::OneStageDetector::loadModel(path, config)) {
     std::printf("[bench] loaded cached model '%s'\n", path.c_str());
     return std::move(*loaded);

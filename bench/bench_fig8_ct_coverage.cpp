@@ -11,7 +11,8 @@
 
 using namespace darpa;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::initFromArgs(argc, argv);
   bench::printHeader("Figure 8 — AUI coverage under different ct thresholds");
   const dataset::AuiDataset data = bench::paperDataset();
   const cv::OneStageDetector detector =
@@ -29,7 +30,7 @@ int main() {
   std::vector<Row> rows;
   for (int ct : {50, 100, 200, 300, 400, 500}) {
     bench::RuntimeOptions options;
-    options.appCount = 30;
+    options.appCount = bench::scaled(30, 4);
     options.darpaConfig.cutoff = ms(ct);
     // The AS notification delay coalesces events at 200 ms; sweeping ct
     // below that would be masked by it, so the service tunes the delay

@@ -16,7 +16,8 @@
 
 using namespace darpa;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::initFromArgs(argc, argv);
   bench::printHeader(
       "Lint vs CV — static pre-filter accuracy and modeled cost");
   const dataset::AuiDataset data = bench::paperDataset();
@@ -27,7 +28,10 @@ int main() {
   // Pass 1: plain DARPA (CV on every stable screen); the same screens are
   // independently scored by the lint engine and the FraudDroid baseline.
   bench::RuntimeOptions base;
-  base.appCount = 100;
+  base.appCount = bench::scaled(100, 8);
+  // Cache off in both passes: this bench isolates the lint pre-filter's
+  // saving, which the verdict cache would otherwise partially absorb.
+  base.darpaConfig.verdictCacheCapacity = 0;
   base.lintScorer = &engine;
   base.runFraudDroid = true;
   const bench::RuntimeResult plain = bench::runSessions(detector, base);
@@ -48,31 +52,31 @@ int main() {
   bench::printConfusion("lint -> CV", hybrid.darpa);
   bench::printConfusion("FraudDroid-like", plain.fraudDroid);
 
-  // Modeled work: CPU-ms per analyzed screen using the device constants.
-  const perf::DeviceModel::Config dev;
+  // Modeled work straight off the ledgers (the same CPU-ms the pipeline
+  // priced while it ran, via the shared StageCosts table).
+  using core::Stage;
+  const core::StageCosts costs = perf::DeviceModel::Config{}.costs;
   const double macs = detector.costMacsPerImage();
-  const double cvPerScreen = dev.screenshotCpuMs + macs / dev.macsPerCpuMs;
+  const double cvPerScreen = costs.screenshotCpuMs + macs / costs.macsPerCpuMs;
   const double lintOnlyMs =
-      static_cast<double>(plain.analyses) * dev.lintCpuMs;
-  const double cvOnlyMs =
-      static_cast<double>(plain.work.screenshots) * dev.screenshotCpuMs +
-      static_cast<double>(plain.work.detections) * macs / dev.macsPerCpuMs;
-  const double hybridMs =
-      static_cast<double>(hybrid.work.lints) * dev.lintCpuMs +
-      static_cast<double>(hybrid.work.screenshots) * dev.screenshotCpuMs +
-      static_cast<double>(hybrid.work.detections) * macs / dev.macsPerCpuMs;
+      static_cast<double>(plain.analyses) * costs.lintCpuMs;
+  const double cvOnlyMs = plain.ledger.tally(Stage::kScreenshot).cpuMs +
+                          plain.ledger.tally(Stage::kDetect).cpuMs;
+  const double hybridMs = hybrid.ledger.tally(Stage::kLint).cpuMs +
+                          hybrid.ledger.tally(Stage::kScreenshot).cpuMs +
+                          hybrid.ledger.tally(Stage::kDetect).cpuMs;
 
   std::printf("\n  modeled analysis cost (device CPU-ms over all sessions):\n");
   std::printf("    %-14s %12.1f ms   (%.3f ms/screen)\n", "lint-only",
-              lintOnlyMs, dev.lintCpuMs);
+              lintOnlyMs, costs.lintCpuMs);
   std::printf("    %-14s %12.1f ms   (%.3f ms/screen)\n", "CV-only", cvOnlyMs,
               cvPerScreen);
   std::printf("    %-14s %12.1f ms   (%lld of %lld screens fell through "
               "to CV)\n", "lint -> CV", hybridMs,
-              static_cast<long long>(hybrid.work.detections),
-              static_cast<long long>(hybrid.work.lints));
+              static_cast<long long>(hybrid.ledger.tally(Stage::kDetect).runs),
+              static_cast<long long>(hybrid.ledger.tally(Stage::kLint).runs));
 
-  const double screenRatio = cvPerScreen / dev.lintCpuMs;
+  const double screenRatio = cvPerScreen / costs.lintCpuMs;
   const double hybridSaving =
       cvOnlyMs <= 0.0 ? 0.0 : 100.0 * (1.0 - hybridMs / cvOnlyMs);
   std::printf("\n  lint-only recall %.3f (target >= 0.70), precision %.3f\n",

@@ -27,12 +27,12 @@ const dataset::Sample& sampleScreenshot() {
 cv::OneStageDetector& sharedDetector() {
   static cv::OneStageDetector detector = [] {
     dataset::DatasetConfig config;
-    config.totalScreenshots = 80;
+    config.totalScreenshots = bench::scaled(80, 24);
     config.seed = 5;
     const dataset::AuiDataset data = dataset::AuiDataset::build(config);
     cv::TrainConfig trainConfig;
-    trainConfig.epochs = 6;
-    trainConfig.benignImages = 20;
+    trainConfig.epochs = bench::scaled(6, 2);
+    trainConfig.benignImages = bench::scaled(20, 8);
     return cv::OneStageDetector::train(data, cv::OneStageConfig{}, trainConfig);
   }();
   return detector;
@@ -140,4 +140,13 @@ BENCHMARK(BM_DatasetMaterialize);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): the shared --quick flag must be
+// stripped before google-benchmark parses argv (it rejects unknown flags).
+int main(int argc, char** argv) {
+  argc = bench::initFromArgs(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -38,7 +38,7 @@ struct RuntimeResult {
   ConfusionMatrix darpa;       ///< Screenshot-level verdicts vs ground truth.
   ConfusionMatrix fraudDroid;  ///< Same screenshots, FraudDroid-like verdict.
   ConfusionMatrix lint;        ///< Same screens, static-lint-only verdict.
-  perf::WorkCounts work;
+  core::WorkLedger ledger;     ///< Per-stage work across every session.
   std::int64_t analyses = 0;
   std::int64_t eventsEmitted = 0;
   int auiExposures = 0;
@@ -71,8 +71,6 @@ inline RuntimeResult runSessions(const cv::Detector& detector,
   for (int appIdx = 0; appIdx < options.appCount; ++appIdx) {
     android::AndroidSystem system;
     core::DarpaService service(detector, options.darpaConfig);
-    service.setWorkListener(
-        [&](core::WorkKind kind) { result.work.record(kind); });
     system.accessibility.connect(service);
 
     apps::AppProfile profile = apps::randomAppProfile(
@@ -137,6 +135,7 @@ inline RuntimeResult runSessions(const cv::Detector& detector,
     }
     system.looper.runUntil(system.clock.now() + options.sessionLength);
 
+    result.ledger += service.ledger();
     result.eventsEmitted += system.accessibility.totalEmitted();
     result.auiExposures += static_cast<int>(session.exposures().size());
     for (const apps::AuiExposure& exposure : session.exposures()) {

@@ -7,7 +7,8 @@
 
 using namespace darpa;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::initFromArgs(argc, argv);
   bench::printHeader(
       "Table I — Distribution of different types of AUI (D_aui, 1,072 shots)");
   const dataset::AuiDataset data = bench::paperDataset();

@@ -16,7 +16,8 @@ void printRow(const char* name, const dataset::AuiDataset::BoxCounts& counts,
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::initFromArgs(argc, argv);
   bench::printHeader("Table II — Distribution of the ground-truth dataset D_aui");
   const dataset::AuiDataset data = bench::paperDataset();
 

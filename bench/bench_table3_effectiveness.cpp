@@ -6,7 +6,8 @@
 
 using namespace darpa;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::initFromArgs(argc, argv);
   bench::printHeader("Table III — Overall effectiveness of DARPA (on-device)");
   const dataset::AuiDataset data = bench::paperDataset();
   cv::OneStageDetector detector = bench::trainOrLoadOneStage(data, "default");

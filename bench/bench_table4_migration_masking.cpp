@@ -7,7 +7,8 @@
 
 using namespace darpa;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::initFromArgs(argc, argv);
   bench::printHeader("Table IV — YOLOv5 on server vs ported, and text-masked");
   const dataset::AuiDataset data = bench::paperDataset();
 

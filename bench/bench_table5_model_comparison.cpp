@@ -23,7 +23,8 @@ double msPerImage(const cv::Detector& detector,
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::initFromArgs(argc, argv);
   bench::printHeader("Table V — YOLOv5-analogue vs two-stage baselines");
   const dataset::AuiDataset data = bench::paperDataset();
 
@@ -66,8 +67,8 @@ int main() {
     const cv::TwoStageDetector detector =
         cv::TwoStageDetector::train(data, config, [] {
           cv::TwoStageTrainConfig t;
-          t.epochs = 26;
-          t.benignImages = 80;
+          t.epochs = bench::scaled(26, 4);
+          t.benignImages = bench::scaled(80, 20);
           return t;
         }());
     rows.push_back(Row{detector.name(),

@@ -8,14 +8,15 @@
 
 using namespace darpa;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::initFromArgs(argc, argv);
   bench::printHeader("Table VI — DARPA vs FraudDroid-like (100 apps x 1 min)");
   const dataset::AuiDataset data = bench::paperDataset();
   const cv::OneStageDetector detector =
       bench::trainOrLoadOneStage(data, "default");
 
   bench::RuntimeOptions options;
-  options.appCount = 100;
+  options.appCount = bench::scaled(100, 8);
   options.runFraudDroid = true;
   const bench::RuntimeResult result = bench::runSessions(detector, options);
 

@@ -6,7 +6,8 @@
 
 using namespace darpa;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::initFromArgs(argc, argv);
   bench::printHeader("Table VIII — Performance of DARPA under different ct");
   const dataset::AuiDataset data = bench::paperDataset();
   const cv::OneStageDetector detector =
@@ -26,7 +27,10 @@ int main() {
   const perf::DeviceModel device;
   for (int ct : {50, 100, 200, 300, 400, 500}) {
     bench::RuntimeOptions options;
-    options.appCount = 30;  // smaller population; per-app averages reported
+    options.appCount = bench::scaled(30, 4);
+    // Table VIII sweeps the raw debounce knee; the verdict cache would
+    // flatten exactly the workload differences the sweep measures.
+    options.darpaConfig.verdictCacheCapacity = 0;
     options.darpaConfig.cutoff = ms(ct);
     // The AS notification delay coalesces events at 200 ms; sweeping ct
     // below that would be masked by it, so the service tunes the delay
@@ -34,13 +38,8 @@ int main() {
     options.darpaConfig.notificationDelay = ms(std::min(ct, 200));
     options.seed = 9000;  // same recorded app population for every ct
     const bench::RuntimeResult result = bench::runSessions(detector, options);
-    perf::WorkCounts perMinute = result.work;
-    perMinute.events /= options.appCount;
-    perMinute.screenshots /= options.appCount;
-    perMinute.detections /= options.appCount;
-    perMinute.decorations /= options.appCount;
-    const perf::PerfMetrics metrics =
-        device.withWork(perMinute, ms(60'000), result.detectorMacs);
+    const Millis window{options.appCount * options.sessionLength.count};
+    const perf::PerfMetrics metrics = device.withWork(result.ledger, window);
     std::printf("    %5d   %4.1f   %7.2f   %2.0f    %6.2f   %8.1f\n", ct,
                 metrics.cpuPercent, metrics.memoryMb, metrics.frameRate,
                 metrics.powerMw,

@@ -7,7 +7,8 @@
 
 using namespace darpa;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::initFromArgs(argc, argv);
   bench::printHeader("SIII-B — User study, Findings 1-3 (165 participants)");
   const study::StudyResults results = study::runUserStudy(study::StudyConfig{});
 

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Full local CI: configure, build, test, the same again under ASan+UBSan,
-# then clang-tidy (skipped automatically when LLVM is not installed).
+# a bench smoke lane (every bench binary once with --quick), then clang-tidy
+# as a non-fatal advisory lane (skipped automatically when LLVM is not
+# installed).
 #
 #   scripts/ci.sh            # everything
-#   SKIP_SANITIZE=1 scripts/ci.sh   # plain build + tests + tidy only
+#   SKIP_SANITIZE=1 scripts/ci.sh   # skip the sanitizer rebuild + rerun
+#   SKIP_BENCH=1 scripts/ci.sh      # skip the bench smoke lane
 #
 # Uses build/ and build-asan/ at the repo root; both are gitignored.
 set -euo pipefail
@@ -29,7 +32,21 @@ if [ "${SKIP_SANITIZE:-0}" != "1" ]; then
     ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 fi
 
-echo "== clang-tidy =="
-scripts/tidy.sh build
+if [ "${SKIP_BENCH:-0}" != "1" ]; then
+  echo "== bench smoke (--quick) =="
+  # Every bench binary runs once at reduced scale. Benches exit non-zero
+  # when one of their modeled contracts fails (e.g. bench_pipeline_cache's
+  # cache-coverage contract), so this lane is fatal.
+  for bench in build/bench/bench_*; do
+    [ -x "$bench" ] || continue
+    echo "-- $(basename "$bench") --quick"
+    "$bench" --quick > /dev/null
+  done
+fi
+
+echo "== clang-tidy (advisory, non-fatal) =="
+# Tidy findings are reported but do not fail CI: the toolchain's header set
+# varies across machines and the sanitizer + test lanes above are the gate.
+scripts/tidy.sh build || echo "clang-tidy reported findings (non-fatal)"
 
 echo "CI OK"

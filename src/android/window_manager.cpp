@@ -165,6 +165,74 @@ void WindowManager::dumpViewRecursive(const View& view, Point origin,
   }
 }
 
+namespace {
+
+/// FNV-1a 64-bit, with a finalizing mix borrowed from splitmix64 so nearby
+/// integer inputs (bounds off by one pixel) diverge across the whole word.
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void hashBytes(std::uint64_t& h, const void* data, std::size_t n) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+}
+
+void hashString(std::uint64_t& h, const std::string& s) {
+  hashBytes(h, s.data(), s.size());
+  hashBytes(h, "\x1f", 1);  // field separator: ("ab","c") != ("a","bc")
+}
+
+void hashInt(std::uint64_t& h, std::int64_t v) { hashBytes(h, &v, sizeof(v)); }
+
+std::uint64_t finalize(std::uint64_t h) {
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t WindowManager::fingerprint(const UiDump& dump) {
+  std::uint64_t h = kFnvOffset;
+  std::int64_t hashedNodes = 0;
+  for (const UiNode& node : dump) {
+    // Never hash DARPA's own decoration views: the fingerprint must be
+    // identical before and after the service decorates a screen, or every
+    // decorated screen would invalidate its own cache entry.
+    if (node.className == "DarpaDecorationView") continue;
+    ++hashedNodes;
+    hashString(h, node.className);
+    hashString(h, node.resourceId);
+    hashString(h, node.text);
+    hashInt(h, node.boundsOnScreen.x);
+    hashInt(h, node.boundsOnScreen.y);
+    hashInt(h, node.boundsOnScreen.width);
+    hashInt(h, node.boundsOnScreen.height);
+    hashInt(h, node.depth);
+    hashInt(h, node.clickable ? 1 : 0);
+    hashInt(h, node.background.toArgb());
+    hashInt(h, node.hasContentColor
+                   ? static_cast<std::int64_t>(node.contentColor.toArgb())
+                   : std::int64_t{-1});
+    // Alpha is a double; quantize to 1/1024 so float noise cannot split
+    // visually identical screens into distinct fingerprints.
+    hashInt(h, static_cast<std::int64_t>(node.effAlpha * 1024.0));
+  }
+  hashInt(h, hashedNodes);
+  return finalize(h);
+}
+
+std::uint64_t WindowManager::topWindowFingerprint() const {
+  const UiDump dump = dumpTopWindow();
+  return fingerprint(dump);
+}
+
 UiDump WindowManager::dumpTopWindow() const {
   UiDump dump;
   const Window* top = topAppWindow();
@@ -195,8 +263,12 @@ View* WindowManager::clickAt(Point screen) {
     if (frame.contains(screen)) {
       const Point local{screen.x - frame.x, screen.y - frame.y};
       if (View* hit = top->content().hitTest(local)) {
+        // The click handler may pop this very window (a dialog dismissing
+        // itself), destroying `top` and its view tree — copy the package
+        // name out before dispatching.
+        const std::string package = top->packageName();
         hit->performClick();
-        emit(EventType::kViewClicked, top->packageName());
+        emit(EventType::kViewClicked, package);
         consumed = hit;
       }
     }

@@ -19,6 +19,7 @@
 //  * Click dispatch with accessibility-event emission.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -164,6 +165,17 @@ class WindowManager {
   // --- introspection ---------------------------------------------------------
   /// ADB-style dump of the top app window's hierarchy (screen coordinates).
   [[nodiscard]] UiDump dumpTopWindow() const;
+
+  /// Stable 64-bit fingerprint of a UI dump: a hash over every node's
+  /// geometry, class, text, and declared style. Two dumps hash equal iff
+  /// the screens are structurally identical, so a re-stabilized unchanged
+  /// screen (app switch back, dialog re-show) is recognizable without
+  /// pixels. DARPA's own overlay views never poison the fingerprint: the
+  /// dump only covers the top *app* window, and decoration nodes are
+  /// skipped defensively besides.
+  [[nodiscard]] static std::uint64_t fingerprint(const UiDump& dump);
+  /// dumpTopWindow() + fingerprint() in one call.
+  [[nodiscard]] std::uint64_t topWindowFingerprint() const;
 
   // --- input ------------------------------------------------------------------
   /// Dispatches a tap at screen coordinates: overlays first (topmost wins),

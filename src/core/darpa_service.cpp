@@ -10,7 +10,9 @@
 namespace darpa::core {
 
 DarpaService::DarpaService(const cv::Detector& detector, DarpaConfig config)
-    : detector_(&detector), config_(config) {}
+    : detector_(&detector),
+      config_(config),
+      pipeline_(config.verdictCacheCapacity) {}
 
 DarpaService::~DarpaService() {
   if (connected()) clearDecorations();
@@ -22,7 +24,8 @@ void DarpaService::onServiceConnected() {
   setEventTypesMask(android::kAllEventTypesMask);
   setNotificationTimeout(config_.notificationDelay);
   logInfo("DARPA connected: ct=", config_.cutoff.count, "ms decorate=",
-          config_.decorate, " bypass=", config_.autoBypass);
+          config_.decorate, " bypass=", config_.autoBypass,
+          " cache=", config_.verdictCacheCapacity);
 }
 
 void DarpaService::onAccessibilityEvent(
@@ -34,14 +37,20 @@ void DarpaService::onAccessibilityEvent(
     return;
   }
   ++stats_.eventsReceived;
-  report(WorkKind::kEventHandling);
+  ledger_.recordEvent(event.time);
   logDebug("DARPA event ", android::eventTypeName(event.type), " from ",
            event.packageName);
   // Debounce to stability: any UI update resets the ct timer, so only
   // screens that stay unchanged for `cutoff` get analyzed.
   android::Looper* loop = looper();
   if (loop == nullptr) return;
-  if (pendingAnalysis_ != 0) loop->cancel(pendingAnalysis_);
+  if (pendingAnalysis_ != 0) {
+    loop->cancel(pendingAnalysis_);
+  } else {
+    // First event of a new burst: the screen's debounce wait is measured
+    // from here until the analysis actually fires.
+    burstStartAt_ = event.time;
+  }
   pendingAnalysis_ = loop->postDelayed(
       [this] {
         pendingAnalysis_ = 0;
@@ -52,92 +61,78 @@ void DarpaService::onAccessibilityEvent(
 
 void DarpaService::analyzeNow() {
   if (!connected()) return;
-  ++stats_.analysesRun;
+  android::WindowManager* wm = windowManager();
 
-  // Remove our own decorations before the screenshot so the model never
+  // Selective-monitoring guard for mid-debounce app transitions: if a
+  // trusted package reached the foreground after the trigger event, its
+  // screen must not be analyzed — and in particular must never touch the
+  // verdict cache (neither probing it nor seeding it).
+  if (wm != nullptr && !config_.trustedPackages.empty()) {
+    const android::Window* top = wm->topAppWindow();
+    if (top != nullptr &&
+        config_.trustedPackages.contains(top->packageName())) {
+      clearDecorations();
+      burstStartAt_ = Millis{-1};
+      return;
+    }
+  }
+
+  ++stats_.analysesRun;
+  const Millis now = looper() != nullptr ? looper()->now() : Millis{0};
+  Millis debounceLatency{0};
+  if (burstStartAt_.count >= 0) {
+    debounceLatency = now - burstStartAt_;
+    burstStartAt_ = Millis{-1};
+  }
+  ledger_.beginAnalysis(now, debounceLatency);
+
+  // Remove our own decorations before the pipeline runs so the model never
   // sees (and re-detects) DARPA's overlay.
   clearDecorations();
 
-  std::vector<cv::Detection> detections;
-  bool resolvedByLint = false;
+  AnalysisContext ctx;
+  ctx.service = this;
+  ctx.config = &config_;
+  ctx.detector = detector_;
+  ctx.wm = wm;
+  ctx.vault = &vault_;
+  ctx.stats = &stats_;
+  ctx.now = now;
+  pipeline_.run(ctx, ledger_);
+  if (ctx.fromCache) ++stats_.verdictCacheHits;
 
-  // Static pre-filter: lint the UI dump (no pixels). A confident verdict
-  // resolves the analysis for a fraction of the CV cost; lint-flagged
-  // option boxes stand in for detections so decoration/bypass work as
-  // usual. Unconfident screens fall through to the screenshot + CV path.
-  android::WindowManager* wm = windowManager();
-  if (config_.lintPrefilter != nullptr && wm != nullptr) {
-    const analysis::LintReport lint = config_.lintPrefilter->run(
-        wm->dumpTopWindow(), wm->config().screenSize);
-    ++stats_.lintRuns;
-    report(WorkKind::kLint);
-    if (lint.verdict.confident) {
-      resolvedByLint = true;
-      ++stats_.cvSkippedByLint;
-      if (lint.verdict.isAui) {
-        const auto confidence = static_cast<float>(lint.verdict.score);
-        for (const Rect& box : lint.verdict.upoBoxes) {
-          detections.push_back({box, dataset::BoxLabel::kUpo, confidence});
-        }
-        for (const Rect& box : lint.verdict.agoBoxes) {
-          detections.push_back({box, dataset::BoxLabel::kAgo, confidence});
-        }
-      }
-    }
-  }
+  lastDetections_ = ctx.detections;
+  lastWasAui_ = ctx.isAui;
+  ledger_.endAnalysis();
+  if (analysisListener_) analysisListener_(ctx.isAui, ctx.detections);
+}
 
-  if (!resolvedByLint) {
-    // Screenshot into the vault.
-    vault_.store(takeScreenshot());
-    ++stats_.screenshotsTaken;
-    report(WorkKind::kScreenshot);
+void DarpaService::decorate(const std::vector<cv::Detection>& detections) {
+  decorateDetections(detections, measureWindowOffset());
+}
 
-    // CV detection, then rinse the screenshot immediately (§IV-E).
-    const gfx::Bitmap* shot = vault_.current();
-    detections = shot != nullptr ? detector_->detect(*shot)
-                                 : std::vector<cv::Detection>{};
-    vault_.rinse();
-    report(WorkKind::kDetection);
-  }
-
-  bool hasUpo = false;
-  bool hasAgo = false;
+void DarpaService::tryBypass(const std::vector<cv::Detection>& detections) {
+  // Click the most confident UPO to dismiss the AUI on the user's behalf.
+  const cv::Detection* bestUpo = nullptr;
   for (const cv::Detection& det : detections) {
-    if (det.label == dataset::BoxLabel::kUpo) hasUpo = true;
-    if (det.label == dataset::BoxLabel::kAgo) hasAgo = true;
-  }
-  const bool isAui = config_.requireUpoForAui ? hasUpo : (hasUpo || hasAgo);
-
-  lastDetections_ = detections;
-  lastWasAui_ = isAui;
-  if (analysisListener_) analysisListener_(isAui, detections);
-  if (!isAui) return;
-  ++stats_.auisFlagged;
-
-  const Point offset = measureWindowOffset();
-  if (config_.autoBypass) {
-    // Click the most confident UPO to dismiss the AUI on the user's behalf.
-    const cv::Detection* bestUpo = nullptr;
-    for (const cv::Detection& det : detections) {
-      if (det.label != dataset::BoxLabel::kUpo) continue;
-      if (bestUpo == nullptr || det.confidence > bestUpo->confidence) {
-        bestUpo = &det;
-      }
+    if (det.label != dataset::BoxLabel::kUpo) continue;
+    if (bestUpo == nullptr || det.confidence > bestUpo->confidence) {
+      bestUpo = &det;
     }
-    if (bestUpo != nullptr) {
-      const Millis now = looper() ? looper()->now() : Millis{0};
-      const bool repeat = iou(bestUpo->box, lastBypassBox_) > 0.8 &&
-                          now - lastBypassAt_ < config_.bypassCooldown;
-      if (!repeat && dispatchClick(bestUpo->box.center())) {
-        ++stats_.bypassClicks;
-        lastBypassBox_ = bestUpo->box;
-        lastBypassAt_ = now;
-      }
-    }
-    return;
   }
-  if (config_.decorate) {
-    decorateDetections(detections, offset);
+  if (bestUpo == nullptr) return;
+  const Millis now = looper() != nullptr ? looper()->now() : Millis{0};
+  const bool repeat = iou(bestUpo->box, lastBypassBox_) > 0.8 &&
+                      now - lastBypassAt_ < config_.bypassCooldown;
+  if (repeat) return;
+  // The cooldown covers attempts, not landed clicks: the dispatched gesture
+  // itself raises touch events that re-trigger analysis, so an unconsumed
+  // click retried every pass would spin the event loop forever.
+  lastBypassBox_ = bestUpo->box;
+  lastBypassAt_ = now;
+  if (dispatchClick(bestUpo->box.center())) {
+    ++stats_.bypassClicks;
+    ledger_.recordBypass();
   }
 }
 
@@ -147,6 +142,7 @@ Point DarpaService::measureWindowOffset() {
   // location on screen.
   android::WindowManager* wm = windowManager();
   if (wm == nullptr) return {0, 0};
+  ++stats_.anchorMeasurements;
   auto anchor = std::make_unique<android::View>();
   anchor->setVisible(false);
   const int anchorId = wm->addOverlay(std::move(anchor), {0, 0, 1, 1});
@@ -191,7 +187,7 @@ void DarpaService::decorateDetections(
     lp.type = android::LayoutParams::Type::kAccessibilityOverlay;
     decorationOverlayIds_.push_back(wm->addOverlay(std::move(view), lp));
     ++stats_.decorationsDrawn;
-    report(WorkKind::kDecoration);
+    ledger_.recordDecoration();
   }
 }
 
@@ -215,10 +211,6 @@ void DarpaService::clearDecorations() {
   }
   for (int id : decorationOverlayIds_) wm->removeOverlay(id);
   decorationOverlayIds_.clear();
-}
-
-void DarpaService::report(WorkKind kind) {
-  if (workListener_) workListener_(kind);
 }
 
 }  // namespace darpa::core

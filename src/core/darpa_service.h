@@ -7,19 +7,21 @@
 //   2. Event delivery: every UI-update event resets a cut-off timer (ct);
 //      a screen only gets analyzed once it has been stable for ct — the
 //      debounce that makes run-time CV affordable (§IV-B, Table VIII).
-//   3. Screenshot: previous decorations are removed first (so DARPA never
-//      analyzes its own overlay), then AccessibilityService.takeScreenshot.
-//   4. AUI detection: the screenshot goes to the injected CV detector; the
-//      screenshot is rinsed immediately afterwards (§IV-E).
-//   5. AUI decoration: detected options are highlighted with DecorationViews
+//   3. Analysis: one AnalysisPipeline pass (core/pipeline.h) — lint
+//      pre-filter, screenshot, CV detection, verdict merge, act — with a
+//      screen-fingerprint verdict cache short-circuiting re-stabilized
+//      identical screens past the expensive stages.
+//   4. AUI decoration: detected options are highlighted with DecorationViews
 //      added through WindowManager.addView, calibrating screen-to-window
 //      coordinates with the invisible anchor-view trick (§IV-D, Fig. 4);
 //      optionally the UPO is auto-clicked instead (the bypass mode).
 //
-// Every unit of work is reported to an optional WorkListener so the
-// simulated device's performance model can account for it (Table VII).
+// The service itself is reduced to event debouncing plus pipeline
+// invocation; every unit of work is priced into a WorkLedger the simulated
+// device's performance model consumes for Table VII/VIII accounting.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <vector>
 
@@ -27,7 +29,9 @@
 
 #include "android/accessibility.h"
 #include "core/decoration.h"
+#include "core/pipeline.h"
 #include "core/security.h"
+#include "core/work_ledger.h"
 #include "cv/detector.h"
 
 namespace darpa::analysis {
@@ -76,26 +80,23 @@ struct DarpaConfig {
   /// clears or flags *confidently* skip the screenshot + CV stage entirely.
   /// Unconfident verdicts fall through to the full CV path.
   const analysis::LintEngine* lintPrefilter = nullptr;
-};
-
-/// Work performed by DARPA, reported for performance accounting.
-enum class WorkKind {
-  kEventHandling,
-  kScreenshot,
-  kDetection,
-  kDecoration,
-  kLint,
+  /// Capacity of the screen-fingerprint verdict cache (0 disables it). A
+  /// re-stabilized structurally identical screen is served its previous
+  /// verdict without lint, screenshot, or CV work.
+  std::size_t verdictCacheCapacity = 32;
 };
 
 struct DarpaStats {
   std::int64_t eventsReceived = 0;
   std::int64_t analysesRun = 0;
-  std::int64_t screenshotsTaken = 0;
+  std::int64_t screenshotsTaken = 0;  ///< Successful captures only.
   std::int64_t auisFlagged = 0;
   std::int64_t decorationsDrawn = 0;
   std::int64_t bypassClicks = 0;
   std::int64_t lintRuns = 0;          ///< Static pre-filter passes.
   std::int64_t cvSkippedByLint = 0;   ///< Analyses resolved without CV.
+  std::int64_t verdictCacheHits = 0;  ///< Analyses served from the cache.
+  std::int64_t anchorMeasurements = 0;  ///< §IV-D offset calibrations.
 };
 
 class DarpaService : public android::AccessibilityService {
@@ -107,12 +108,9 @@ class DarpaService : public android::AccessibilityService {
   void onServiceConnected() override;
   void onAccessibilityEvent(const android::AccessibilityEvent& event) override;
 
-  /// Listener invoked for each unit of work (perf accounting).
-  void setWorkListener(std::function<void(WorkKind)> listener) {
-    workListener_ = std::move(listener);
-  }
   /// Listener invoked after every analysis with the AUI verdict; used by the
-  /// coverage experiments.
+  /// coverage experiments. Cache-served analyses report their cached verdict
+  /// here exactly like a freshly computed one.
   void setAnalysisListener(
       std::function<void(bool isAui, const std::vector<cv::Detection>&)>
           listener) {
@@ -125,6 +123,15 @@ class DarpaService : public android::AccessibilityService {
   [[nodiscard]] const PermissionManifest& permissions() const {
     return permissions_;
   }
+
+  /// The work ledger every stage prices into (perf accounting). The mutable
+  /// overload lets harnesses enable tracing or swap cost tables.
+  [[nodiscard]] const WorkLedger& ledger() const { return ledger_; }
+  [[nodiscard]] WorkLedger& ledger() { return ledger_; }
+
+  /// The analysis pipeline (stage list + verdict cache), for inspection.
+  [[nodiscard]] const AnalysisPipeline& pipeline() const { return pipeline_; }
+  [[nodiscard]] AnalysisPipeline& pipeline() { return pipeline_; }
 
   /// Detections from the most recent analysis (screen coordinates).
   [[nodiscard]] const std::vector<cv::Detection>& lastDetections() const {
@@ -141,8 +148,15 @@ class DarpaService : public android::AccessibilityService {
   /// Runs one analysis immediately (normally driven by the ct timer).
   void analyzeNow();
 
+  // --- act helpers (driven by the pipeline's ActStage) ----------------------
+  /// Decorates the given detections, measuring the §IV-D window offset via
+  /// the anchor-overlay trick first — the offset is only ever measured on
+  /// this path, where it is actually consumed.
+  void decorate(const std::vector<cv::Detection>& detections);
+  /// Clicks the most confident UPO, subject to the bypass cooldown.
+  void tryBypass(const std::vector<cv::Detection>& detections);
+
  private:
-  void report(WorkKind kind);
   /// The §IV-D anchor-view trick: returns the current app window's offset
   /// on screen.
   [[nodiscard]] Point measureWindowOffset();
@@ -154,10 +168,12 @@ class DarpaService : public android::AccessibilityService {
   PermissionManifest permissions_;
   ScreenshotVault vault_;
   DarpaStats stats_;
-  std::function<void(WorkKind)> workListener_;
+  WorkLedger ledger_;
+  AnalysisPipeline pipeline_;
   std::function<void(bool, const std::vector<cv::Detection>&)>
       analysisListener_;
   android::TaskId pendingAnalysis_ = 0;
+  Millis burstStartAt_{-1};  ///< First event of the pending debounce burst.
   Rect lastBypassBox_;
   Millis lastBypassAt_{-1'000'000};
   std::vector<int> decorationOverlayIds_;

@@ -1,0 +1,197 @@
+#include "core/pipeline.h"
+
+#include <utility>
+
+#include "analysis/lint.h"
+#include "core/darpa_service.h"
+
+namespace darpa::core {
+
+// ----------------------------------------------------------- VerdictCache
+
+const VerdictCache::Entry* VerdictCache::find(std::uint64_t key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return &lru_.front().second;
+}
+
+void VerdictCache::put(std::uint64_t key, Entry entry) {
+  if (capacity_ == 0) return;
+  if (const auto it = index_.find(key); it != index_.end()) {
+    it->second->second = std::move(entry);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(entry));
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+void VerdictCache::clear() {
+  lru_.clear();
+  index_.clear();
+}
+
+// ----------------------------------------------------------------- stages
+
+bool LintStage::shouldRun(const AnalysisContext& ctx) const {
+  return !ctx.fromCache && ctx.config->lintPrefilter != nullptr &&
+         ctx.wm != nullptr;
+}
+
+void LintStage::run(AnalysisContext& ctx, WorkLedger& ledger) {
+  const analysis::LintReport lint =
+      ctx.config->lintPrefilter->run(ctx.dump, ctx.wm->config().screenSize);
+  ++ctx.stats->lintRuns;
+  ledger.recordRun(Stage::kLint, ledger.costs().lintCpuMs);
+  if (!lint.verdict.confident) return;
+  ctx.resolvedByLint = true;
+  ++ctx.stats->cvSkippedByLint;
+  if (lint.verdict.isAui) {
+    const auto confidence = static_cast<float>(lint.verdict.score);
+    for (const Rect& box : lint.verdict.upoBoxes) {
+      ctx.detections.push_back({box, dataset::BoxLabel::kUpo, confidence});
+    }
+    for (const Rect& box : lint.verdict.agoBoxes) {
+      ctx.detections.push_back({box, dataset::BoxLabel::kAgo, confidence});
+    }
+  }
+}
+
+bool ScreenshotStage::shouldRun(const AnalysisContext& ctx) const {
+  return !ctx.fromCache && !ctx.resolvedByLint;
+}
+
+void ScreenshotStage::run(AnalysisContext& ctx, WorkLedger& ledger) {
+  ctx.vault->store(ctx.service->takeScreenshot());
+  const gfx::Bitmap* shot = ctx.vault->current();
+  ctx.screenshotOk = shot != nullptr && !shot->empty();
+  if (!ctx.screenshotOk) {
+    // A failed capture is not billable work and must not drift the stats:
+    // no screenshot was taken, so none is counted or priced.
+    ctx.vault->rinse();
+    ledger.recordSkip(Stage::kScreenshot);
+    return;
+  }
+  ++ctx.stats->screenshotsTaken;
+  ledger.recordRun(Stage::kScreenshot, ledger.costs().screenshotCpuMs);
+}
+
+bool DetectStage::shouldRun(const AnalysisContext& ctx) const {
+  return !ctx.fromCache && !ctx.resolvedByLint && ctx.screenshotOk;
+}
+
+void DetectStage::run(AnalysisContext& ctx, WorkLedger& ledger) {
+  ctx.detections = ctx.detector->detect(*ctx.vault->current());
+  ctx.vault->rinse();  // §IV-E: rinse immediately after the model ran.
+  ledger.recordRun(Stage::kDetect, ctx.detector->costMacsPerImage() /
+                                       ledger.costs().macsPerCpuMs);
+}
+
+bool VerdictStage::shouldRun(const AnalysisContext& ctx) const {
+  return !ctx.fromCache;
+}
+
+void VerdictStage::run(AnalysisContext& ctx, WorkLedger& ledger) {
+  bool hasUpo = false;
+  bool hasAgo = false;
+  for (const cv::Detection& det : ctx.detections) {
+    if (det.label == dataset::BoxLabel::kUpo) hasUpo = true;
+    if (det.label == dataset::BoxLabel::kAgo) hasAgo = true;
+  }
+  ctx.isAui = ctx.config->requireUpoForAui ? hasUpo : (hasUpo || hasAgo);
+  ledger.recordRun(Stage::kVerdict, ledger.costs().verdictCpuMs);
+  // Cache only verdicts that rest on real evidence (a lint resolution or a
+  // usable capture); a transient screenshot failure must stay transient.
+  if (cache_->enabled() && ctx.wm != nullptr &&
+      (ctx.resolvedByLint || ctx.screenshotOk)) {
+    cache_->put(ctx.fingerprint, {ctx.isAui, ctx.detections});
+  }
+}
+
+bool ActStage::shouldRun(const AnalysisContext& ctx) const {
+  return ctx.isAui;
+}
+
+void ActStage::run(AnalysisContext& ctx, WorkLedger& ledger) {
+  (void)ledger;  // Act work is priced inside the service helpers.
+  ++ctx.stats->auisFlagged;
+  if (ctx.config->autoBypass) {
+    ctx.service->tryBypass(ctx.detections);
+    return;
+  }
+  if (ctx.config->decorate) {
+    // The §IV-D anchor-overlay offset is measured inside decorate() — only
+    // this path consumes it, so only this path pays for it.
+    ctx.service->decorate(ctx.detections);
+  }
+}
+
+// --------------------------------------------------------------- pipeline
+
+namespace {
+
+/// Mixes the foreground package into the screen fingerprint so two apps
+/// that happen to render structurally identical trees (bare class names,
+/// no resource ids) can never share a cached verdict.
+std::uint64_t mixPackage(std::uint64_t fp, const std::string& package) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : package) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return fp ^ (h | 1);  // |1 keeps the mix non-zero for the empty package.
+}
+
+}  // namespace
+
+AnalysisPipeline::AnalysisPipeline(std::size_t cacheCapacity)
+    : cache_(cacheCapacity) {
+  stages_.push_back(std::make_unique<LintStage>());
+  stages_.push_back(std::make_unique<ScreenshotStage>());
+  stages_.push_back(std::make_unique<DetectStage>());
+  stages_.push_back(std::make_unique<VerdictStage>(cache_));
+  stages_.push_back(std::make_unique<ActStage>());
+}
+
+void AnalysisPipeline::run(AnalysisContext& ctx, WorkLedger& ledger) {
+  // One UI dump per pass, shared by the fingerprint probe and the lint
+  // stage. Decoration overlays are never part of it (they live outside the
+  // app window), so a decorated screen fingerprints like its clean self.
+  if (ctx.wm != nullptr) {
+    ctx.dump = ctx.wm->dumpTopWindow();
+    const android::Window* top = ctx.wm->topAppWindow();
+    ctx.fingerprint =
+        mixPackage(android::WindowManager::fingerprint(ctx.dump),
+                   top != nullptr ? top->packageName() : std::string{});
+  }
+
+  // Verdict-cache probe: a hit resolves the whole analysis for the cost of
+  // the dump walk + lookup and routes straight to the act stage.
+  if (cache_.enabled() && ctx.wm != nullptr) {
+    ledger.recordRun(Stage::kVerdict, ledger.costs().cacheLookupCpuMs);
+    if (const VerdictCache::Entry* hit = cache_.find(ctx.fingerprint)) {
+      ledger.recordCacheHit();
+      ctx.fromCache = true;
+      ctx.isAui = hit->isAui;
+      ctx.detections = hit->detections;
+    } else {
+      ledger.recordCacheMiss();
+    }
+  }
+
+  for (const auto& stage : stages_) {
+    if (stage->shouldRun(ctx)) {
+      stage->run(ctx, ledger);
+    } else {
+      ledger.recordSkip(stage->kind());
+    }
+  }
+}
+
+}  // namespace darpa::core

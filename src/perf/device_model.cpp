@@ -15,10 +15,12 @@ PerfMetrics DeviceModel::baseline() const {
                      config_.baseFrameRate, config_.basePowerMw};
 }
 
-PerfMetrics DeviceModel::withWork(const WorkCounts& work, Millis window,
-                                  double detectorMacs, bool monitoring,
+PerfMetrics DeviceModel::withWork(const core::WorkLedger& ledger,
+                                  Millis window, bool monitoring,
                                   bool detection, bool decoration) const {
-  const double windowMs = std::max<double>(static_cast<double>(window.count), 1.0);
+  using core::Stage;
+  const double windowMs =
+      std::max<double>(static_cast<double>(window.count), 1.0);
 
   double cpuMs = 0.0;
   double memMb = 0.0;
@@ -26,26 +28,27 @@ PerfMetrics DeviceModel::withWork(const WorkCounts& work, Millis window,
   double fpsExtra = 0.0;
 
   if (monitoring) {
-    cpuMs += static_cast<double>(work.events) * config_.eventCpuMs;
-    cpuMs += static_cast<double>(work.lints) * config_.lintCpuMs;
-    cpuMs += static_cast<double>(work.screenshots) * config_.screenshotCpuMs;
+    cpuMs += ledger.tally(Stage::kEvent).cpuMs;
+    cpuMs += ledger.tally(Stage::kLint).cpuMs;
+    cpuMs += ledger.tally(Stage::kScreenshot).cpuMs;
+    cpuMs += ledger.tally(Stage::kVerdict).cpuMs;  // merge + cache lookups
     memMb += config_.monitoringMemMb;
-    powerExtra += static_cast<double>(work.screenshots) *
-                  config_.screenshotPowerMw * (60000.0 / windowMs);
+    const auto screenshots =
+        static_cast<double>(ledger.tally(Stage::kScreenshot).runs);
+    powerExtra +=
+        screenshots * config_.screenshotPowerMw * (60000.0 / windowMs);
     // Screenshot capture stalls the render thread for a frame or two.
-    const double shotsPerSec =
-        1000.0 * static_cast<double>(work.screenshots) / windowMs;
-    fpsExtra += shotsPerSec * config_.screenshotFpsPerPerSec;
+    fpsExtra +=
+        (1000.0 * screenshots / windowMs) * config_.screenshotFpsPerPerSec;
   }
   if (detection) {
-    cpuMs += static_cast<double>(work.detections) * detectorMacs /
-             config_.macsPerCpuMs;
+    cpuMs += ledger.tally(Stage::kDetect).cpuMs;
     memMb += config_.detectionMemMb;
   }
   if (decoration) {
-    cpuMs += static_cast<double>(work.decorations) * config_.decorationCpuMs;
+    cpuMs += ledger.tally(Stage::kAct).cpuMs;
     memMb += config_.decorationMemMb;
-    if (work.decorations > 0) fpsExtra += config_.decorationFpsCost;
+    if (ledger.decorations() > 0) fpsExtra += config_.decorationFpsCost;
   }
 
   const double extraCpuPercent = 100.0 * cpuMs / windowMs;

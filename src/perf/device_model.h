@@ -2,53 +2,23 @@
 //
 // The paper measures CPU %, memory, frame rate, and power with SoloPi while
 // replaying recorded Monkey sessions with and without DARPA. We cannot
-// measure a phone, so we *account*: every unit of DARPA work (event
-// handling, screenshot, detection, decoration) is metered by the
-// DarpaService work listener, converted to CPU-milliseconds through
-// per-operation costs, and folded into a calibrated device model whose
-// baseline matches Table VII's first row (55.22 % CPU, 4,291.96 MB, 81 fps,
-// 443.85 mW). Frame rate degrades as CPU saturates; power follows CPU load
-// plus a screenshot-I/O term. The *shape* of the overhead decomposition —
-// detection dominating, monitoring and decoration nearly free — emerges
-// from the same accounting the paper measures.
+// measure a phone, so we *account*: every unit of DARPA work is priced into
+// the service's WorkLedger (per-stage CPU-milliseconds, through the shared
+// core::StageCosts table) as it happens, and this model folds the ledger
+// into a calibrated device whose baseline matches Table VII's first row
+// (55.22 % CPU, 4,291.96 MB, 81 fps, 443.85 mW). Frame rate degrades as CPU
+// saturates; power follows CPU load plus a screenshot-I/O term. The *shape*
+// of the overhead decomposition — detection dominating, monitoring and
+// decoration nearly free — emerges from the same accounting the paper
+// measures.
 #pragma once
 
-#include <cstdint>
 #include <iosfwd>
 
-#include "core/darpa_service.h"
+#include "core/work_ledger.h"
 #include "util/clock.h"
 
 namespace darpa::perf {
-
-/// Counts of DARPA work performed during a measured window.
-struct WorkCounts {
-  std::int64_t events = 0;
-  std::int64_t screenshots = 0;
-  std::int64_t detections = 0;
-  std::int64_t decorations = 0;
-  std::int64_t lints = 0;  ///< Static pre-filter passes (no screenshot).
-
-  WorkCounts& operator+=(const WorkCounts& o) {
-    events += o.events;
-    screenshots += o.screenshots;
-    detections += o.detections;
-    decorations += o.decorations;
-    lints += o.lints;
-    return *this;
-  }
-
-  /// Convenience adapter for DarpaService::setWorkListener.
-  void record(core::WorkKind kind) {
-    switch (kind) {
-      case core::WorkKind::kEventHandling: ++events; break;
-      case core::WorkKind::kScreenshot: ++screenshots; break;
-      case core::WorkKind::kDetection: ++detections; break;
-      case core::WorkKind::kDecoration: ++decorations; break;
-      case core::WorkKind::kLint: ++lints; break;
-    }
-  }
-};
 
 /// SoloPi-style metric sample.
 struct PerfMetrics {
@@ -69,17 +39,11 @@ class DeviceModel {
     double baseFrameRate = 81.0;
     double basePowerMw = 443.85;
 
-    // Per-operation CPU costs in milliseconds on the device's big core.
-    double eventCpuMs = 0.35;
-    double screenshotCpuMs = 2.2;
-    /// addView/removeView force full window relayout + recomposition.
-    double decorationCpuMs = 45.0;
-    /// Detection cost derives from the detector's MAC count (int8 NEON-ish
-    /// throughput).
-    double macsPerCpuMs = 1.8e6;
-    /// A static lint pass walks the view hierarchy once: pointer-chasing
-    /// over a few dozen nodes, no pixels touched.
-    double lintCpuMs = 0.18;
+    /// Per-operation CPU costs — the same core::StageCosts table the
+    /// pipeline prices work with while recording into the ledger. Kept here
+    /// so harnesses that synthesize ledgers (the ablation bench, the unit
+    /// tests) read their constants from the device model they target.
+    core::StageCosts costs;
 
     // Memory: the resident CV model + buffers (the paper attributes most of
     // the +121.84 MB to hosting the model), plus small per-component costs.
@@ -108,18 +72,19 @@ class DeviceModel {
   /// Baseline metrics (no DARPA components active).
   [[nodiscard]] PerfMetrics baseline() const;
 
-  /// Metrics with the given DARPA work performed over `window`, for a
-  /// detector costing `detectorMacs` per analyzed screenshot. Component
-  /// flags allow the incremental rows of Table VII (monitoring only,
-  /// +detection, +decoration).
-  [[nodiscard]] PerfMetrics withWork(const WorkCounts& work, Millis window,
-                                     double detectorMacs, bool monitoring,
+  /// Metrics with the ledger's recorded work performed over `window`.
+  /// Component flags allow the incremental rows of Table VII (monitoring
+  /// only, +detection, +decoration): monitoring covers the event, lint,
+  /// screenshot, and verdict/cache stages; detection the CV stage; and
+  /// decoration the act stage.
+  [[nodiscard]] PerfMetrics withWork(const core::WorkLedger& ledger,
+                                     Millis window, bool monitoring,
                                      bool detection, bool decoration) const;
 
   /// Full-DARPA convenience overload.
-  [[nodiscard]] PerfMetrics withWork(const WorkCounts& work, Millis window,
-                                     double detectorMacs) const {
-    return withWork(work, window, detectorMacs, true, true, true);
+  [[nodiscard]] PerfMetrics withWork(const core::WorkLedger& ledger,
+                                     Millis window) const {
+    return withWork(ledger, window, true, true, true);
   }
 
  private:

@@ -536,5 +536,34 @@ TEST(AccessibilityTest, ClickEmitsTouchAndClickEvents) {
   EXPECT_EQ(service.events[2].type, EventType::kTouchInteractionEnd);
 }
 
+TEST(WindowManagerTest, ClickHandlerMayPopOwnWindow) {
+  // A dialog whose confirm button dismisses the dialog: the handler pops
+  // the window that owns the clicked view, so clickAt must not touch the
+  // window after dispatching (regression: use-after-free on packageName).
+  AndroidSystem sys;
+  RecordingService service;
+  sys.accessibility.connect(service);
+  sys.windowManager.showAppWindow("com.app", makeScreenRoot(), true);
+  auto dialog = makeScreenRoot();
+  auto* button = dialog->addChild(std::make_unique<Button>());
+  button->setFrame({0, 0, 360, 100});
+  WindowManager* wm = &sys.windowManager;
+  button->setOnClick([wm] { wm->popAppWindow(); });
+  sys.windowManager.showAppWindow("com.app.dialog", std::move(dialog), true);
+  sys.looper.runUntilIdle();
+  service.events.clear();
+  EXPECT_NE(sys.windowManager.clickAt({50, 50}), nullptr);
+  sys.looper.runUntilIdle();
+  // The pop interleaves window-transition events; the click event itself
+  // must still carry the (now destroyed) dialog's package name.
+  int clicked = 0;
+  for (const AccessibilityEvent& event : service.events) {
+    if (event.type != EventType::kViewClicked) continue;
+    ++clicked;
+    EXPECT_EQ(event.packageName, "com.app.dialog");
+  }
+  EXPECT_EQ(clicked, 1);
+}
+
 }  // namespace
 }  // namespace darpa::android

@@ -84,36 +84,32 @@ TEST(DeviceModelTest, BaselineMatchesTableVII) {
   EXPECT_DOUBLE_EQ(base.powerMw, 443.85);
 }
 
-TEST(DeviceModelTest, WorkCountsRecordKinds) {
-  perf::WorkCounts counts;
-  counts.record(core::WorkKind::kEventHandling);
-  counts.record(core::WorkKind::kScreenshot);
-  counts.record(core::WorkKind::kDetection);
-  counts.record(core::WorkKind::kDetection);
-  counts.record(core::WorkKind::kDecoration);
-  EXPECT_EQ(counts.events, 1);
-  EXPECT_EQ(counts.screenshots, 1);
-  EXPECT_EQ(counts.detections, 2);
-  EXPECT_EQ(counts.decorations, 1);
-  perf::WorkCounts other;
-  other.events = 4;
-  counts += other;
-  EXPECT_EQ(counts.events, 5);
+namespace {
+/// Synthesizes a ledger priced with the model's own StageCosts table, the
+/// way the pipeline would while running: n events/screenshots/detections
+/// plus optional decorations.
+core::WorkLedger syntheticLedger(const perf::DeviceModel& model,
+                                 std::int64_t events, std::int64_t shots,
+                                 std::int64_t detections, double macs,
+                                 std::int64_t decorations = 0) {
+  const core::StageCosts& costs = model.config().costs;
+  core::WorkLedger ledger(costs);
+  ledger.recordRuns(core::Stage::kEvent, events, costs.eventCpuMs);
+  ledger.recordRuns(core::Stage::kScreenshot, shots, costs.screenshotCpuMs);
+  ledger.recordRuns(core::Stage::kDetect, detections,
+                    macs / costs.macsPerCpuMs);
+  for (std::int64_t i = 0; i < decorations; ++i) ledger.recordDecoration();
+  return ledger;
 }
+}  // namespace
 
 TEST(DeviceModelTest, MoreWorkCostsMore) {
   const perf::DeviceModel model;
-  perf::WorkCounts light;
-  light.events = 30;
-  light.screenshots = 5;
-  light.detections = 5;
-  perf::WorkCounts heavy;
-  heavy.events = 300;
-  heavy.screenshots = 100;
-  heavy.detections = 100;
   const double macs = 5e6;
-  const auto a = model.withWork(light, ms(60000), macs);
-  const auto b = model.withWork(heavy, ms(60000), macs);
+  const core::WorkLedger light = syntheticLedger(model, 30, 5, 5, macs);
+  const core::WorkLedger heavy = syntheticLedger(model, 300, 100, 100, macs);
+  const auto a = model.withWork(light, ms(60000));
+  const auto b = model.withWork(heavy, ms(60000));
   EXPECT_GT(b.cpuPercent, a.cpuPercent);
   EXPECT_GT(b.powerMw, a.powerMw);
   EXPECT_LT(b.frameRate, a.frameRate);
@@ -122,17 +118,12 @@ TEST(DeviceModelTest, MoreWorkCostsMore) {
 
 TEST(DeviceModelTest, ComponentFlagsDecomposeOverhead) {
   const perf::DeviceModel model;
-  perf::WorkCounts work;
-  work.events = 120;
-  work.screenshots = 20;
-  work.detections = 20;
-  work.decorations = 2;
   const double macs = 2e7;  // a realistic one-stage detector footprint
-  const auto monitoring =
-      model.withWork(work, ms(60000), macs, true, false, false);
+  const core::WorkLedger work = syntheticLedger(model, 120, 20, 20, macs, 2);
+  const auto monitoring = model.withWork(work, ms(60000), true, false, false);
   const auto withDetection =
-      model.withWork(work, ms(60000), macs, true, true, false);
-  const auto full = model.withWork(work, ms(60000), macs, true, true, true);
+      model.withWork(work, ms(60000), true, true, false);
+  const auto full = model.withWork(work, ms(60000), true, true, true);
   // Detection dominates the increments (Table VII's finding).
   const double detCpu = withDetection.cpuPercent - monitoring.cpuPercent;
   const double monCpu = monitoring.cpuPercent - model.baseline().cpuPercent;
@@ -144,9 +135,26 @@ TEST(DeviceModelTest, ComponentFlagsDecomposeOverhead) {
 
 TEST(DeviceModelTest, ZeroWorkEqualsBaselinePlusResidentMemory) {
   const perf::DeviceModel model;
-  const auto idle = model.withWork({}, ms(60000), 1e6);
+  const auto idle = model.withWork(core::WorkLedger{}, ms(60000));
   EXPECT_DOUBLE_EQ(idle.cpuPercent, model.baseline().cpuPercent);
   EXPECT_GT(idle.memoryMb, model.baseline().memoryMb);  // resident model
+}
+
+TEST(DeviceModelTest, CacheHitsReduceModeledCost) {
+  // Two workloads analyzing the same 100 screens: one pays full screenshot
+  // + detection every time, the other serves 80 from the verdict cache.
+  const perf::DeviceModel model;
+  const double macs = 2e7;
+  const core::StageCosts& costs = model.config().costs;
+  const core::WorkLedger cold = syntheticLedger(model, 200, 100, 100, macs);
+  core::WorkLedger warm = syntheticLedger(model, 200, 20, 20, macs);
+  warm.recordRuns(core::Stage::kVerdict, 100, costs.cacheLookupCpuMs);
+  for (int i = 0; i < 80; ++i) warm.recordCacheHit();
+  const auto coldMetrics = model.withWork(cold, ms(60000));
+  const auto warmMetrics = model.withWork(warm, ms(60000));
+  EXPECT_LT(warmMetrics.cpuPercent, coldMetrics.cpuPercent);
+  EXPECT_GT(warmMetrics.frameRate, coldMetrics.frameRate);
+  EXPECT_EQ(warm.cacheHits(), 80);
 }
 
 // -------------------------------------------------------------- user study

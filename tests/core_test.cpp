@@ -219,24 +219,25 @@ TEST(DarpaServiceTest, AutoBypassClicksUpo) {
   EXPECT_EQ(h.system.windowManager.overlayCount(), 0u);
 }
 
-TEST(DarpaServiceTest, WorkListenerSeesAllStages) {
+TEST(DarpaServiceTest, LedgerMetersAllStages) {
   Harness h;
   h.detector.detections = {makeDet({10, 10, 20, 20}, dataset::BoxLabel::kUpo)};
-  int events = 0, shots = 0, detections = 0, decorations = 0;
-  h.service.setWorkListener([&](WorkKind kind) {
-    switch (kind) {
-      case WorkKind::kEventHandling: ++events; break;
-      case WorkKind::kScreenshot: ++shots; break;
-      case WorkKind::kDetection: ++detections; break;
-      case WorkKind::kDecoration: ++decorations; break;
-    }
-  });
   h.system.windowManager.showAppWindow("com.app", blankScreen(), false);
   h.system.looper.runUntilIdle();
-  EXPECT_GT(events, 0);
-  EXPECT_EQ(shots, 1);
-  EXPECT_EQ(detections, 1);
-  EXPECT_EQ(decorations, 1);
+  const WorkLedger& ledger = h.service.ledger();
+  EXPECT_GT(ledger.tally(Stage::kEvent).runs, 0);
+  EXPECT_EQ(ledger.tally(Stage::kScreenshot).runs, 1);
+  EXPECT_EQ(ledger.tally(Stage::kDetect).runs, 1);
+  EXPECT_EQ(ledger.tally(Stage::kVerdict).runs, 2);  // cache probe + merge
+  EXPECT_EQ(ledger.decorations(), 1);
+  EXPECT_GT(ledger.tally(Stage::kAct).cpuMs, 0.0);
+  // No lint engine configured: the stage is skipped, never run.
+  EXPECT_EQ(ledger.tally(Stage::kLint).runs, 0);
+  EXPECT_EQ(ledger.tally(Stage::kLint).skips, 1);
+  EXPECT_EQ(ledger.analyses(), h.service.stats().analysesRun);
+  EXPECT_GT(ledger.totalCpuMs(), 0.0);
+  EXPECT_GT(ledger.analysisCpuMs(), 0.0);
+  EXPECT_GT(ledger.totalDebounceLatency().count, 0);
 }
 
 TEST(DarpaServiceTest, AnalysisListenerReportsVerdict) {
@@ -252,7 +253,12 @@ TEST(DarpaServiceTest, AnalysisListenerReportsVerdict) {
   h.system.looper.runUntilIdle();
   EXPECT_EQ(calls, 1);
   EXPECT_FALSE(verdict);
+  // Mutate the screen along with the scripted detector: an unchanged screen
+  // would (correctly) be served its cached non-AUI verdict.
   h.detector.detections = {makeDet({10, 10, 20, 20}, dataset::BoxLabel::kUpo)};
+  auto popup = std::make_unique<android::View>();
+  popup->setFrame({10, 10, 20, 20});
+  h.system.windowManager.topAppWindow()->content().addChild(std::move(popup));
   h.system.windowManager.notifyContentChanged();
   h.system.looper.runUntilIdle();
   EXPECT_EQ(calls, 2);
