@@ -1,0 +1,167 @@
+// Fleet throughput scaling: screens analyzed per wall-clock second for
+// 1 -> 256 simulated device sessions across the three detection backends
+// (inline-serial, thread-pool, batching), plus the modeled detect CPU that
+// the batch amortization saves.
+//
+// Contract (exit nonzero on failure): at 64 sessions the BatchingExecutor
+// must beat the inline-serial fleet by >= 2x in wall-clock OR modeled
+// detect cost. Emits the whole scaling curve to fleet_throughput.json.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/work_ledger.h"
+#include "fleet/executors.h"
+#include "fleet/fleet.h"
+
+namespace darpa::bench {
+namespace {
+
+struct Sample {
+  int sessions = 0;
+  std::string backend;
+  int workers = 0;
+  double wallMs = 0.0;
+  double screensPerSec = 0.0;
+  std::int64_t analyses = 0;
+  double detectCpuMs = 0.0;  ///< Modeled, fleet-wide.
+  double meanBatch = 0.0;
+};
+
+int fleetWorkers() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::clamp(static_cast<int>(hw), 2, 8);
+}
+
+Sample runFleet(const cv::Detector& detector, core::DetectionExecutor& executor,
+                const char* backend, int sessions, int workers) {
+  fleet::FleetConfig config;
+  config.sessions = sessions;
+  config.workers = workers;
+  config.epoch = ms(1000);
+  config.duration = ms(scaled(10'000, 3'000));
+
+  fleet::Fleet fleet(detector, executor, config);
+  const auto t0 = std::chrono::steady_clock::now();
+  fleet.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  const fleet::FleetSnapshot snap = fleet.snapshot();
+
+  Sample sample;
+  sample.sessions = sessions;
+  sample.backend = backend;
+  sample.workers = workers;
+  sample.wallMs =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  sample.analyses = snap.ledger.analyses();
+  sample.screensPerSec =
+      sample.wallMs <= 0.0 ? 0.0 : sample.analyses / (sample.wallMs / 1000.0);
+  sample.detectCpuMs = snap.ledger.tally(core::Stage::kDetect).cpuMs;
+  return sample;
+}
+
+Sample runBackend(const cv::Detector& detector, const std::string& backend,
+                  int sessions) {
+  if (backend == "inline") {
+    core::InlineExecutor executor;
+    return runFleet(detector, executor, "inline", sessions, /*workers=*/1);
+  }
+  if (backend == "threadpool") {
+    fleet::ThreadPoolExecutor executor(fleetWorkers());
+    return runFleet(detector, executor, "threadpool", sessions, fleetWorkers());
+  }
+  fleet::BatchingExecutor executor(
+      {.maxBatchSize = 64, .threads = fleetWorkers()});
+  Sample sample =
+      runFleet(detector, executor, "batching", sessions, fleetWorkers());
+  sample.meanBatch = executor.meanBatchSize();
+  return sample;
+}
+
+void writeJson(const std::vector<Sample>& samples, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return;
+  std::fprintf(f, "{\n  \"samples\": [\n");
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    std::fprintf(f,
+                 "    {\"sessions\": %d, \"backend\": \"%s\", \"workers\": %d, "
+                 "\"wall_ms\": %.3f, \"screens_per_sec\": %.3f, "
+                 "\"analyses\": %lld, \"detect_cpu_ms\": %.3f, "
+                 "\"mean_batch\": %.3f}%s\n",
+                 s.sessions, s.backend.c_str(), s.workers, s.wallMs,
+                 s.screensPerSec, static_cast<long long>(s.analyses),
+                 s.detectCpuMs, s.meanBatch, i + 1 < samples.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("[bench] wrote %s\n", path);
+}
+
+}  // namespace
+}  // namespace darpa::bench
+
+int main(int argc, char** argv) {
+  using namespace darpa;
+  using namespace darpa::bench;
+  initFromArgs(argc, argv);
+
+  printHeader("Fleet throughput: sessions x detection backend");
+  const dataset::AuiDataset data = paperDataset();
+  const cv::OneStageDetector detector = trainOrLoadOneStage(data, "default");
+
+  const std::vector<int> sweep =
+      quick() ? std::vector<int>{1, 8, 64} : std::vector<int>{1, 4, 16, 64, 256};
+  const std::vector<std::string> backends = {"inline", "threadpool",
+                                             "batching"};
+
+  std::printf("  %-8s %-11s %8s %10s %12s %14s %10s\n", "sessions", "backend",
+              "workers", "wall ms", "screens/s", "detect cpu ms", "meanBatch");
+  std::vector<Sample> samples;
+  for (const int sessions : sweep) {
+    for (const std::string& backend : backends) {
+      const Sample s = runBackend(detector, backend, sessions);
+      std::printf("  %-8d %-11s %8d %10.1f %12.1f %14.1f %10.2f\n", s.sessions,
+                  s.backend.c_str(), s.workers, s.wallMs, s.screensPerSec,
+                  s.detectCpuMs, s.meanBatch);
+      std::fflush(stdout);
+      samples.push_back(s);
+    }
+  }
+  writeJson(samples, "fleet_throughput.json");
+
+  // Contract: at 64 sessions, batching must win >= 2x over inline-serial in
+  // wall-clock OR modeled detect cost.
+  const auto find = [&](const char* backend, int sessions) -> const Sample* {
+    for (const Sample& s : samples) {
+      if (s.backend == backend && s.sessions == sessions) return &s;
+    }
+    return nullptr;
+  };
+  const Sample* inlineAt64 = find("inline", 64);
+  const Sample* batchedAt64 = find("batching", 64);
+  if (inlineAt64 == nullptr || batchedAt64 == nullptr) {
+    std::printf("FAIL: 64-session samples missing from sweep\n");
+    return 1;
+  }
+  const double wallSpeedup = batchedAt64->wallMs <= 0.0
+                                 ? 0.0
+                                 : inlineAt64->wallMs / batchedAt64->wallMs;
+  const double modelSpeedup =
+      batchedAt64->detectCpuMs <= 0.0
+          ? 0.0
+          : inlineAt64->detectCpuMs / batchedAt64->detectCpuMs;
+  std::printf("\n  batching@64 vs inline-serial@64: wall %.2fx, modeled "
+              "detect %.2fx (contract: either >= 2x)\n",
+              wallSpeedup, modelSpeedup);
+  if (wallSpeedup < 2.0 && modelSpeedup < 2.0) {
+    std::printf("FAIL: batching did not reach 2x on either metric\n");
+    return 1;
+  }
+  std::printf("  contract PASSED\n");
+  return 0;
+}

@@ -14,6 +14,7 @@
 #include "baselines/frauddroid.h"
 #include "bench_common.h"
 #include "core/darpa_service.h"
+#include "fleet/device_session.h"
 #include "perf/device_model.h"
 
 namespace darpa::bench {
@@ -59,8 +60,10 @@ struct RuntimeOptions {
   const analysis::LintEngine* lintScorer = nullptr;
 };
 
-/// Runs `appCount` one-minute sessions, each on a fresh simulated device
-/// with DARPA connected, and aggregates verdicts + work.
+/// Runs `appCount` one-minute sessions, each a fleet-of-1 DeviceSession
+/// with DARPA connected, and aggregates verdicts + work. Per-app RNG draws
+/// (profile, app seed, monkey seed) and the default InlineExecutor keep the
+/// outputs byte-identical to the pre-fleet hand-wired harness.
 inline RuntimeResult runSessions(const cv::Detector& detector,
                                  const RuntimeOptions& options) {
   RuntimeResult result;
@@ -69,23 +72,24 @@ inline RuntimeResult runSessions(const cv::Detector& detector,
   const baselines::FraudDroidDetector fraudDroid;
 
   for (int appIdx = 0; appIdx < options.appCount; ++appIdx) {
-    android::AndroidSystem system;
-    core::DarpaService service(detector, options.darpaConfig);
-    system.accessibility.connect(service);
-
-    apps::AppProfile profile = apps::randomAppProfile(
+    fleet::DeviceSession::Config config;
+    config.id = appIdx;
+    config.darpa = options.darpaConfig;
+    config.profile = apps::randomAppProfile(
         "com.bench.app" + std::to_string(appIdx), rng);
-    apps::AppSession session(system, profile, rng.next());
-    apps::MonkeyDriver monkey(system, rng.next());
+    config.appSeed = rng.next();
+    config.monkeySeed = rng.next();
+    config.duration = options.sessionLength;
+    config.monkey = options.runMonkey;
+    fleet::DeviceSession device(detector, std::move(config));
+    android::AndroidSystem& system = device.system();
 
-    std::vector<Millis> positiveAnalyses;
-    service.setAnalysisListener([&](bool isAui,
-                                    const std::vector<cv::Detection>&) {
+    device.setAnalysisListener([&](bool isAui,
+                                   const std::vector<cv::Detection>&) {
       ++result.analyses;
       const Millis now = system.clock.now();
-      const apps::AuiExposure* exposure = session.exposureAt(now);
+      const apps::AuiExposure* exposure = device.app().exposureAt(now);
       const bool truth = exposure != nullptr;
-      if (isAui) positiveAnalyses.push_back(now);
       if (truth && isAui) {
         ++result.darpa.tp;
       } else if (truth && !isAui) {
@@ -126,25 +130,12 @@ inline RuntimeResult runSessions(const cv::Detector& detector,
       }
     });
 
-    session.start(options.sessionLength);
-    if (options.runMonkey) {
-      // Deliberate, human-paced exploration (a tap every 1.5-4 s): each tap
-      // resets the ct timer, so an aggressive monkey would just multiply
-      // the analyzed-screenshot count.
-      monkey.start(system.clock.now() + options.sessionLength, 1500, 4000);
-    }
-    system.looper.runUntil(system.clock.now() + options.sessionLength);
+    device.runToCompletion();
 
-    result.ledger += service.ledger();
-    result.eventsEmitted += system.accessibility.totalEmitted();
-    result.auiExposures += static_cast<int>(session.exposures().size());
-    for (const apps::AuiExposure& exposure : session.exposures()) {
-      const bool covered = std::any_of(
-          positiveAnalyses.begin(), positiveAnalyses.end(), [&](Millis t) {
-            return t >= exposure.shownAt && t < exposure.hiddenAt;
-          });
-      result.auisCovered += covered;
-    }
+    result.ledger += device.ledger();
+    result.eventsEmitted += device.eventsEmitted();
+    result.auiExposures += static_cast<int>(device.auiExposures());
+    result.auisCovered += static_cast<int>(device.auisCovered());
   }
   return result;
 }

@@ -1,14 +1,14 @@
 #!/usr/bin/env bash
 # Full local CI: configure, build, test, the same again under ASan+UBSan,
-# a bench smoke lane (every bench binary once with --quick), then clang-tidy
-# as a non-fatal advisory lane (skipped automatically when LLVM is not
-# installed).
+# a TSan lane over the threaded fleet/executor tests, a bench smoke lane
+# (every bench binary once with --quick), then clang-tidy as a non-fatal
+# advisory lane (skipped automatically when LLVM is not installed).
 #
 #   scripts/ci.sh            # everything
-#   SKIP_SANITIZE=1 scripts/ci.sh   # skip the sanitizer rebuild + rerun
+#   SKIP_SANITIZE=1 scripts/ci.sh   # skip the sanitizer rebuilds + reruns
 #   SKIP_BENCH=1 scripts/ci.sh      # skip the bench smoke lane
 #
-# Uses build/ and build-asan/ at the repo root; both are gitignored.
+# Uses build/, build-asan/ and build-tsan/ at the repo root; all gitignored.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -30,6 +30,18 @@ if [ "${SKIP_SANITIZE:-0}" != "1" ]; then
   # halt_on_error keeps UBSan findings fatal so ctest reports them.
   ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+  echo "== configure + build, TSan (build-tsan/) =="
+  # ThreadSanitizer lane over the tests that actually exercise threads: the
+  # fleet's epoch-lockstep workers and the deferred detection executors.
+  # (TSan is incompatible with ASan, hence the separate build tree.)
+  cmake -B build-tsan -S . -DDARPA_SANITIZE=thread
+  cmake --build build-tsan -j "$JOBS"
+
+  echo "== ctest, TSan fleet/executor tests (build-tsan/) =="
+  TSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+      -R 'FleetTest|ExecutorTest'
 fi
 
 if [ "${SKIP_BENCH:-0}" != "1" ]; then

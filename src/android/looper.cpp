@@ -17,13 +17,40 @@ bool Looper::cancel(TaskId id) {
   // already run are rejected, which keeps the lazy-deletion set bounded.
   if (pending_.erase(id) == 0) return false;
   cancelled_.insert(id);
+  maybeCompact();
   return true;
+}
+
+void Looper::maybeCompact() {
+  if (cancelled_.size() < kCompactionFloor ||
+      cancelled_.size() * 2 < queue_.size()) {
+    return;
+  }
+  // Markers reached half the heap: rebuild it live-tasks-only. Amortized
+  // O(1) per cancel — each compaction halves (at least) the heap, and the
+  // dropped tasks each paid for themselves when cancelled.
+  std::vector<Task> live;
+  live.reserve(queue_.size() - cancelled_.size());
+  while (!queue_.empty()) {
+    Task task = std::move(const_cast<Task&>(queue_.top()));
+    queue_.pop();
+    if (cancelled_.erase(task.id) > 0) {
+      ++purged_;
+    } else {
+      live.push_back(std::move(task));
+    }
+  }
+  for (Task& task : live) queue_.push(std::move(task));
+  ++compactions_;
 }
 
 bool Looper::runNext(Millis deadline) {
   while (!queue_.empty()) {
     const Task& top = queue_.top();
     if (cancelled_.erase(top.id) > 0) {
+      // Purge the marker with its task — the pair leaves together, so the
+      // marker set can never outgrow the heap.
+      ++purged_;
       queue_.pop();
       continue;
     }

@@ -52,6 +52,28 @@ class Looper {
   [[nodiscard]] std::size_t pendingCount() const { return pending_.size(); }
   [[nodiscard]] bool idle() const { return pendingCount() == 0; }
 
+  /// Lazy-deletion bookkeeping, for tests asserting the queue can never
+  /// grow unboundedly across a long fleet run. Invariants:
+  ///   queueDepth == pendingCount + cancelledCount   (always)
+  ///   cancelledCount <= max(kCompactionFloor, queueDepth / 2)
+  /// The second holds because cancel() compacts the heap (dropping every
+  /// cancelled task) whenever markers reach half the queue; popped markers
+  /// are purged eagerly besides.
+  struct GcStats {
+    std::size_t queueDepth = 0;      ///< Tasks physically in the heap.
+    std::size_t pendingCount = 0;    ///< Live (schedulable) tasks.
+    std::size_t cancelledCount = 0;  ///< Lazy-deletion markers outstanding.
+    std::int64_t purged = 0;         ///< Cancelled tasks physically removed.
+    std::int64_t compactions = 0;    ///< Heap rebuilds under marker pressure.
+  };
+  [[nodiscard]] GcStats gcStats() const {
+    return {queue_.size(), pending_.size(), cancelled_.size(), purged_,
+            compactions_};
+  }
+
+  /// Below this many markers, compaction is never worth the rebuild.
+  static constexpr std::size_t kCompactionFloor = 16;
+
  private:
   struct Task {
     Millis due;
@@ -69,11 +91,18 @@ class Looper {
   /// queue has no runnable task within the deadline.
   bool runNext(Millis deadline);
 
+  /// Rebuilds the heap without the cancelled tasks once markers reach half
+  /// the queue — bounds both sets for arbitrarily long cancel-heavy runs
+  /// (every debounced event is a cancel in a fleet session).
+  void maybeCompact();
+
   SimClock* clock_;
   std::priority_queue<Task, std::vector<Task>, Later> queue_;
   std::unordered_set<TaskId> pending_;    // ids still queued and not cancelled
   std::unordered_set<TaskId> cancelled_;  // lazy-deletion markers
   TaskId nextId_ = 1;
+  std::int64_t purged_ = 0;
+  std::int64_t compactions_ = 0;
 };
 
 }  // namespace darpa::android

@@ -59,6 +59,11 @@ void DarpaService::onAccessibilityEvent(
       config_.cutoff);
 }
 
+DetectionExecutor& DarpaService::detectionExecutor() const {
+  return config_.executor != nullptr ? *config_.executor
+                                     : defaultInlineExecutor();
+}
+
 void DarpaService::analyzeNow() {
   if (!connected()) return;
   android::WindowManager* wm = windowManager();
@@ -90,21 +95,26 @@ void DarpaService::analyzeNow() {
   // sees (and re-detects) DARPA's overlay.
   clearDecorations();
 
-  AnalysisContext ctx;
-  ctx.service = this;
-  ctx.config = &config_;
-  ctx.detector = detector_;
-  ctx.wm = wm;
-  ctx.vault = &vault_;
-  ctx.stats = &stats_;
-  ctx.now = now;
-  pipeline_.run(ctx, ledger_);
-  if (ctx.fromCache) ++stats_.verdictCacheHits;
-
-  lastDetections_ = ctx.detections;
-  lastWasAui_ = ctx.isAui;
-  ledger_.endAnalysis();
-  if (analysisListener_) analysisListener_(ctx.isAui, ctx.detections);
+  auto ctx = std::make_shared<AnalysisContext>();
+  ctx->service = this;
+  ctx->config = &config_;
+  ctx->detector = detector_;
+  ctx->wm = wm;
+  ctx->vault = &vault_;
+  ctx->stats = &stats_;
+  ctx->now = now;
+  ctx->sessionId = config_.sessionId;
+  // The epilogue runs when the pass fully completes: synchronously for the
+  // inline executor, or inside the deferred completion on our Looper at the
+  // executor's flush. Everything it touches is owned by the service, which
+  // outlives any in-flight pass (fleets flush before teardown).
+  pipeline_.run(ctx, ledger_, detectionExecutor(), [this](AnalysisContext& c) {
+    if (c.fromCache) ++stats_.verdictCacheHits;
+    lastDetections_ = c.detections;
+    lastWasAui_ = c.isAui;
+    ledger_.endAnalysis();
+    if (analysisListener_) analysisListener_(c.isAui, c.detections);
+  });
 }
 
 void DarpaService::decorate(const std::vector<cv::Detection>& detections) {

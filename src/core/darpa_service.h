@@ -84,8 +84,21 @@ struct DarpaConfig {
   /// re-stabilized structurally identical screen is served its previous
   /// verdict without lint, screenshot, or CV work.
   std::size_t verdictCacheCapacity = 32;
+  /// Detection backend (borrowed; must outlive the service). When null the
+  /// service uses the shared InlineExecutor — detect() on the caller's
+  /// thread, byte-identical to the pre-fleet synchronous path. Fleets point
+  /// every session at one shared ThreadPool/Batching executor.
+  DetectionExecutor* executor = nullptr;
+  /// Identity of the owning device session in a fleet — the major key the
+  /// deferred executors order completions and compose batches by. Fleet
+  /// assigns these; standalone services keep 0.
+  int sessionId = 0;
 };
 
+/// Per-session counters. Session-confined like the WorkLedger (see the
+/// thread-ownership rule in core/work_ledger.h): only the thread advancing
+/// the owning session writes them; fleets merge() value snapshots at epoch
+/// barriers.
 struct DarpaStats {
   std::int64_t eventsReceived = 0;
   std::int64_t analysesRun = 0;
@@ -97,6 +110,24 @@ struct DarpaStats {
   std::int64_t cvSkippedByLint = 0;   ///< Analyses resolved without CV.
   std::int64_t verdictCacheHits = 0;  ///< Analyses served from the cache.
   std::int64_t anchorMeasurements = 0;  ///< §IV-D offset calibrations.
+
+  DarpaStats& operator+=(const DarpaStats& o) {
+    eventsReceived += o.eventsReceived;
+    analysesRun += o.analysesRun;
+    screenshotsTaken += o.screenshotsTaken;
+    auisFlagged += o.auisFlagged;
+    decorationsDrawn += o.decorationsDrawn;
+    bypassClicks += o.bypassClicks;
+    lintRuns += o.lintRuns;
+    cvSkippedByLint += o.cvSkippedByLint;
+    verdictCacheHits += o.verdictCacheHits;
+    anchorMeasurements += o.anchorMeasurements;
+    return *this;
+  }
+  /// Named alias of operator+= for the fleet roll-up call sites.
+  DarpaStats& merge(const DarpaStats& o) { return *this += o; }
+  /// Value copy taken at an epoch barrier (session quiescent).
+  [[nodiscard]] DarpaStats snapshot() const { return *this; }
 };
 
 class DarpaService : public android::AccessibilityService {
@@ -132,6 +163,10 @@ class DarpaService : public android::AccessibilityService {
   /// The analysis pipeline (stage list + verdict cache), for inspection.
   [[nodiscard]] const AnalysisPipeline& pipeline() const { return pipeline_; }
   [[nodiscard]] AnalysisPipeline& pipeline() { return pipeline_; }
+
+  /// The detection backend this service submits to (config_.executor, or
+  /// the shared InlineExecutor when unset).
+  [[nodiscard]] DetectionExecutor& detectionExecutor() const;
 
   /// Detections from the most recent analysis (screen coordinates).
   [[nodiscard]] const std::vector<cv::Detection>& lastDetections() const {

@@ -1,0 +1,25 @@
+#include "core/detection_executor.h"
+
+#include <utility>
+
+#include "util/color.h"
+
+namespace darpa::core {
+
+void InlineExecutor::submit(DetectionRequest request) {
+  std::vector<cv::Detection> detections =
+      request.detector->detect(request.screenshot);
+  // §IV-E rinse discipline: scrub the working copy the moment the model ran,
+  // before the verdict path gets to run (mirrors ScreenshotVault::rinse).
+  request.screenshot.fill(colors::kBlack);
+  if (request.onComplete) {
+    request.onComplete(std::move(detections), /*batchSize=*/1);
+  }
+}
+
+InlineExecutor& defaultInlineExecutor() {
+  static InlineExecutor executor;
+  return executor;
+}
+
+}  // namespace darpa::core

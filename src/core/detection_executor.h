@@ -1,0 +1,106 @@
+// DetectionExecutor — the seam between the pipeline's detect stage and the
+// CV backend.
+//
+// The paper's runtime is one phone: one Looper, one synchronous
+// Detector::detect() call blocking the event loop per stable screen. At
+// fleet scale (thousands of simulated device sessions feeding one shared
+// detector backend) that call becomes the seam where execution strategy is
+// chosen:
+//
+//  * InlineExecutor (the default) — detect() runs synchronously inside
+//    submit(), on the caller's thread, exactly like the pre-fleet code
+//    path. Fleet size 1 with the inline executor is byte-identical to the
+//    old synchronous service.
+//  * fleet::ThreadPoolExecutor — detect() runs on worker threads at the
+//    epoch barrier; completions are posted back to the owning session's
+//    Looper (fleet/executors.h).
+//  * fleet::BatchingExecutor — screenshots from many sessions are coalesced
+//    into one Detector::detectBatch() call with amortized per-batch cost
+//    (fleet/executors.h).
+//
+// Contract:
+//  * submit() may be called concurrently from fleet worker threads;
+//    implementations must be thread-safe. It either completes the request
+//    synchronously (InlineExecutor) or parks it until flush().
+//  * flush() is called from a single thread while every session is
+//    quiescent (the fleet's epoch barrier). It runs all parked detections
+//    and delivers every completion — posted to the request's replyLooper
+//    when one is set, invoked directly otherwise. Completions are always
+//    delivered in ascending (sessionId, seq) order so batch composition and
+//    delivery order are independent of worker count and thread timing.
+//  * The request owns its screenshot (custody transferred out of the
+//    ScreenshotVault); the executor scrubs the working copy (§IV-E rinse
+//    discipline) after the model ran, before completion is delivered.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cv/detector.h"
+#include "gfx/bitmap.h"
+
+namespace darpa::android {
+class Looper;
+}
+
+namespace darpa::core {
+
+/// One screenshot awaiting detection, with everything needed to route the
+/// result back to the owning session.
+struct DetectionRequest {
+  gfx::Bitmap screenshot;  ///< Owned; scrubbed by the executor after detect.
+  const cv::Detector* detector = nullptr;  ///< Borrowed; outlives the request.
+  android::Looper* replyLooper = nullptr;  ///< Owning session's looper; may be
+                                           ///< null (completion invoked
+                                           ///< directly at flush).
+  int sessionId = 0;        ///< Deterministic ordering key, major.
+  std::uint64_t seq = 0;    ///< Deterministic ordering key, minor
+                            ///< (monotonic per session).
+  /// Invoked with the detections and the size of the batch the request was
+  /// executed in (1 for unbatched backends). Runs on the session's thread:
+  /// either synchronously inside submit(), or as a replyLooper task drained
+  /// at the epoch barrier.
+  std::function<void(std::vector<cv::Detection>, int batchSize)> onComplete;
+};
+
+class DetectionExecutor {
+ public:
+  virtual ~DetectionExecutor() = default;
+
+  /// Hands a request to the backend. Thread-safe. Synchronous backends
+  /// complete it before returning; asynchronous backends park it.
+  virtual void submit(DetectionRequest request) = 0;
+
+  /// Epoch barrier: executes every parked request and delivers every
+  /// completion in (sessionId, seq) order. Called from a single thread
+  /// while sessions are quiescent. No-op for synchronous backends.
+  virtual void flush() = 0;
+
+  /// Requests submitted but not yet completed (0 for synchronous backends).
+  [[nodiscard]] virtual std::size_t pendingCount() const = 0;
+
+  /// True when submit() completes requests before returning — the pipeline
+  /// and its caller may then rely on results being ready synchronously.
+  [[nodiscard]] virtual bool synchronous() const = 0;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// The default backend: detect() on the caller's thread, completion before
+/// submit() returns. Stateless, so one shared instance serves any number of
+/// sessions (and fleet worker threads) concurrently.
+class InlineExecutor : public DetectionExecutor {
+ public:
+  void submit(DetectionRequest request) override;
+  void flush() override {}
+  [[nodiscard]] std::size_t pendingCount() const override { return 0; }
+  [[nodiscard]] bool synchronous() const override { return true; }
+  [[nodiscard]] const char* name() const override { return "inline"; }
+};
+
+/// Process-wide shared InlineExecutor — the default when DarpaConfig leaves
+/// the executor unset.
+[[nodiscard]] InlineExecutor& defaultInlineExecutor();
+
+}  // namespace darpa::core

@@ -87,10 +87,10 @@ bool DetectStage::shouldRun(const AnalysisContext& ctx) const {
 }
 
 void DetectStage::run(AnalysisContext& ctx, WorkLedger& ledger) {
-  ctx.detections = ctx.detector->detect(*ctx.vault->current());
-  ctx.vault->rinse();  // §IV-E: rinse immediately after the model ran.
-  ledger.recordRun(Stage::kDetect, ctx.detector->costMacsPerImage() /
-                                       ledger.costs().macsPerCpuMs);
+  // Never reached: the pipeline intercepts Stage::kDetect and routes the
+  // work through its DetectionExecutor (see AnalysisPipeline::advance).
+  (void)ctx;
+  (void)ledger;
 }
 
 bool VerdictStage::shouldRun(const AnalysisContext& ctx) const {
@@ -159,39 +159,125 @@ AnalysisPipeline::AnalysisPipeline(std::size_t cacheCapacity)
   stages_.push_back(std::make_unique<ActStage>());
 }
 
-void AnalysisPipeline::run(AnalysisContext& ctx, WorkLedger& ledger) {
+void AnalysisPipeline::run(std::shared_ptr<AnalysisContext> ctx,
+                           WorkLedger& ledger, DetectionExecutor& executor,
+                           AnalysisDone done) {
   // One UI dump per pass, shared by the fingerprint probe and the lint
   // stage. Decoration overlays are never part of it (they live outside the
   // app window), so a decorated screen fingerprints like its clean self.
-  if (ctx.wm != nullptr) {
-    ctx.dump = ctx.wm->dumpTopWindow();
-    const android::Window* top = ctx.wm->topAppWindow();
-    ctx.fingerprint =
-        mixPackage(android::WindowManager::fingerprint(ctx.dump),
+  if (ctx->wm != nullptr) {
+    ctx->dump = ctx->wm->dumpTopWindow();
+    const android::Window* top = ctx->wm->topAppWindow();
+    ctx->fingerprint =
+        mixPackage(android::WindowManager::fingerprint(ctx->dump),
                    top != nullptr ? top->packageName() : std::string{});
   }
 
   // Verdict-cache probe: a hit resolves the whole analysis for the cost of
   // the dump walk + lookup and routes straight to the act stage.
-  if (cache_.enabled() && ctx.wm != nullptr) {
+  if (cache_.enabled() && ctx->wm != nullptr) {
     ledger.recordRun(Stage::kVerdict, ledger.costs().cacheLookupCpuMs);
-    if (const VerdictCache::Entry* hit = cache_.find(ctx.fingerprint)) {
+    if (const VerdictCache::Entry* hit = cache_.find(ctx->fingerprint)) {
       ledger.recordCacheHit();
-      ctx.fromCache = true;
-      ctx.isAui = hit->isAui;
-      ctx.detections = hit->detections;
+      ctx->fromCache = true;
+      ctx->isAui = hit->isAui;
+      ctx->detections = hit->detections;
     } else {
       ledger.recordCacheMiss();
     }
   }
 
-  for (const auto& stage : stages_) {
-    if (stage->shouldRun(ctx)) {
-      stage->run(ctx, ledger);
-    } else {
-      ledger.recordSkip(stage->kind());
+  // In-flight coalescing (deferred backends only): if a detect for this
+  // exact screen is already out, park the whole pass — nothing has run yet
+  // — and replay it once the primary lands. Inline backends never get here
+  // with an in-flight entry (their completions run inside submit()).
+  if (!ctx->fromCache && !executor.synchronous() && ctx->wm != nullptr) {
+    if (const auto it = inflight_.find(ctx->fingerprint);
+        it != inflight_.end()) {
+      ctx->pass = ledger.suspendAnalysis();
+      it->second.push_back({std::move(ctx), std::move(done)});
+      ++coalesced_;
+      return;
     }
   }
+
+  advance(0, std::move(ctx), ledger, executor, std::move(done));
+}
+
+void AnalysisPipeline::advance(std::size_t from,
+                               std::shared_ptr<AnalysisContext> ctx,
+                               WorkLedger& ledger, DetectionExecutor& executor,
+                               AnalysisDone done) {
+  for (std::size_t i = from; i < stages_.size(); ++i) {
+    AnalysisStage& stage = *stages_[i];
+    if (!stage.shouldRun(*ctx)) {
+      ledger.recordSkip(stage.kind());
+      continue;
+    }
+    if (stage.kind() == Stage::kDetect) {
+      // Detach into the executor; the completion resumes at stage i + 1.
+      submitDetect(i + 1, std::move(ctx), ledger, executor, std::move(done));
+      return;
+    }
+    stage.run(*ctx, ledger);
+  }
+  if (done) done(*ctx);
+}
+
+void AnalysisPipeline::submitDetect(std::size_t next,
+                                    std::shared_ptr<AnalysisContext> ctx,
+                                    WorkLedger& ledger,
+                                    DetectionExecutor& executor,
+                                    AnalysisDone done) {
+  DetectionRequest request;
+  // Custody of the screenshot transfers out of the vault and into the
+  // request; the executor scrubs the working copy after the model ran, so
+  // the §IV-E single-screenshot discipline holds across deferred backends.
+  request.screenshot = ctx->vault->take();
+  request.detector = ctx->detector;
+  request.sessionId = ctx->sessionId;
+  request.seq = nextSeq_++;
+  request.replyLooper =
+      ctx->service != nullptr && ctx->service->connected()
+          ? ctx->service->looper()
+          : nullptr;
+  // Park the ledger's in-flight pass so other passes of this session can
+  // begin and end while the detection is out; the completion restores it.
+  // For the inline executor the completion runs before submit() returns,
+  // making the park/restore an exact no-op.
+  ctx->pass = ledger.suspendAnalysis();
+  // Register the in-flight key so same-fingerprint passes coalesce behind
+  // this request instead of duplicating it (deferred backends only; the
+  // inline executor completes before run() could ever observe the entry).
+  if (!executor.synchronous()) inflight_.try_emplace(ctx->fingerprint);
+  request.onComplete = [this, next, ctx, &ledger, &executor,
+                        done = std::move(done)](
+                           std::vector<cv::Detection> detections,
+                           int batchSize) mutable {
+    ledger.resumeAnalysis(ctx->pass);
+    ctx->detections = std::move(detections);
+    // Deferred backends report the batch the request rode in; its amortized
+    // per-image share prices the stage. An unbatched detect (batchSize 1)
+    // costs exactly costMacsPerImage.
+    const int n = batchSize > 0 ? batchSize : 1;
+    const double macsShare = ctx->detector->costMacsPerBatch(n) / n;
+    ledger.recordRun(Stage::kDetect, macsShare / ledger.costs().macsPerCpuMs);
+    advance(next, ctx, ledger, executor, std::move(done));
+    // The pass (verdict cached, epilogue run) is complete: release the
+    // in-flight key, then replay the coalesced followers. The cache now
+    // holds this screen's verdict, so they resolve as the cache hits they
+    // would have been under a synchronous backend; a follower whose screen
+    // moved on re-runs in full and may become a new primary.
+    auto node = inflight_.extract(ctx->fingerprint);
+    if (!node.empty()) {
+      for (Follower& follower : node.mapped()) {
+        ledger.resumeAnalysis(follower.ctx->pass);
+        run(std::move(follower.ctx), ledger, executor,
+            std::move(follower.done));
+      }
+    }
+  };
+  executor.submit(std::move(request));
 }
 
 }  // namespace darpa::core

@@ -16,4 +16,12 @@ void ScreenshotVault::rinse() {
   ++rinsed_;
 }
 
+gfx::Bitmap ScreenshotVault::take() {
+  if (!held_) return {};
+  gfx::Bitmap out = std::move(*held_);
+  held_.reset();
+  ++rinsed_;  // custody handed to the detection path, vault is clean
+  return out;
+}
+
 }  // namespace darpa::core

@@ -30,6 +30,12 @@ class ScreenshotVault {
   /// Scrubs the pixel buffer (overwrites with black) and releases it.
   void rinse();
 
+  /// Transfers custody of the held screenshot to the caller — the fleet's
+  /// detection executors, which rinse their working copy after the model
+  /// ran. Counts as a rinse for the audit invariant (the vault holds
+  /// nothing afterwards); returns an empty bitmap when not holding.
+  [[nodiscard]] gfx::Bitmap take();
+
   // --- audit counters -------------------------------------------------------
   [[nodiscard]] std::int64_t stored() const { return stored_; }
   [[nodiscard]] std::int64_t rinsed() const { return rinsed_; }

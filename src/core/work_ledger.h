@@ -19,6 +19,14 @@
 // pipeline (which prices work as it happens) and perf::DeviceModel (which
 // folds priced work into Table VII/VIII device metrics). There is exactly
 // one copy of every constant.
+//
+// Thread-ownership rule (fleet scale): a WorkLedger is SESSION-CONFINED —
+// only the thread currently advancing its DeviceSession may record into it,
+// and sessions never share a ledger. Cross-session aggregation happens only
+// at epoch barriers, when every session is quiescent: the fleet control
+// thread calls snapshot() on each session's ledger and merge()s the copies
+// into a fleet-wide roll-up. The ledger itself carries no synchronization;
+// the fleet's phase join is the happens-before edge.
 #pragma once
 
 #include <array>
@@ -97,6 +105,21 @@ class WorkLedger {
   /// Closes the pass and folds its modeled latency into the totals.
   void endAnalysis();
 
+  /// Pass continuation support for asynchronous detection: a pass whose
+  /// detect stage went to a deferred executor parks its in-flight
+  /// accumulator here and restores it when the completion arrives on the
+  /// session's thread — so one session can have several passes in flight
+  /// while the ledger's begin/record/end discipline stays intact. A
+  /// suspend immediately followed by resume (the inline executor) is an
+  /// exact no-op.
+  struct PassState {
+    bool active = false;
+    double cpuMs = 0.0;
+    double startUs = 0.0;
+  };
+  [[nodiscard]] PassState suspendAnalysis();
+  void resumeAnalysis(const PassState& state);
+
   /// Stage executed, costing `cpuMs` of modeled CPU.
   void recordRun(Stage stage, double cpuMs);
   /// `n` executions of the same stage at `cpuMsEach` (bench convenience).
@@ -141,6 +164,14 @@ class WorkLedger {
   /// Merges another ledger's tallies/counters (per-app session roll-up).
   /// Trace events are appended up to this ledger's trace capacity.
   WorkLedger& operator+=(const WorkLedger& o);
+
+  // --- aggregation (fleet epoch barriers) -----------------------------------
+  /// Value copy taken at an epoch barrier, for merging off-thread. Per the
+  /// thread-ownership rule above, call only while the owning session is
+  /// quiescent.
+  [[nodiscard]] WorkLedger snapshot() const { return *this; }
+  /// Named alias of operator+= for the fleet roll-up call sites.
+  WorkLedger& merge(const WorkLedger& o) { return *this += o; }
 
   // --- Chrome trace ---------------------------------------------------------
   /// Enables the bounded trace-event log. Events beyond `maxEvents` are

@@ -104,6 +104,15 @@ class OneStageDetector : public Detector {
       const gfx::Bitmap& screenshot) const override;
   [[nodiscard]] double costMacsPerImage() const override;
 
+  /// Batched inference for the fleet's BatchingExecutor. Verdict-identical
+  /// to per-image detect(); what batching buys is the cost model below.
+  [[nodiscard]] std::vector<std::vector<Detection>> detectBatch(
+      std::span<const gfx::Bitmap* const> batch) const override;
+  /// Amortized batch cost: the batch-invariant share of a single inference
+  /// (head-weight streaming into cache, anchor-grid plan, int8 scale
+  /// tables) is paid once per detectBatch instead of once per image.
+  [[nodiscard]] double costMacsPerBatch(int batchSize) const override;
+
   /// Converts the head to int8 using `calibrationImages` (typically the
   /// validation split) and switches inference to the quantized path.
   void enableQuantized(std::span<const gfx::Bitmap> calibrationImages);

@@ -1,0 +1,177 @@
+#include "fleet/executors.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <utility>
+
+#include "android/looper.h"
+#include "util/color.h"
+
+namespace darpa::fleet {
+
+namespace {
+
+/// Canonical order: completions and batch composition must not depend on
+/// which fleet worker submitted first.
+void sortCanonical(std::vector<core::DetectionRequest>& requests) {
+  std::sort(requests.begin(), requests.end(),
+            [](const core::DetectionRequest& a,
+               const core::DetectionRequest& b) {
+              return a.sessionId != b.sessionId ? a.sessionId < b.sessionId
+                                                : a.seq < b.seq;
+            });
+}
+
+/// Runs fn(i) for i in [0, count) across up to `threads` worker threads.
+/// Work items must be independent; the join is the happens-before edge back
+/// to the flushing thread.
+void parallelFor(int threads, std::size_t count,
+                 const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  const std::size_t workers =
+      std::min<std::size_t>(static_cast<std::size_t>(threads), count);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (std::size_t i = next.fetch_add(1); i < count;
+           i = next.fetch_add(1)) {
+        fn(i);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+}
+
+/// Delivers one completion: posted to the owning session's Looper when the
+/// request names one (the session drains it at the barrier), invoked
+/// directly otherwise. Called in canonical order from the flushing thread.
+void deliver(core::DetectionRequest& request,
+             std::vector<cv::Detection> detections, int batchSize) {
+  if (!request.onComplete) return;
+  if (request.replyLooper != nullptr) {
+    request.replyLooper->post(
+        [cb = std::move(request.onComplete), dets = std::move(detections),
+         batchSize]() mutable { cb(std::move(dets), batchSize); });
+    return;
+  }
+  request.onComplete(std::move(detections), batchSize);
+}
+
+}  // namespace
+
+// ------------------------------------------------------ ThreadPoolExecutor
+
+void ThreadPoolExecutor::submit(core::DetectionRequest request) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  parked_.push_back(std::move(request));
+}
+
+std::size_t ThreadPoolExecutor::pendingCount() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return parked_.size();
+}
+
+void ThreadPoolExecutor::flush() {
+  std::vector<core::DetectionRequest> work;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    work.swap(parked_);
+  }
+  if (work.empty()) return;
+  sortCanonical(work);
+
+  std::vector<std::vector<cv::Detection>> results(work.size());
+  parallelFor(threads_, work.size(), [&](std::size_t i) {
+    core::DetectionRequest& request = work[i];
+    results[i] = request.detector->detect(request.screenshot);
+    // §IV-E: scrub the working copy the moment the model ran.
+    request.screenshot.fill(colors::kBlack);
+  });
+
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    deliver(work[i], std::move(results[i]), /*batchSize=*/1);
+    ++completed_;
+  }
+}
+
+// ------------------------------------------------------- BatchingExecutor
+
+BatchingExecutor::BatchingExecutor(Options options) : options_(options) {
+  if (options_.maxBatchSize < 1) options_.maxBatchSize = 1;
+  if (options_.threads < 1) options_.threads = 1;
+}
+
+void BatchingExecutor::submit(core::DetectionRequest request) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  parked_.push_back(std::move(request));
+}
+
+std::size_t BatchingExecutor::pendingCount() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return parked_.size();
+}
+
+void BatchingExecutor::flush() {
+  std::vector<core::DetectionRequest> work;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    work.swap(parked_);
+  }
+  if (work.empty()) return;
+  sortCanonical(work);
+
+  // Chunk the canonical order into batches: contiguous runs sharing a
+  // detector (fleets normally share one), cut at maxBatchSize. The chunk
+  // boundaries are a pure function of the sorted order, so batch
+  // composition is identical for any worker count.
+  struct Batch {
+    std::size_t begin = 0;
+    std::size_t end = 0;  ///< Exclusive.
+  };
+  std::vector<Batch> batches;
+  std::size_t runStart = 0;
+  for (std::size_t i = 1; i <= work.size(); ++i) {
+    const bool cut = i == work.size() ||
+                     work[i].detector != work[runStart].detector ||
+                     i - runStart >=
+                         static_cast<std::size_t>(options_.maxBatchSize);
+    if (cut) {
+      batches.push_back({runStart, i});
+      runStart = i;
+    }
+  }
+
+  std::vector<std::vector<std::vector<cv::Detection>>> results(batches.size());
+  parallelFor(options_.threads, batches.size(), [&](std::size_t b) {
+    const Batch& batch = batches[b];
+    std::vector<const gfx::Bitmap*> images;
+    images.reserve(batch.end - batch.begin);
+    for (std::size_t i = batch.begin; i < batch.end; ++i) {
+      images.push_back(&work[i].screenshot);
+    }
+    results[b] = work[batch.begin].detector->detectBatch(images);
+    for (std::size_t i = batch.begin; i < batch.end; ++i) {
+      work[i].screenshot.fill(colors::kBlack);  // §IV-E scrub.
+    }
+  });
+
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    const Batch& batch = batches[b];
+    const int batchSize = static_cast<int>(batch.end - batch.begin);
+    ++batches_;
+    images_ += batchSize;
+    largestBatch_ = std::max(largestBatch_, batchSize);
+    for (std::size_t i = batch.begin; i < batch.end; ++i) {
+      deliver(work[i], std::move(results[b][i - batch.begin]), batchSize);
+    }
+  }
+}
+
+}  // namespace darpa::fleet

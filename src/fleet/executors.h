@@ -1,0 +1,91 @@
+// Deferred detection backends for the fleet (core/detection_executor.h is
+// the seam; this is where the threads live).
+//
+// Both backends follow the same determinism recipe: submit() only parks the
+// request under a mutex (sessions running on different fleet workers may
+// submit concurrently, so arrival order is racy); flush() — called from a
+// single thread at the epoch barrier — restores canonical order by sorting
+// on (sessionId, seq), executes the work with however many threads it
+// likes (results are pure functions of the screenshots), and delivers the
+// completions in that canonical order. Batch composition, completion order,
+// and every downstream ledger record are therefore identical for any
+// worker count, which is what makes W=1 and W=4 fleet runs bit-equal.
+//
+//  * ThreadPoolExecutor — one detect() per request, fanned across worker
+//    threads; the modeled cost stays the single-image cost, the win is
+//    wall-clock.
+//  * BatchingExecutor — requests are coalesced into detectBatch() calls of
+//    up to maxBatchSize images (grouped by detector); the win is the
+//    amortized per-batch cost model (Detector::costMacsPerBatch) on top of
+//    the wall-clock fan-out.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/detection_executor.h"
+
+namespace darpa::fleet {
+
+/// detect() fanned across `threads` worker threads at each flush.
+class ThreadPoolExecutor : public core::DetectionExecutor {
+ public:
+  explicit ThreadPoolExecutor(int threads) : threads_(threads < 1 ? 1 : threads) {}
+
+  void submit(core::DetectionRequest request) override;
+  void flush() override;
+  [[nodiscard]] std::size_t pendingCount() const override;
+  [[nodiscard]] bool synchronous() const override { return false; }
+  [[nodiscard]] const char* name() const override { return "threadpool"; }
+
+  [[nodiscard]] int threads() const { return threads_; }
+  /// Requests completed across all flushes so far.
+  [[nodiscard]] std::int64_t completed() const { return completed_; }
+
+ private:
+  int threads_;
+  mutable std::mutex mutex_;
+  std::vector<core::DetectionRequest> parked_;
+  std::int64_t completed_ = 0;  ///< Touched only at flush (single-threaded).
+};
+
+/// Screenshots from many sessions coalesced into detectBatch() calls.
+class BatchingExecutor : public core::DetectionExecutor {
+ public:
+  struct Options {
+    int maxBatchSize = 64;  ///< Hard ceiling per detectBatch call.
+    int threads = 1;        ///< Batches computed concurrently at flush.
+  };
+
+  BatchingExecutor() : BatchingExecutor(Options{}) {}
+  explicit BatchingExecutor(Options options);
+
+  void submit(core::DetectionRequest request) override;
+  void flush() override;
+  [[nodiscard]] std::size_t pendingCount() const override;
+  [[nodiscard]] bool synchronous() const override { return false; }
+  [[nodiscard]] const char* name() const override { return "batching"; }
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+  // --- coalescing statistics (touched only at flush) ------------------------
+  [[nodiscard]] std::int64_t batchesDispatched() const { return batches_; }
+  [[nodiscard]] std::int64_t imagesBatched() const { return images_; }
+  [[nodiscard]] int largestBatch() const { return largestBatch_; }
+  /// Mean images per detectBatch call so far (0 when none ran).
+  [[nodiscard]] double meanBatchSize() const {
+    return batches_ == 0 ? 0.0
+                         : static_cast<double>(images_) / static_cast<double>(batches_);
+  }
+
+ private:
+  Options options_;
+  mutable std::mutex mutex_;
+  std::vector<core::DetectionRequest> parked_;
+  std::int64_t batches_ = 0;
+  std::int64_t images_ = 0;
+  int largestBatch_ = 0;
+};
+
+}  // namespace darpa::fleet

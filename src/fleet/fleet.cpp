@@ -1,0 +1,115 @@
+#include "fleet/fleet.h"
+
+#include <algorithm>
+#include <string>
+#include <thread>
+
+#include "apps/app_model.h"
+#include "util/rng.h"
+
+namespace darpa::fleet {
+
+Fleet::Fleet(const cv::Detector& detector, core::DetectionExecutor& executor,
+             FleetConfig config)
+    : detector_(&detector), executor_(&executor), config_(std::move(config)) {
+  if (config_.sessions < 1) config_.sessions = 1;
+  if (config_.workers < 1) config_.workers = 1;
+  if (config_.epoch <= Millis{0}) config_.epoch = Millis{1000};
+
+  // Session seeding mirrors bench_runtime.h's per-app draw order (profile,
+  // then app seed, then monkey seed) so a fleet of size 1 replays the
+  // single-device benches exactly.
+  Rng rng(config_.seed);
+  sessions_.reserve(static_cast<std::size_t>(config_.sessions));
+  for (int i = 0; i < config_.sessions; ++i) {
+    DeviceSession::Config session;
+    session.id = i;
+    session.darpa = config_.darpa;
+    session.darpa.executor = executor_;
+    session.window = config_.window;
+    session.profile =
+        apps::randomAppProfile(config_.packagePrefix + std::to_string(i), rng);
+    session.appSeed = rng.next();
+    session.monkeySeed = rng.next();
+    session.duration = config_.duration;
+    session.monkey = config_.monkey;
+    sessions_.push_back(
+        std::make_unique<DeviceSession>(*detector_, std::move(session)));
+  }
+}
+
+// Sessions may hold DetectionRequests parked in the shared executor at
+// destruction only if run() was aborted mid-epoch; drain them so no
+// completion can fire into a dead session.
+Fleet::~Fleet() {
+  if (executor_->pendingCount() > 0) executor_->flush();
+}
+
+void Fleet::phase(const std::function<void(DeviceSession&)>& fn) {
+  const int workers =
+      std::min(config_.workers, static_cast<int>(sessions_.size()));
+  if (workers <= 1) {
+    for (auto& session : sessions_) fn(*session);
+    return;
+  }
+  // Static shard: session i belongs to worker i % W for the whole phase, so
+  // each session is touched by exactly one thread; the joins below are the
+  // happens-before edge back to the control thread (the barrier).
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back([this, fn, w, workers] {
+      for (std::size_t i = static_cast<std::size_t>(w); i < sessions_.size();
+           i += static_cast<std::size_t>(workers)) {
+        fn(*sessions_[i]);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+}
+
+void Fleet::run() {
+  if (!started_) {
+    started_ = true;
+    for (auto& session : sessions_) session->start();
+  }
+  const Millis end = now_ + config_.duration;
+  while (now_ < end) {
+    const Millis target = std::min(end, now_ + config_.epoch);
+    // Phase 1: every session plays forward to the epoch target; detect
+    // stages park requests in the shared executor and suspend their pass.
+    phase([target](DeviceSession& session) { session.advanceTo(target); });
+    // Barrier: the control thread resolves all parked detections. The
+    // executor posts each completion to its session's looper, due "now".
+    executor_->flush();
+    // Phase 2: drain the posted completions (verdict/act stages, service
+    // epilogue). A completion may replay coalesced follower passes whose
+    // screen moved on, submitting fresh detects — those park until the next
+    // epoch's flush.
+    phase([target](DeviceSession& session) { session.advanceTo(target); });
+    now_ = target;
+  }
+  // Settle: resolve detects submitted by follower replays during the final
+  // drain. Each round can only re-submit for a shrinking follower chain, so
+  // this terminates, and afterwards no request is parked in the executor.
+  while (executor_->pendingCount() > 0) {
+    executor_->flush();
+    phase([this](DeviceSession& session) { session.advanceTo(now_); });
+  }
+}
+
+FleetSnapshot Fleet::snapshot() const {
+  FleetSnapshot snap;
+  snap.sessions = static_cast<int>(sessions_.size());
+  snap.simTime = started_ ? now_ : Millis{0};
+  for (const auto& session : sessions_) {
+    snap.stats.merge(session->stats().snapshot());
+    snap.ledger.merge(session->ledger().snapshot());
+    snap.eventsEmitted += session->eventsEmitted();
+    snap.auiExposures += session->auiExposures();
+    snap.auisCovered += session->auisCovered();
+  }
+  return snap;
+}
+
+}  // namespace darpa::fleet

@@ -1,0 +1,102 @@
+// Fleet — N DeviceSessions advanced in lockstep epochs across W workers.
+//
+// The determinism model, in one paragraph: simulated time advances in
+// epochs. Within an epoch every session is advanced independently (sessions
+// share no state, so the static shard -> worker assignment is a pure
+// wall-clock choice); detect stages park DetectionRequests in the shared
+// executor instead of blocking. At the epoch barrier the control thread
+// flushes the executor — requests are sorted into canonical (sessionId,
+// seq) order, executed with any number of threads (detection is a pure
+// function of the screenshot), and completions are posted back to each
+// owning session's Looper — and a second phase drains those completions.
+// Every source of nondeterminism (submit interleaving, worker scheduling,
+// batch assembly) is squeezed out at the barrier, so a fleet run's
+// aggregated DarpaStats/WorkLedger are identical across repeated runs and
+// across worker counts; only wall-clock changes with W.
+//
+// Aggregation: per-session ledgers and stats are session-confined (the
+// ownership rule in core/work_ledger.h); snapshot() copies and merges them
+// on the control thread while everything is quiescent, producing the
+// fleet-wide roll-up that perf::DeviceModel consumes unchanged.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/detection_executor.h"
+#include "fleet/device_session.h"
+
+namespace darpa::fleet {
+
+struct FleetConfig {
+  int sessions = 1;
+  int workers = 1;        ///< Threads advancing sessions (1 = control thread).
+  Millis epoch{1000};     ///< Lockstep quantum between executor flushes.
+  Millis duration{60'000};
+  std::uint64_t seed = 606;
+  core::DarpaConfig darpa;  ///< Per-session service config (sessionId and
+                            ///< executor are overridden by the fleet).
+  android::WindowManager::Config window;
+  bool monkey = true;
+  std::string packagePrefix = "com.fleet.app";
+};
+
+/// Fleet-wide roll-up taken at a barrier.
+struct FleetSnapshot {
+  int sessions = 0;
+  Millis simTime{0};             ///< Simulated time covered per session.
+  core::DarpaStats stats;        ///< Summed over sessions.
+  core::WorkLedger ledger;       ///< Merged over sessions.
+  std::int64_t eventsEmitted = 0;
+  std::int64_t auiExposures = 0;
+  std::int64_t auisCovered = 0;
+};
+
+class Fleet {
+ public:
+  /// The detector and executor are borrowed and shared by every session;
+  /// both must outlive the fleet. The executor is installed into each
+  /// session's DarpaConfig.
+  Fleet(const cv::Detector& detector, core::DetectionExecutor& executor,
+        FleetConfig config);
+  ~Fleet();
+
+  Fleet(const Fleet&) = delete;
+  Fleet& operator=(const Fleet&) = delete;
+
+  /// Runs the whole configured duration in lockstep epochs. May be called
+  /// once.
+  void run();
+
+  [[nodiscard]] int sessionCount() const {
+    return static_cast<int>(sessions_.size());
+  }
+  [[nodiscard]] DeviceSession& session(int i) { return *sessions_[i]; }
+  [[nodiscard]] const DeviceSession& session(int i) const {
+    return *sessions_[i];
+  }
+  [[nodiscard]] const FleetConfig& config() const { return config_; }
+  [[nodiscard]] Millis now() const { return now_; }
+
+  /// Aggregates every session's stats/ledger/coverage. Call only at a
+  /// barrier (construction, between run() epochs via the callback below, or
+  /// after run()).
+  [[nodiscard]] FleetSnapshot snapshot() const;
+
+ private:
+  /// Applies fn to every session, sharded session i -> worker (i % W).
+  /// Joins before returning (the happens-before edge of the barrier).
+  void phase(const std::function<void(DeviceSession&)>& fn);
+
+  const cv::Detector* detector_;
+  core::DetectionExecutor* executor_;
+  FleetConfig config_;
+  std::vector<std::unique_ptr<DeviceSession>> sessions_;
+  Millis now_{0};
+  bool started_ = false;
+};
+
+}  // namespace darpa::fleet
