@@ -105,7 +105,8 @@ BENCHMARK(BM_OneStageDetect);
 
 void BM_QuantizedHeadForward(benchmark::State& state) {
   cv::OneStageDetector& detector = sharedDetector();
-  std::vector<gfx::Bitmap> calibration{sampleScreenshot().image};
+  std::vector<gfx::Bitmap> calibration;
+  calibration.push_back(sampleScreenshot().image.clone());
   detector.enableQuantized(calibration);
   const cv::FeatureMap map(sampleScreenshot().image);
   const std::vector<float> features =

@@ -38,10 +38,10 @@ if [ "${SKIP_SANITIZE:-0}" != "1" ]; then
   cmake -B build-tsan -S . -DDARPA_SANITIZE=thread
   cmake --build build-tsan -j "$JOBS"
 
-  echo "== ctest, TSan fleet/executor tests (build-tsan/) =="
+  echo "== ctest, TSan fleet/executor/pool tests (build-tsan/) =="
   TSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-      -R 'FleetTest|ExecutorTest'
+      -R 'FleetTest|ExecutorTest|FramePoolTest'
 fi
 
 if [ "${SKIP_BENCH:-0}" != "1" ]; then

@@ -2,16 +2,15 @@
 
 #include <utility>
 
-#include "util/color.h"
-
 namespace darpa::core {
 
 void InlineExecutor::submit(DetectionRequest request) {
   std::vector<cv::Detection> detections =
-      request.detector->detect(request.screenshot);
-  // §IV-E rinse discipline: scrub the working copy the moment the model ran,
-  // before the verdict path gets to run (mirrors ScreenshotVault::rinse).
-  request.screenshot.fill(colors::kBlack);
+      request.detector->detect(request.frame->pixels());
+  // §IV-E rinse discipline: drop our reference the moment the model ran;
+  // the frame scrubs its pixels when the last holder (usually the analysis
+  // context finishing this same pass) lets go.
+  request.frame.reset();
   if (request.onComplete) {
     request.onComplete(std::move(detections), /*batchSize=*/1);
   }

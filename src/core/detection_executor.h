@@ -28,17 +28,19 @@
 //    when one is set, invoked directly otherwise. Completions are always
 //    delivered in ascending (sessionId, seq) order so batch composition and
 //    delivery order are independent of worker count and thread timing.
-//  * The request owns its screenshot (custody transferred out of the
-//    ScreenshotVault); the executor scrubs the working copy (§IV-E rinse
-//    discipline) after the model ran, before completion is delivered.
+//  * The request holds a shared ScreenFrame handle (custody transferred
+//    out of the ScreenshotVault) — no pixel copy is made anywhere on the
+//    detect path. The executor drops its reference right after the model
+//    ran; the frame's destructor scrubs the pixels when the last holder
+//    lets go (§IV-E rinse discipline, scrub-on-last-release).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "core/screen_frame.h"
 #include "cv/detector.h"
-#include "gfx/bitmap.h"
 
 namespace darpa::android {
 class Looper;
@@ -46,10 +48,11 @@ class Looper;
 
 namespace darpa::core {
 
-/// One screenshot awaiting detection, with everything needed to route the
-/// result back to the owning session.
+/// One captured frame awaiting detection, with everything needed to route
+/// the result back to the owning session.
 struct DetectionRequest {
-  gfx::Bitmap screenshot;  ///< Owned; scrubbed by the executor after detect.
+  FramePtr frame;  ///< Shared, immutable; the executor reads frame->pixels()
+                   ///< and drops its reference after the model ran.
   const cv::Detector* detector = nullptr;  ///< Borrowed; outlives the request.
   android::Looper* replyLooper = nullptr;  ///< Owning session's looper; may be
                                            ///< null (completion invoked

@@ -45,8 +45,8 @@ bool LintStage::shouldRun(const AnalysisContext& ctx) const {
 }
 
 void LintStage::run(AnalysisContext& ctx, WorkLedger& ledger) {
-  const analysis::LintReport lint =
-      ctx.config->lintPrefilter->run(ctx.dump, ctx.wm->config().screenSize);
+  const analysis::LintReport lint = ctx.config->lintPrefilter->run(
+      ctx.frame->dump(), ctx.wm->config().screenSize);
   ++ctx.stats->lintRuns;
   ledger.recordRun(Stage::kLint, ledger.costs().lintCpuMs);
   if (!lint.verdict.confident) return;
@@ -68,16 +68,26 @@ bool ScreenshotStage::shouldRun(const AnalysisContext& ctx) const {
 }
 
 void ScreenshotStage::run(AnalysisContext& ctx, WorkLedger& ledger) {
-  ctx.vault->store(ctx.service->takeScreenshot());
-  const gfx::Bitmap* shot = ctx.vault->current();
-  ctx.screenshotOk = shot != nullptr && !shot->empty();
+  gfx::Bitmap shot = ctx.service->takeScreenshot();
+  ctx.screenshotOk = ctx.frame != nullptr && !shot.empty();
   if (!ctx.screenshotOk) {
     // A failed capture is not billable work and must not drift the stats:
-    // no screenshot was taken, so none is counted or priced.
-    ctx.vault->rinse();
+    // no screenshot was taken, so none is counted, priced, or vaulted.
     ledger.recordSkip(Stage::kScreenshot);
     return;
   }
+  // The allocation axis reads the capture's slab provenance: a pooled
+  // reuse is the allocation the FramePool saved, anything else is a fresh
+  // heap buffer. Neither record adds modeled CPU.
+  if (shot.source() == gfx::SlabSource::kPoolReused) {
+    ledger.recordPooledReuse(Stage::kScreenshot, shot.pixelBytes());
+  } else {
+    ledger.recordAlloc(Stage::kScreenshot, shot.pixelBytes());
+  }
+  // The pixels join the pass's frame (zero-copy) and the vault takes
+  // shared custody of the same frame — one buffer, every holder.
+  ctx.frame->attachPixels(std::move(shot));
+  ctx.vault->store(ctx.frame);
   ++ctx.stats->screenshotsTaken;
   ledger.recordRun(Stage::kScreenshot, ledger.costs().screenshotCpuMs);
 }
@@ -110,7 +120,7 @@ void VerdictStage::run(AnalysisContext& ctx, WorkLedger& ledger) {
   // usable capture); a transient screenshot failure must stay transient.
   if (cache_->enabled() && ctx.wm != nullptr &&
       (ctx.resolvedByLint || ctx.screenshotOk)) {
-    cache_->put(ctx.fingerprint, {ctx.isAui, ctx.detections});
+    cache_->put(ctx.fingerprint(), {ctx.isAui, ctx.detections});
   }
 }
 
@@ -134,22 +144,6 @@ void ActStage::run(AnalysisContext& ctx, WorkLedger& ledger) {
 
 // --------------------------------------------------------------- pipeline
 
-namespace {
-
-/// Mixes the foreground package into the screen fingerprint so two apps
-/// that happen to render structurally identical trees (bare class names,
-/// no resource ids) can never share a cached verdict.
-std::uint64_t mixPackage(std::uint64_t fp, const std::string& package) {
-  std::uint64_t h = 1469598103934665603ULL;
-  for (const char c : package) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ULL;
-  }
-  return fp ^ (h | 1);  // |1 keeps the mix non-zero for the empty package.
-}
-
-}  // namespace
-
 AnalysisPipeline::AnalysisPipeline(std::size_t cacheCapacity)
     : cache_(cacheCapacity) {
   stages_.push_back(std::make_unique<LintStage>());
@@ -162,22 +156,27 @@ AnalysisPipeline::AnalysisPipeline(std::size_t cacheCapacity)
 void AnalysisPipeline::run(std::shared_ptr<AnalysisContext> ctx,
                            WorkLedger& ledger, DetectionExecutor& executor,
                            AnalysisDone done) {
-  // One UI dump per pass, shared by the fingerprint probe and the lint
-  // stage. Decoration overlays are never part of it (they live outside the
-  // app window), so a decorated screen fingerprints like its clean self.
+  // One ScreenFrame per pass: the UI dump is captured once, shared by the
+  // fingerprint probe and the lint stage, and later joined by the pixels
+  // (screenshot stage) — the frame is the single owner of everything the
+  // pass perceives. Decoration overlays are never part of the dump (they
+  // live outside the app window), so a decorated screen fingerprints like
+  // its clean self.
   if (ctx->wm != nullptr) {
-    ctx->dump = ctx->wm->dumpTopWindow();
     const android::Window* top = ctx->wm->topAppWindow();
-    ctx->fingerprint =
-        mixPackage(android::WindowManager::fingerprint(ctx->dump),
-                   top != nullptr ? top->packageName() : std::string{});
+    ctx->frame = std::make_shared<ScreenFrame>(
+        ctx->wm->dumpTopWindow(),
+        top != nullptr ? top->packageName() : std::string{});
+    // Memoize the fingerprint on the session thread, before the frame can
+    // be shared with executor worker threads (ScreenFrame's protocol).
+    ctx->frame->fingerprint();
   }
 
   // Verdict-cache probe: a hit resolves the whole analysis for the cost of
   // the dump walk + lookup and routes straight to the act stage.
   if (cache_.enabled() && ctx->wm != nullptr) {
     ledger.recordRun(Stage::kVerdict, ledger.costs().cacheLookupCpuMs);
-    if (const VerdictCache::Entry* hit = cache_.find(ctx->fingerprint)) {
+    if (const VerdictCache::Entry* hit = cache_.find(ctx->fingerprint())) {
       ledger.recordCacheHit();
       ctx->fromCache = true;
       ctx->isAui = hit->isAui;
@@ -192,7 +191,7 @@ void AnalysisPipeline::run(std::shared_ptr<AnalysisContext> ctx,
   // — and replay it once the primary lands. Inline backends never get here
   // with an in-flight entry (their completions run inside submit()).
   if (!ctx->fromCache && !executor.synchronous() && ctx->wm != nullptr) {
-    if (const auto it = inflight_.find(ctx->fingerprint);
+    if (const auto it = inflight_.find(ctx->fingerprint());
         it != inflight_.end()) {
       ctx->pass = ledger.suspendAnalysis();
       it->second.push_back({std::move(ctx), std::move(done)});
@@ -230,10 +229,11 @@ void AnalysisPipeline::submitDetect(std::size_t next,
                                     DetectionExecutor& executor,
                                     AnalysisDone done) {
   DetectionRequest request;
-  // Custody of the screenshot transfers out of the vault and into the
-  // request; the executor scrubs the working copy after the model ran, so
+  // Custody of the frame transfers out of the vault and into the request —
+  // a refcount move, not a pixel copy. The executor drops its reference
+  // after the model ran and the frame scrubs itself on last release, so
   // the §IV-E single-screenshot discipline holds across deferred backends.
-  request.screenshot = ctx->vault->take();
+  request.frame = ctx->vault->take();
   request.detector = ctx->detector;
   request.sessionId = ctx->sessionId;
   request.seq = nextSeq_++;
@@ -249,7 +249,7 @@ void AnalysisPipeline::submitDetect(std::size_t next,
   // Register the in-flight key so same-fingerprint passes coalesce behind
   // this request instead of duplicating it (deferred backends only; the
   // inline executor completes before run() could ever observe the entry).
-  if (!executor.synchronous()) inflight_.try_emplace(ctx->fingerprint);
+  if (!executor.synchronous()) inflight_.try_emplace(ctx->fingerprint());
   request.onComplete = [this, next, ctx, &ledger, &executor,
                         done = std::move(done)](
                            std::vector<cv::Detection> detections,
@@ -268,7 +268,7 @@ void AnalysisPipeline::submitDetect(std::size_t next,
     // holds this screen's verdict, so they resolve as the cache hits they
     // would have been under a synchronous backend; a follower whose screen
     // moved on re-runs in full and may become a new primary.
-    auto node = inflight_.extract(ctx->fingerprint);
+    auto node = inflight_.extract(ctx->fingerprint());
     if (!node.empty()) {
       for (Follower& follower : node.mapped()) {
         ledger.resumeAnalysis(follower.ctx->pass);

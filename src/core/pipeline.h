@@ -42,6 +42,7 @@
 
 #include "android/window_manager.h"
 #include "core/detection_executor.h"
+#include "core/screen_frame.h"
 #include "core/work_ledger.h"
 #include "cv/detector.h"
 
@@ -64,13 +65,21 @@ struct AnalysisContext {
   Millis now{0};
 
   // Flowing state, filled in stage by stage.
-  android::UiDump dump;            ///< Captured once; lint + fingerprint share it.
-  std::uint64_t fingerprint = 0;   ///< Screen fingerprint (package mixed in).
+  /// The pass's perception evidence, captured exactly once: UI dump +
+  /// memoized fingerprint at pipeline entry, pixels attached by the
+  /// screenshot stage. Shared (not copied) with the vault and the
+  /// detection executor; immutable once the detect stage submits it.
+  std::shared_ptr<ScreenFrame> frame;
   std::vector<cv::Detection> detections;
   bool fromCache = false;          ///< Verdict served by the fingerprint cache.
   bool resolvedByLint = false;     ///< Confident lint verdict; CV skipped.
   bool screenshotOk = false;       ///< A usable capture reached the vault.
   bool isAui = false;              ///< Final screen verdict.
+
+  /// The screen fingerprint (package mixed in); 0 when no window manager.
+  [[nodiscard]] std::uint64_t fingerprint() const {
+    return frame != nullptr ? frame->fingerprint() : 0;
+  }
 
   // Async-detection plumbing.
   int sessionId = 0;               ///< Fleet ordering key (DarpaConfig).
@@ -136,8 +145,11 @@ class LintStage : public AnalysisStage {
   void run(AnalysisContext& ctx, WorkLedger& ledger) override;
 };
 
-/// takeScreenshot into the vault. Only a usable (non-empty) capture is
-/// counted and priced; a failed capture skips detection downstream.
+/// takeScreenshot, attached to the pass's ScreenFrame and shared with the
+/// vault. Only a usable (non-empty) capture is counted and priced; a
+/// failed capture skips detection downstream. The capture's slab
+/// provenance (heap alloc vs. FramePool reuse) is recorded on the
+/// ledger's allocation axis here.
 class ScreenshotStage : public AnalysisStage {
  public:
   [[nodiscard]] Stage kind() const override { return Stage::kScreenshot; }
@@ -145,10 +157,11 @@ class ScreenshotStage : public AnalysisStage {
   void run(AnalysisContext& ctx, WorkLedger& ledger) override;
 };
 
-/// CV detection over the held screenshot. The stage itself only decides the
+/// CV detection over the held frame. The stage itself only decides the
 /// routing (kind + shouldRun); execution goes through the pipeline's
-/// DetectionExecutor, which takes custody of the screenshot and scrubs it
-/// immediately after the model ran (§IV-E).
+/// DetectionExecutor, which takes shared custody of the frame and drops
+/// its reference immediately after the model ran (§IV-E scrubbing happens
+/// in the frame's destructor on last release).
 class DetectStage : public AnalysisStage {
  public:
   [[nodiscard]] Stage kind() const override { return Stage::kDetect; }

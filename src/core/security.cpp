@@ -2,23 +2,22 @@
 
 namespace darpa::core {
 
-void ScreenshotVault::store(gfx::Bitmap screenshot) {
+void ScreenshotVault::store(FramePtr frame) {
   if (held_) rinse();
-  held_ = std::move(screenshot);
+  held_ = std::move(frame);
   ++stored_;
   peakHeld_ = peakHeld_ < 1 ? 1 : peakHeld_;
 }
 
 void ScreenshotVault::rinse() {
   if (!held_) return;
-  held_->fill(colors::kBlack);  // scrub before release
-  held_.reset();
+  held_.reset();  // scrub runs in ~ScreenFrame when the last ref drops
   ++rinsed_;
 }
 
-gfx::Bitmap ScreenshotVault::take() {
-  if (!held_) return {};
-  gfx::Bitmap out = std::move(*held_);
+FramePtr ScreenshotVault::take() {
+  if (!held_) return nullptr;
+  FramePtr out = std::move(held_);
   held_.reset();
   ++rinsed_;  // custody handed to the detection path, vault is clean
   return out;

@@ -3,38 +3,41 @@
 // DARPA handles privacy-sensitive screenshots, so the paper stores them only
 // in app-internal storage and "rinses them immediately after running the
 // CV-model". ScreenshotVault enforces that discipline by construction: at
-// most one screenshot is ever held, it lives in internal storage only, and
-// rinse() scrubs the pixel buffer before releasing it. Stats let tests (and
-// the security unit tests) assert the invariant held for a whole session.
+// most one screen frame is ever held, it lives in internal storage only,
+// and releasing it (rinse/take) hands the frame to its scrubbing destructor
+// — ScreenFrame overwrites the pixel buffer with black the moment the last
+// holder lets go, before the slab can be recycled through the FramePool.
+// Stats let tests (and the security unit tests) assert the invariant held
+// for a whole session.
 #pragma once
 
 #include <cstdint>
-#include <optional>
+#include <utility>
 
-#include "gfx/bitmap.h"
+#include "core/screen_frame.h"
 
 namespace darpa::core {
 
 class ScreenshotVault {
  public:
-  /// Takes custody of a screenshot. Enforces the single-screenshot
-  /// invariant: any previous screenshot is rinsed first.
-  void store(gfx::Bitmap screenshot);
+  /// Takes custody of a captured frame (which must carry pixels). Enforces
+  /// the single-screenshot invariant: any previously held frame is rinsed
+  /// first.
+  void store(FramePtr frame);
 
-  /// Read access while held (empty view after rinse).
-  [[nodiscard]] const gfx::Bitmap* current() const {
-    return held_ ? &*held_ : nullptr;
-  }
-  [[nodiscard]] bool holding() const { return held_.has_value(); }
+  /// Read access while held (null after rinse).
+  [[nodiscard]] const ScreenFrame* current() const { return held_.get(); }
+  [[nodiscard]] bool holding() const { return held_ != nullptr; }
 
-  /// Scrubs the pixel buffer (overwrites with black) and releases it.
+  /// Releases the held frame; its destructor scrubs the pixel buffer when
+  /// the last reference drops (scrub-on-last-release).
   void rinse();
 
-  /// Transfers custody of the held screenshot to the caller — the fleet's
-  /// detection executors, which rinse their working copy after the model
+  /// Transfers custody of the held frame to the caller — the fleet's
+  /// detection executors, which drop their reference right after the model
   /// ran. Counts as a rinse for the audit invariant (the vault holds
-  /// nothing afterwards); returns an empty bitmap when not holding.
-  [[nodiscard]] gfx::Bitmap take();
+  /// nothing afterwards); returns null when not holding.
+  [[nodiscard]] FramePtr take();
 
   // --- audit counters -------------------------------------------------------
   [[nodiscard]] std::int64_t stored() const { return stored_; }
@@ -43,7 +46,7 @@ class ScreenshotVault {
   [[nodiscard]] int peakHeld() const { return peakHeld_; }
 
  private:
-  std::optional<gfx::Bitmap> held_;
+  FramePtr held_;
   std::int64_t stored_ = 0;
   std::int64_t rinsed_ = 0;
   int peakHeld_ = 0;

@@ -90,6 +90,53 @@ void WorkLedger::recordBypass() {
 void WorkLedger::recordCacheHit() { ++cacheHits_; }
 void WorkLedger::recordCacheMiss() { ++cacheMisses_; }
 
+void WorkLedger::recordAlloc(Stage stage, std::size_t bytes) {
+  StageTally& tally = tallies_[static_cast<std::size_t>(stage)];
+  ++tally.allocs;
+  tally.allocBytes += static_cast<std::int64_t>(bytes);
+  peakFrameBytes_ =
+      std::max(peakFrameBytes_, static_cast<std::int64_t>(bytes));
+}
+
+void WorkLedger::recordPooledReuse(Stage stage, std::size_t bytes) {
+  StageTally& tally = tallies_[static_cast<std::size_t>(stage)];
+  ++tally.pooledReuses;
+  tally.pooledBytes += static_cast<std::int64_t>(bytes);
+  peakFrameBytes_ =
+      std::max(peakFrameBytes_, static_cast<std::int64_t>(bytes));
+}
+
+std::int64_t WorkLedger::totalAllocs() const {
+  std::int64_t total = 0;
+  for (const StageTally& tally : tallies_) total += tally.allocs;
+  return total;
+}
+
+std::int64_t WorkLedger::totalAllocBytes() const {
+  std::int64_t total = 0;
+  for (const StageTally& tally : tallies_) total += tally.allocBytes;
+  return total;
+}
+
+std::int64_t WorkLedger::totalPooledReuses() const {
+  std::int64_t total = 0;
+  for (const StageTally& tally : tallies_) total += tally.pooledReuses;
+  return total;
+}
+
+std::int64_t WorkLedger::totalPooledBytes() const {
+  std::int64_t total = 0;
+  for (const StageTally& tally : tallies_) total += tally.pooledBytes;
+  return total;
+}
+
+double WorkLedger::poolHitRate() const {
+  const std::int64_t acquisitions = totalAllocs() + totalPooledReuses();
+  return acquisitions == 0 ? 0.0
+                           : static_cast<double>(totalPooledReuses()) /
+                                 static_cast<double>(acquisitions);
+}
+
 double WorkLedger::totalCpuMs() const {
   double total = 0.0;
   for (const StageTally& tally : tallies_) total += tally.cpuMs;
@@ -110,6 +157,9 @@ WorkLedger& WorkLedger::operator+=(const WorkLedger& o) {
   totalAnalysisLatencyCpuMs_ += o.totalAnalysisLatencyCpuMs_;
   totalDebounceLatency_ = totalDebounceLatency_ + o.totalDebounceLatency_;
   lastAnalysisCpuMs_ = o.lastAnalysisCpuMs_;
+  // The peak is a max, not a sum: sessions share one frame size, and the
+  // merged value must stay pooling-invariant (see peakFrameBytes()).
+  peakFrameBytes_ = std::max(peakFrameBytes_, o.peakFrameBytes_);
   if (traceEnabled_) {
     for (const TraceEvent& event : o.trace_) {
       if (trace_.size() >= traceCapacity_) break;
@@ -147,6 +197,20 @@ void WorkLedger::writeChromeTrace(std::ostream& os) const {
     std::snprintf(num, sizeof num, "%.3f", event.durUs);
     os << num << ", \"pid\": 1, \"tid\": 1, \"args\": {\"analysis\": "
        << event.analysisId << "}}";
+  }
+  // Allocation-axis roll-up, as Chrome counter tracks: one "C" event per
+  // stage that acquired buffers, splitting heap-allocated from pool-reused
+  // bytes. Emitted only when the axis saw traffic, so traces from builds
+  // without the frame pool are byte-identical to before.
+  for (const Stage stage : kAllStages) {
+    const StageTally& t = tally(stage);
+    if (t.allocs == 0 && t.pooledReuses == 0) continue;
+    if (!first) os << ",\n";
+    first = false;
+    os << "  {\"name\": \"frame_bytes[" << stageName(stage)
+       << "]\", \"cat\": \"darpa\", \"ph\": \"C\", \"ts\": 0, \"pid\": 1, "
+          "\"args\": {\"heap\": "
+       << t.allocBytes << ", \"pooled\": " << t.pooledBytes << "}}";
   }
   os << "\n]}\n";
 }

@@ -9,6 +9,10 @@
 //    stage of the Fig.-5 life-cycle — event handling, lint, screenshot,
 //    CV detection, verdict merge, act (decorate/bypass);
 //  * verdict-cache hit/miss counters (the repeat-screen fast path);
+//  * a per-stage allocation axis (heap allocs vs. FramePool reuses, in
+//    buffers and bytes) — the zero-copy data plane's accounting, exported
+//    as counter events in the Chrome trace and folded into the Table VII
+//    memory row by perf::DeviceModel;
 //  * per-analysis modeled latency and the simulated-clock debounce latency
 //    (time a screen waited for ct stability before being analyzed);
 //  * an optional bounded Chrome-trace event log (chrome://tracing /
@@ -79,10 +83,23 @@ struct StageTally {
   std::int64_t skips = 0;  ///< Times the pipeline skipped it (cache/lint).
   double cpuMs = 0.0;      ///< Modeled CPU-ms spent in the stage.
 
+  // Allocation axis (the zero-copy data plane's accounting): heap buffers
+  // the stage allocated vs. pooled slabs it reused. Recording an allocation
+  // adds NO modeled CPU — memory traffic and CPU pricing are orthogonal
+  // axes, and pooling must not perturb the Table VII CPU numbers.
+  std::int64_t allocs = 0;         ///< Fresh heap allocations.
+  std::int64_t allocBytes = 0;     ///< Bytes of those allocations.
+  std::int64_t pooledReuses = 0;   ///< Buffers served from the FramePool.
+  std::int64_t pooledBytes = 0;    ///< Bytes served without heap traffic.
+
   StageTally& operator+=(const StageTally& o) {
     runs += o.runs;
     skips += o.skips;
     cpuMs += o.cpuMs;
+    allocs += o.allocs;
+    allocBytes += o.allocBytes;
+    pooledReuses += o.pooledReuses;
+    pooledBytes += o.pooledBytes;
     return *this;
   }
 };
@@ -136,6 +153,13 @@ class WorkLedger {
   void recordCacheHit();
   void recordCacheMiss();
 
+  /// One fresh heap buffer of `bytes` allocated by `stage` (a screenshot
+  /// slab, typically). Adds no modeled CPU.
+  void recordAlloc(Stage stage, std::size_t bytes);
+  /// One pooled buffer of `bytes` reused by `stage` — the allocation the
+  /// FramePool saved. Adds no modeled CPU.
+  void recordPooledReuse(Stage stage, std::size_t bytes);
+
   // --- queries --------------------------------------------------------------
   [[nodiscard]] const StageTally& tally(Stage stage) const {
     return tallies_[static_cast<std::size_t>(stage)];
@@ -150,6 +174,22 @@ class WorkLedger {
   [[nodiscard]] std::int64_t bypassClicks() const { return bypassClicks_; }
   [[nodiscard]] std::int64_t cacheHits() const { return cacheHits_; }
   [[nodiscard]] std::int64_t cacheMisses() const { return cacheMisses_; }
+
+  // --- allocation axis ------------------------------------------------------
+  /// Heap allocations / bytes across every stage.
+  [[nodiscard]] std::int64_t totalAllocs() const;
+  [[nodiscard]] std::int64_t totalAllocBytes() const;
+  /// Pooled reuses / bytes across every stage.
+  [[nodiscard]] std::int64_t totalPooledReuses() const;
+  [[nodiscard]] std::int64_t totalPooledBytes() const;
+  /// Fraction of buffer acquisitions served without heap traffic.
+  [[nodiscard]] double poolHitRate() const;
+  /// Largest single buffer ever recorded (alloc or reuse) — the per-frame
+  /// working-set term perf::DeviceModel adds to the Table VII memory row.
+  /// Invariant under pooling: a reused slab is exactly as large as the
+  /// allocation it replaced, so the memory row is byte-identical with the
+  /// pool on or off.
+  [[nodiscard]] std::int64_t peakFrameBytes() const { return peakFrameBytes_; }
 
   /// Modeled CPU latency of the most recent / all analysis passes.
   [[nodiscard]] double lastAnalysisCpuMs() const { return lastAnalysisCpuMs_; }
@@ -207,6 +247,7 @@ class WorkLedger {
   double lastAnalysisCpuMs_ = 0.0;
   double totalAnalysisLatencyCpuMs_ = 0.0;
   Millis totalDebounceLatency_{0};
+  std::int64_t peakFrameBytes_ = 0;  ///< Max single recorded buffer.
 
   // In-flight analysis pass.
   bool inAnalysis_ = false;

@@ -50,7 +50,7 @@ PatchAttackResult attackUpo(const Detector& detector,
                             const gfx::Bitmap& screenshot, const Rect& upoBox,
                             const PatchAttackConfig& config) {
   PatchAttackResult result;
-  result.patched = screenshot;
+  result.patched = screenshot.clone();
   Rng rng(config.seed);
 
   if (!upoStillDetected(detector, screenshot, upoBox, config.successIou)) {
@@ -73,7 +73,7 @@ PatchAttackResult attackUpo(const Detector& detector,
     patch.y = std::clamp(patch.y, 0, screenshot.height() - s);
     if (!patch.intersect(upoBox).empty()) continue;
 
-    gfx::Bitmap candidate = screenshot;
+    gfx::Bitmap candidate = screenshot.clone();
     paintPatch(candidate, patch, rng);
     if (!upoStillDetected(detector, candidate, upoBox, config.successIou)) {
       result.evaded = true;

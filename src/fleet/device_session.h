@@ -45,6 +45,10 @@ class DeviceSession {
     /// the analyzed-screenshot count.
     int monkeyMinGapMs = 1500;
     int monkeyMaxGapMs = 4000;
+    /// Slab pool the window manager composites screen captures from
+    /// (null = plain heap allocation). Borrowed; must outlive the session.
+    /// The session id tags acquisitions for the pool's per-session quota.
+    gfx::FramePool* framePool = nullptr;
   };
 
   /// The detector is borrowed and must outlive the session (fleets share

@@ -6,7 +6,6 @@
 #include <utility>
 
 #include "android/looper.h"
-#include "util/color.h"
 
 namespace darpa::fleet {
 
@@ -90,9 +89,10 @@ void ThreadPoolExecutor::flush() {
   std::vector<std::vector<cv::Detection>> results(work.size());
   parallelFor(threads_, work.size(), [&](std::size_t i) {
     core::DetectionRequest& request = work[i];
-    results[i] = request.detector->detect(request.screenshot);
-    // §IV-E: scrub the working copy the moment the model ran.
-    request.screenshot.fill(colors::kBlack);
+    results[i] = request.detector->detect(request.frame->pixels());
+    // §IV-E: drop our reference the moment the model ran; the frame
+    // scrubs its pixels on last release.
+    request.frame.reset();
   });
 
   for (std::size_t i = 0; i < work.size(); ++i) {
@@ -154,11 +154,11 @@ void BatchingExecutor::flush() {
     std::vector<const gfx::Bitmap*> images;
     images.reserve(batch.end - batch.begin);
     for (std::size_t i = batch.begin; i < batch.end; ++i) {
-      images.push_back(&work[i].screenshot);
+      images.push_back(&work[i].frame->pixels());
     }
     results[b] = work[batch.begin].detector->detectBatch(images);
     for (std::size_t i = batch.begin; i < batch.end; ++i) {
-      work[i].screenshot.fill(colors::kBlack);  // §IV-E scrub.
+      work[i].frame.reset();  // §IV-E: scrub-on-last-release.
     }
   });
 

@@ -16,6 +16,10 @@ Fleet::Fleet(const cv::Detector& detector, core::DetectionExecutor& executor,
   if (config_.workers < 1) config_.workers = 1;
   if (config_.epoch <= Millis{0}) config_.epoch = Millis{1000};
 
+  if (config_.pooledFrames) {
+    pool_ = std::make_unique<gfx::FramePool>(config_.framePool);
+  }
+
   // Session seeding mirrors bench_runtime.h's per-app draw order (profile,
   // then app seed, then monkey seed) so a fleet of size 1 replays the
   // single-device benches exactly.
@@ -33,6 +37,7 @@ Fleet::Fleet(const cv::Detector& detector, core::DetectionExecutor& executor,
     session.monkeySeed = rng.next();
     session.duration = config_.duration;
     session.monkey = config_.monkey;
+    session.framePool = pool_.get();
     sessions_.push_back(
         std::make_unique<DeviceSession>(*detector_, std::move(session)));
   }
@@ -109,6 +114,7 @@ FleetSnapshot Fleet::snapshot() const {
     snap.auiExposures += session->auiExposures();
     snap.auisCovered += session->auisCovered();
   }
+  if (pool_ != nullptr) snap.framePool = pool_->stats();
   return snap;
 }
 

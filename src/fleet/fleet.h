@@ -42,6 +42,12 @@ struct FleetConfig {
   android::WindowManager::Config window;
   bool monkey = true;
   std::string packagePrefix = "com.fleet.app";
+  /// Share one FramePool across every session's screen captures. Off, each
+  /// capture heap-allocates (the pre-pool behavior); on, slabs recycle
+  /// across sessions and epochs. Results are byte-identical either way —
+  /// the pool only changes where the bytes live.
+  bool pooledFrames = true;
+  gfx::FramePool::Options framePool;  ///< Caps; zeros = unlimited.
 };
 
 /// Fleet-wide roll-up taken at a barrier.
@@ -53,6 +59,7 @@ struct FleetSnapshot {
   std::int64_t eventsEmitted = 0;
   std::int64_t auiExposures = 0;
   std::int64_t auisCovered = 0;
+  gfx::FramePool::Stats framePool;  ///< Zeroed when pooling is off.
 };
 
 class Fleet {
@@ -86,6 +93,10 @@ class Fleet {
   /// after run()).
   [[nodiscard]] FleetSnapshot snapshot() const;
 
+  /// The shared frame pool, or null when pooledFrames is off.
+  [[nodiscard]] gfx::FramePool* framePool() { return pool_.get(); }
+  [[nodiscard]] const gfx::FramePool* framePool() const { return pool_.get(); }
+
  private:
   /// Applies fn to every session, sharded session i -> worker (i % W).
   /// Joins before returning (the happens-before edge of the barrier).
@@ -94,6 +105,9 @@ class Fleet {
   const cv::Detector* detector_;
   core::DetectionExecutor* executor_;
   FleetConfig config_;
+  /// Declared before sessions_: every pooled Bitmap's slab-return deleter
+  /// points back into the pool, so it must outlive all session state.
+  std::unique_ptr<gfx::FramePool> pool_;
   std::vector<std::unique_ptr<DeviceSession>> sessions_;
   Millis now_{0};
   bool started_ = false;

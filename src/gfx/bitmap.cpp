@@ -2,14 +2,86 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 
 namespace darpa::gfx {
 
+const char* slabSourceName(SlabSource source) {
+  switch (source) {
+    case SlabSource::kNone: return "none";
+    case SlabSource::kHeap: return "heap";
+    case SlabSource::kPoolFresh: return "pool-fresh";
+    case SlabSource::kPoolReused: return "pool-reused";
+  }
+  return "?";
+}
+
 Bitmap::Bitmap(int width, int height, Color fill)
-    : width_(std::max(width, 0)),
-      height_(std::max(height, 0)),
-      pixels_(static_cast<std::size_t>(width_) * height_, fill) {}
+    : width_(std::max(width, 0)), height_(std::max(height, 0)) {
+  if (width_ > 0 && height_ > 0) {
+    slab_ = std::make_shared<PixelSlab>();
+    slab_->pixels.assign(pixelCount(), fill);
+    slab_->source = SlabSource::kHeap;
+    data_ = slab_->pixels.data();
+  }
+}
+
+Bitmap::Bitmap(int width, int height, SlabPtr slab)
+    : width_(width), height_(height), slab_(std::move(slab)) {
+  data_ = slab_ ? slab_->pixels.data() : nullptr;
+}
+
+Bitmap::Bitmap(Bitmap&& other) noexcept
+    : width_(other.width_),
+      height_(other.height_),
+      slab_(std::move(other.slab_)),
+      data_(other.data_) {
+  // The moved-from bitmap must be a valid empty bitmap: at()/set() on it
+  // would otherwise dereference a slab it no longer owns.
+  other.width_ = 0;
+  other.height_ = 0;
+  other.data_ = nullptr;
+}
+
+Bitmap& Bitmap::operator=(Bitmap&& other) noexcept {
+  if (this != &other) {
+    width_ = other.width_;
+    height_ = other.height_;
+    slab_ = std::move(other.slab_);
+    data_ = other.data_;
+    other.width_ = 0;
+    other.height_ = 0;
+    other.data_ = nullptr;
+  }
+  return *this;
+}
+
+Bitmap Bitmap::clone() const {
+  Bitmap out(width_, height_);
+  if (!empty()) {
+    std::memcpy(out.data_, data_, pixelBytes());
+  }
+  return out;
+}
+
+bool operator==(const Bitmap& a, const Bitmap& b) {
+  if (a.width_ != b.width_ || a.height_ != b.height_) return false;
+  if (a.empty()) return true;
+  if (a.data_ == b.data_) return true;
+  return std::memcmp(a.data_, b.data_, a.pixelBytes()) == 0;
+}
+
+#if DARPA_BOUNDS_CHECKS
+void Bitmap::boundsFailure(int x, int y) const {
+  std::fprintf(stderr,
+               "Bitmap bounds violation: (%d, %d) outside %dx%d\n", x, y,
+               width_, height_);
+  std::abort();
+}
+#endif
 
 Color Bitmap::atClamped(int x, int y) const {
   if (x < 0 || y < 0 || x >= width_ || y >= height_) {
@@ -23,7 +95,10 @@ void Bitmap::blendPixel(int x, int y, Color c) {
   set(x, y, blend(at(x, y), c));
 }
 
-void Bitmap::fill(Color c) { std::fill(pixels_.begin(), pixels_.end(), c); }
+void Bitmap::fill(Color c) {
+  if (empty()) return;
+  std::fill(data_, data_ + pixelCount(), c);
+}
 
 void Bitmap::fillRect(const Rect& r, Color c) {
   const Rect clipped = r.intersect(bounds());
@@ -82,7 +157,7 @@ void Bitmap::boxBlur(const Rect& region, int radius) {
   if (clipped.empty() || radius < 1) return;
   // Horizontal then vertical pass over a working copy of the region.
   Bitmap work = crop(clipped);
-  Bitmap tmp = work;
+  Bitmap tmp = work.clone();
   const int w = work.width();
   const int h = work.height();
   for (int y = 0; y < h; ++y) {
@@ -172,7 +247,8 @@ bool Bitmap::writePpm(const std::string& path) const {
   std::ofstream out(path, std::ios::binary);
   if (!out) return false;
   out << "P6\n" << width_ << " " << height_ << "\n255\n";
-  for (const Color& c : pixels_) {
+  for (std::size_t i = 0; i < pixelCount(); ++i) {
+    const Color c = data_[i];
     out.put(static_cast<char>(c.r));
     out.put(static_cast<char>(c.g));
     out.put(static_cast<char>(c.b));

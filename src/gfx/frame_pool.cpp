@@ -1,0 +1,110 @@
+#include "gfx/frame_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace darpa::gfx {
+
+std::size_t FramePool::sizeClass(std::size_t pixelCount) {
+  std::size_t cls = 4096;
+  while (cls < pixelCount) cls <<= 1;
+  return cls;
+}
+
+void FramePool::noteFootprintLocked() {
+  stats_.highWaterBytes = std::max(
+      stats_.highWaterBytes, stats_.outstandingBytes + stats_.parkedBytes);
+}
+
+Bitmap FramePool::acquire(int width, int height, Color fill, int sessionTag) {
+  width = std::max(width, 0);
+  height = std::max(height, 0);
+  if (width == 0 || height == 0) return {};
+
+  const std::size_t count =
+      static_cast<std::size_t>(width) * static_cast<std::size_t>(height);
+  const std::size_t cls = sizeClass(count);
+  const std::size_t clsBytes = cls * sizeof(Color);
+
+  std::unique_ptr<PixelSlab> slab;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.acquires;
+
+    // Quota / cap checks against the slab's *class* footprint (that is
+    // what the free lists retain). A denied acquire is not an error: the
+    // caller gets a plain heap bitmap, exactly the un-pooled cost.
+    const std::size_t sessionOutstanding = sessionBytes_[sessionTag];
+    const bool overSessionQuota =
+        options_.sessionQuotaBytes != 0 &&
+        sessionOutstanding + clsBytes > options_.sessionQuotaBytes;
+    const bool overPoolCap =
+        options_.maxBytes != 0 &&
+        stats_.outstandingBytes + stats_.parkedBytes + clsBytes >
+            options_.maxBytes;
+    // A parked slab of the right class is already inside the pool cap, so
+    // only the per-session quota can refuse it.
+    auto it = free_.find(cls);
+    const bool haveParked = it != free_.end() && !it->second.empty();
+    if (overSessionQuota || (overPoolCap && !haveParked)) {
+      ++stats_.backpressured;
+      return Bitmap(width, height, fill);
+    }
+
+    if (haveParked) {
+      slab = std::move(it->second.back());
+      it->second.pop_back();
+      ++stats_.poolHits;
+      stats_.parkedBytes -= clsBytes;
+      stats_.reusedBytes += static_cast<std::int64_t>(clsBytes);
+    } else {
+      ++stats_.poolMisses;
+    }
+    stats_.outstandingBytes += clsBytes;
+    sessionBytes_[sessionTag] = sessionOutstanding + clsBytes;
+    noteFootprintLocked();
+  }
+
+  const bool reused = slab != nullptr;
+  if (!reused) {
+    slab = std::make_unique<PixelSlab>();
+    slab->pixels.reserve(cls);  // full class capacity: reuse never reallocs
+  }
+  // assign() overwrites within retained capacity — pixel contents after a
+  // reuse are byte-identical to a fresh allocation with the same fill.
+  slab->pixels.assign(count, fill);
+  slab->source = reused ? SlabSource::kPoolReused : SlabSource::kPoolFresh;
+
+  Bitmap::SlabPtr shared(slab.release(), SlabReturner{this, cls, sessionTag});
+  return Bitmap(width, height, std::move(shared));
+}
+
+void FramePool::release(std::unique_ptr<PixelSlab> slab,
+                        std::size_t classPixels, int sessionTag) {
+  const std::size_t clsBytes = classPixels * sizeof(Color);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.releases;
+  stats_.outstandingBytes -= std::min(stats_.outstandingBytes, clsBytes);
+  auto session = sessionBytes_.find(sessionTag);
+  if (session != sessionBytes_.end()) {
+    session->second -= std::min(session->second, clsBytes);
+  }
+  // Park for reuse unless that would push the pool past its cap — then the
+  // slab simply dies (unique_ptr frees it) and the footprint shrinks.
+  const bool overCap =
+      options_.maxBytes != 0 &&
+      stats_.outstandingBytes + stats_.parkedBytes + clsBytes >
+          options_.maxBytes;
+  if (!overCap) {
+    stats_.parkedBytes += clsBytes;
+    free_[classPixels].push_back(std::move(slab));
+    noteFootprintLocked();
+  }
+}
+
+FramePool::Stats FramePool::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace darpa::gfx

@@ -1,0 +1,122 @@
+// FramePool — slab recycling for screenshot-sized pixel buffers.
+//
+// The fleet's perception path allocates one full-screen bitmap per
+// stabilized screen per session; at 64+ sessions that is megabytes of heap
+// churn per simulated second for buffers with identical size and a
+// lifetime of exactly one analysis pass. The pool turns that steady state
+// allocation-free: released slabs park in size-class free lists (vector
+// capacity retained), and acquire() re-fills a recycled slab instead of
+// touching the heap.
+//
+// Policy knobs:
+//  * maxBytes — fleet-level cap on bytes the pool manages (outstanding +
+//    parked). 0 = unlimited.
+//  * sessionQuotaBytes — per-session cap on outstanding pooled bytes,
+//    keyed by the sessionTag passed to acquire(). 0 = unlimited.
+//
+// Backpressure NEVER blocks: when a cap is hit, acquire() falls back to a
+// plain heap bitmap (provenance kHeap) and counts the event. Blocking
+// would make frame capture depend on cross-session timing and break the
+// fleet's W=1 == W=4 determinism; a fallback allocation only costs what
+// the un-pooled code path always paid. Pixel contents are identical either
+// way (every acquire fills the buffer), which is what keeps fig8/Table
+// III/Table VII outputs byte-identical with pooling on or off.
+//
+// Thread safety: acquire() and slab release may run concurrently from
+// fleet worker threads; all state is guarded by one mutex. The pool must
+// outlive every bitmap it produced (the Fleet declares its pool before its
+// sessions so destruction order guarantees this).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "gfx/bitmap.h"
+
+namespace darpa::gfx {
+
+class FramePool {
+ public:
+  struct Options {
+    std::size_t maxBytes = 0;          ///< Pool-wide byte cap (0 = unlimited).
+    std::size_t sessionQuotaBytes = 0; ///< Per-sessionTag cap (0 = unlimited).
+  };
+
+  /// Counters, all monotonic except the gauges. outstandingBytes +
+  /// parkedBytes is the pool's live footprint; highWaterBytes is its
+  /// maximum over the pool's lifetime (the steady-state working set the
+  /// DESIGN.md sizing rule is calibrated from).
+  struct Stats {
+    std::int64_t acquires = 0;       ///< All acquire() calls.
+    std::int64_t poolHits = 0;       ///< Served from a free list.
+    std::int64_t poolMisses = 0;     ///< Pool had to heap-allocate a slab.
+    std::int64_t backpressured = 0;  ///< Cap hit -> plain heap fallback.
+    std::int64_t releases = 0;       ///< Slabs returned to the free lists.
+    std::size_t outstandingBytes = 0;///< Bytes in live pooled bitmaps.
+    std::size_t parkedBytes = 0;     ///< Bytes parked in free lists.
+    std::size_t highWaterBytes = 0;  ///< Max outstanding + parked.
+    std::int64_t reusedBytes = 0;    ///< Cumulative bytes served from lists.
+
+    [[nodiscard]] double hitRate() const {
+      const std::int64_t pooled = poolHits + poolMisses;
+      return pooled == 0 ? 0.0
+                         : static_cast<double>(poolHits) /
+                               static_cast<double>(pooled);
+    }
+  };
+
+  FramePool() = default;
+  explicit FramePool(Options options) : options_(options) {}
+  FramePool(const FramePool&) = delete;
+  FramePool& operator=(const FramePool&) = delete;
+  ~FramePool() = default;
+
+  /// A width x height bitmap filled with `fill`, backed by a recycled slab
+  /// when one is available (provenance kPoolReused), a fresh pool slab
+  /// otherwise (kPoolFresh), or a plain heap buffer under backpressure
+  /// (kHeap). `sessionTag` scopes the per-session quota. Thread-safe.
+  [[nodiscard]] Bitmap acquire(int width, int height,
+                               Color fill = colors::kBlack,
+                               int sessionTag = 0);
+
+  [[nodiscard]] const Options& options() const { return options_; }
+  /// Consistent copy of the counters. Thread-safe.
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  /// Free lists are keyed by slab capacity class: pixel counts rounded up
+  /// to the next power of two (min 4096) so near-same-size screens share a
+  /// list instead of fragmenting into one list per exact size.
+  [[nodiscard]] static std::size_t sizeClass(std::size_t pixelCount);
+
+  /// Deleter hook: the last Bitmap/ScreenFrame reference dropped; park the
+  /// slab for reuse (or free it when over cap).
+  void release(std::unique_ptr<PixelSlab> slab, std::size_t classPixels,
+               int sessionTag);
+
+  /// shared_ptr deleter carrying the routing info release() needs.
+  struct SlabReturner {
+    FramePool* pool;
+    std::size_t classPixels;
+    int sessionTag;
+    void operator()(PixelSlab* slab) const {
+      pool->release(std::unique_ptr<PixelSlab>(slab), classPixels,
+                    sessionTag);
+    }
+  };
+
+  void noteFootprintLocked();
+
+  Options options_;
+  mutable std::mutex mutex_;
+  /// classPixels -> parked slabs of that capacity class.
+  std::map<std::size_t, std::vector<std::unique_ptr<PixelSlab>>> free_;
+  /// Outstanding pooled bytes per sessionTag (quota accounting).
+  std::map<int, std::size_t> sessionBytes_;
+  Stats stats_;
+};
+
+}  // namespace darpa::gfx

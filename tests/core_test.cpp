@@ -7,6 +7,7 @@
 #include "android/system.h"
 #include "core/darpa_service.h"
 #include "core/decoration.h"
+#include "core/screen_frame.h"
 #include "core/security.h"
 
 namespace darpa::core {
@@ -36,12 +37,20 @@ std::unique_ptr<android::View> blankScreen() {
 }
 
 // ---------------------------------------------------------------- security
+/// Frame with pixels but no UI dump — all the vault cares about.
+FramePtr pixelFrame(gfx::Bitmap pixels) {
+  auto frame = std::make_shared<ScreenFrame>(android::UiDump{}, "test");
+  frame->attachPixels(std::move(pixels));
+  return frame;
+}
+
 TEST(ScreenshotVaultTest, SingleScreenshotInvariant) {
   ScreenshotVault vault;
   EXPECT_FALSE(vault.holding());
-  vault.store(gfx::Bitmap(4, 4, colors::kRed));
+  vault.store(pixelFrame(gfx::Bitmap(4, 4, colors::kRed)));
   EXPECT_TRUE(vault.holding());
-  vault.store(gfx::Bitmap(4, 4, colors::kBlue));  // implicit rinse of first
+  // Implicit rinse of the first frame.
+  vault.store(pixelFrame(gfx::Bitmap(4, 4, colors::kBlue)));
   EXPECT_EQ(vault.stored(), 2);
   EXPECT_EQ(vault.rinsed(), 1);
   EXPECT_EQ(vault.peakHeld(), 1);
@@ -55,9 +64,9 @@ TEST(ScreenshotVaultTest, SingleScreenshotInvariant) {
 TEST(ScreenshotVaultTest, CurrentExposesHeldScreenshot) {
   ScreenshotVault vault;
   EXPECT_EQ(vault.current(), nullptr);
-  vault.store(gfx::Bitmap(2, 2, colors::kGreen));
+  vault.store(pixelFrame(gfx::Bitmap(2, 2, colors::kGreen)));
   ASSERT_NE(vault.current(), nullptr);
-  EXPECT_EQ(vault.current()->at(0, 0), colors::kGreen);
+  EXPECT_EQ(vault.current()->pixels().at(0, 0), colors::kGreen);
 }
 
 TEST(PermissionManifestTest, DefaultIsMinimal) {

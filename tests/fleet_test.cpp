@@ -42,7 +42,9 @@ core::DetectionRequest makeRequest(
     std::vector<std::pair<int, int>>* order,
     std::vector<int>* batchSizes = nullptr) {
   core::DetectionRequest request;
-  request.screenshot = gfx::Bitmap(4, 4);
+  auto frame = std::make_shared<core::ScreenFrame>(android::UiDump{}, "test");
+  frame->attachPixels(gfx::Bitmap(4, 4));
+  request.frame = std::move(frame);
   request.detector = &detector;
   request.replyLooper = replyLooper;
   request.sessionId = sessionId;

@@ -3,6 +3,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <utility>
 
 #include "gfx/bitmap.h"
 #include "gfx/canvas.h"
@@ -28,6 +29,46 @@ TEST(BitmapTest, EmptyBitmap) {
   Bitmap negative(-5, 10);
   EXPECT_TRUE(negative.empty());
 }
+
+TEST(BitmapTest, CloneIsADeepCopy) {
+  Bitmap bmp(3, 3, colors::kRed);
+  Bitmap copy = bmp.clone();
+  EXPECT_EQ(copy, bmp);
+  copy.set(1, 1, colors::kBlue);
+  EXPECT_EQ(bmp.at(1, 1), colors::kRed);  // the original is untouched
+  EXPECT_NE(copy, bmp);
+}
+
+TEST(BitmapTest, MovedFromIsEmpty) {
+  Bitmap bmp(4, 4, colors::kGreen);
+  const Bitmap moved = std::move(bmp);
+  EXPECT_TRUE(bmp.empty());  // NOLINT(bugprone-use-after-move): the contract
+  EXPECT_EQ(bmp.pixelCount(), 0u);
+  EXPECT_EQ(moved.at(3, 3), colors::kGreen);
+}
+
+TEST(BitmapTest, EqualityComparesContentsNotIdentity) {
+  Bitmap a(2, 2, colors::kRed);
+  Bitmap b(2, 2, colors::kRed);
+  EXPECT_EQ(a, b);  // distinct slabs, same pixels
+  b.set(0, 0, colors::kBlue);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, Bitmap(2, 3, colors::kRed));  // same area, different shape
+}
+
+#if DARPA_BOUNDS_CHECKS
+TEST(BitmapDeathTest, AtOutOfBoundsAborts) {
+  Bitmap bmp(2, 2, colors::kWhite);
+  EXPECT_DEATH((void)bmp.at(2, 0), "bounds");
+  EXPECT_DEATH((void)bmp.at(0, -1), "bounds");
+}
+
+TEST(BitmapDeathTest, SetOutOfBoundsAborts) {
+  Bitmap bmp(2, 2, colors::kWhite);
+  EXPECT_DEATH(bmp.set(-1, 0, colors::kRed), "bounds");
+  EXPECT_DEATH(bmp.set(0, 2, colors::kRed), "bounds");
+}
+#endif  // DARPA_BOUNDS_CHECKS
 
 TEST(BitmapTest, AtClampedOutOfBounds) {
   Bitmap bmp(2, 2, colors::kWhite);
