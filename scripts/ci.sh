@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
 # Full local CI: configure, build, test, the same again under ASan+UBSan,
 # a TSan lane over the threaded fleet/executor tests, a bench smoke lane
-# (every bench binary once with --quick), then clang-tidy as a non-fatal
-# advisory lane (skipped automatically when LLVM is not installed).
+# (every bench binary once with --quick), a Release perf-smoke lane (the
+# detector hot-path bench's speedup/zero-alloc contracts need optimized
+# codegen), then clang-tidy as a non-fatal advisory lane (skipped
+# automatically when LLVM is not installed).
 #
 #   scripts/ci.sh            # everything
 #   SKIP_SANITIZE=1 scripts/ci.sh   # skip the sanitizer rebuilds + reruns
-#   SKIP_BENCH=1 scripts/ci.sh      # skip the bench smoke lane
+#   SKIP_BENCH=1 scripts/ci.sh      # skip the bench smoke + perf lanes
 #
-# Uses build/, build-asan/ and build-tsan/ at the repo root; all gitignored.
+# Uses build/, build-asan/, build-tsan/ and build-perf/ at the repo root;
+# all gitignored.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -54,6 +57,15 @@ if [ "${SKIP_BENCH:-0}" != "1" ]; then
     echo "-- $(basename "$bench") --quick"
     "$bench" --quick > /dev/null
   done
+
+  echo "== perf smoke, Release (build-perf/) =="
+  # The hot-path bench asserts real speedups (batched GEMM >= 3x, detect
+  # >= 2x) and zero steady-state allocations; those contracts are only
+  # meaningful under optimization, so this lane builds Release (-O2) and
+  # runs the bench at --quick scale. Fatal on contract failure.
+  cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-perf -j "$JOBS" --target bench_detector_hotpath
+  (cd build-perf/bench && ./bench_detector_hotpath --quick)
 fi
 
 echo "== clang-tidy (advisory, non-fatal) =="

@@ -2,17 +2,30 @@
 
 #include <utility>
 
+#include "cv/one_stage.h"
+#include "util/clock.h"
+
 namespace darpa::core {
 
 void InlineExecutor::submit(DetectionRequest request) {
+  // Wall-clock + scratch-growth observability: the detect call runs on this
+  // thread, so the thread-local hotpath scratch stats delta is exactly this
+  // call's warm-up.
+  const cv::DetectScratchStats before = cv::hotpathScratchStats();
+  const double startUs = wallMicros();
   std::vector<cv::Detection> detections =
       request.detector->detect(request.frame->pixels());
+  DetectionTiming timing;
+  timing.actualMicros = wallMicros() - startUs;
+  const cv::DetectScratchStats after = cv::hotpathScratchStats();
+  timing.scratchGrowths = after.growths - before.growths;
+  timing.scratchGrownBytes = after.grownBytes - before.grownBytes;
   // §IV-E rinse discipline: drop our reference the moment the model ran;
   // the frame scrubs its pixels when the last holder (usually the analysis
   // context finishing this same pass) lets go.
   request.frame.reset();
   if (request.onComplete) {
-    request.onComplete(std::move(detections), /*batchSize=*/1);
+    request.onComplete(std::move(detections), /*batchSize=*/1, timing);
   }
 }
 

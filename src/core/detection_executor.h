@@ -48,6 +48,18 @@ class Looper;
 
 namespace darpa::core {
 
+/// Wall-clock observability for one completed detection, measured by the
+/// executor on the thread that ran the model. Per-request share when the
+/// backend batched (total batch time / batch size). Never feeds the modeled
+/// cost axis or any digest — see StageTally::actualUs.
+struct DetectionTiming {
+  double actualMicros = 0.0;  ///< Measured detect time (steady_clock).
+  /// Scratch-arena growth observed on the executing thread across the call
+  /// (cv::hotpathScratchStats() delta). Non-zero only during warm-up.
+  std::int64_t scratchGrowths = 0;
+  std::int64_t scratchGrownBytes = 0;
+};
+
 /// One captured frame awaiting detection, with everything needed to route
 /// the result back to the owning session.
 struct DetectionRequest {
@@ -60,11 +72,13 @@ struct DetectionRequest {
   int sessionId = 0;        ///< Deterministic ordering key, major.
   std::uint64_t seq = 0;    ///< Deterministic ordering key, minor
                             ///< (monotonic per session).
-  /// Invoked with the detections and the size of the batch the request was
-  /// executed in (1 for unbatched backends). Runs on the session's thread:
-  /// either synchronously inside submit(), or as a replyLooper task drained
-  /// at the epoch barrier.
-  std::function<void(std::vector<cv::Detection>, int batchSize)> onComplete;
+  /// Invoked with the detections, the size of the batch the request was
+  /// executed in (1 for unbatched backends), and the measured wall-clock
+  /// timing. Runs on the session's thread: either synchronously inside
+  /// submit(), or as a replyLooper task drained at the epoch barrier.
+  std::function<void(std::vector<cv::Detection>, int batchSize,
+                     const DetectionTiming& timing)>
+      onComplete;
 };
 
 class DetectionExecutor {

@@ -218,7 +218,11 @@ void AnalysisPipeline::advance(std::size_t from,
       submitDetect(i + 1, std::move(ctx), ledger, executor, std::move(done));
       return;
     }
+    // Wall-clock observability around the stage's real execution; the
+    // stage's own recordRun keeps pricing the modeled axis.
+    const double startUs = wallMicros();
     stage.run(*ctx, ledger);
+    ledger.recordActual(stage.kind(), wallMicros() - startUs);
   }
   if (done) done(*ctx);
 }
@@ -253,15 +257,20 @@ void AnalysisPipeline::submitDetect(std::size_t next,
   request.onComplete = [this, next, ctx, &ledger, &executor,
                         done = std::move(done)](
                            std::vector<cv::Detection> detections,
-                           int batchSize) mutable {
+                           int batchSize,
+                           const DetectionTiming& timing) mutable {
     ledger.resumeAnalysis(ctx->pass);
     ctx->detections = std::move(detections);
     // Deferred backends report the batch the request rode in; its amortized
     // per-image share prices the stage. An unbatched detect (batchSize 1)
-    // costs exactly costMacsPerImage.
+    // costs exactly costMacsPerImage. The executor's measured wall clock
+    // and scratch warm-up ride along on their own observability axes.
     const int n = batchSize > 0 ? batchSize : 1;
     const double macsShare = ctx->detector->costMacsPerBatch(n) / n;
-    ledger.recordRun(Stage::kDetect, macsShare / ledger.costs().macsPerCpuMs);
+    ledger.recordRun(Stage::kDetect, macsShare / ledger.costs().macsPerCpuMs,
+                     timing.actualMicros);
+    ledger.recordScratchGrowth(Stage::kDetect, timing.scratchGrowths,
+                               timing.scratchGrownBytes);
     advance(next, ctx, ledger, executor, std::move(done));
     // The pass (verdict cached, epilogue run) is complete: release the
     // in-flight key, then replay the coalesced followers. The cache now

@@ -83,6 +83,13 @@ struct StageTally {
   std::int64_t skips = 0;  ///< Times the pipeline skipped it (cache/lint).
   double cpuMs = 0.0;      ///< Modeled CPU-ms spent in the stage.
 
+  // Wall-clock axis: real host microseconds measured around the stage's
+  // execution (steady_clock). Strictly observability — it varies run to
+  // run and with worker count, so NOTHING digest-stable (totalCpuMs, the
+  // Table VII rows, the bench digests) may ever read it. The modeled cpuMs
+  // above stays the deterministic axis.
+  double actualUs = 0.0;  ///< Measured wall-clock microseconds.
+
   // Allocation axis (the zero-copy data plane's accounting): heap buffers
   // the stage allocated vs. pooled slabs it reused. Recording an allocation
   // adds NO modeled CPU — memory traffic and CPU pricing are orthogonal
@@ -92,14 +99,24 @@ struct StageTally {
   std::int64_t pooledReuses = 0;   ///< Buffers served from the FramePool.
   std::int64_t pooledBytes = 0;    ///< Bytes served without heap traffic.
 
+  // Scratch-arena axis: warm-up growths of the detector hot path's reusable
+  // buffers (descriptor matrix, GEMM activations, feature planes). Kept
+  // apart from the allocation axis above so scratch warm-up can never
+  // perturb peakFrameBytes or the frame-pool economy contract.
+  std::int64_t scratchGrowths = 0;
+  std::int64_t scratchGrownBytes = 0;
+
   StageTally& operator+=(const StageTally& o) {
     runs += o.runs;
     skips += o.skips;
     cpuMs += o.cpuMs;
+    actualUs += o.actualUs;
     allocs += o.allocs;
     allocBytes += o.allocBytes;
     pooledReuses += o.pooledReuses;
     pooledBytes += o.pooledBytes;
+    scratchGrowths += o.scratchGrowths;
+    scratchGrownBytes += o.scratchGrownBytes;
     return *this;
   }
 };
@@ -137,8 +154,11 @@ class WorkLedger {
   [[nodiscard]] PassState suspendAnalysis();
   void resumeAnalysis(const PassState& state);
 
-  /// Stage executed, costing `cpuMs` of modeled CPU.
-  void recordRun(Stage stage, double cpuMs);
+  /// Stage executed, costing `cpuMs` of modeled CPU. `actualUs`, when
+  /// known, is the measured wall-clock microseconds of the same execution
+  /// (steady_clock, observability only — never feeds totalCpuMs or any
+  /// digest-stable quantity).
+  void recordRun(Stage stage, double cpuMs, double actualUs = 0.0);
   /// `n` executions of the same stage at `cpuMsEach` (bench convenience).
   void recordRuns(Stage stage, std::int64_t n, double cpuMsEach);
   /// Stage skipped by pipeline routing (cache hit, lint short-circuit...).
@@ -160,6 +180,16 @@ class WorkLedger {
   /// FramePool saved. Adds no modeled CPU.
   void recordPooledReuse(Stage stage, std::size_t bytes);
 
+  /// Measured wall-clock microseconds for a stage execution whose modeled
+  /// cost was recorded elsewhere (or not at all). Pure observability.
+  void recordActual(Stage stage, double actualUs);
+  /// `growths` scratch-arena growth events totalling `bytes`, attributed to
+  /// `stage`. Tracks detector hot-path warm-up; deliberately NOT folded
+  /// into the allocation axis (no recordAlloc) so it cannot move
+  /// peakFrameBytes or the pool economy.
+  void recordScratchGrowth(Stage stage, std::int64_t growths,
+                           std::int64_t bytes);
+
   // --- queries --------------------------------------------------------------
   [[nodiscard]] const StageTally& tally(Stage stage) const {
     return tallies_[static_cast<std::size_t>(stage)];
@@ -168,6 +198,9 @@ class WorkLedger {
   [[nodiscard]] double totalCpuMs() const;
   /// Modeled CPU-ms of the analysis path only (everything but kEvent).
   [[nodiscard]] double analysisCpuMs() const;
+  /// Measured wall-clock microseconds across every stage (observability
+  /// only — varies run to run, never part of any digest).
+  [[nodiscard]] double totalActualUs() const;
 
   [[nodiscard]] std::int64_t analyses() const { return analyses_; }
   [[nodiscard]] std::int64_t decorations() const { return decorations_; }

@@ -11,6 +11,57 @@ int ChannelSet::count() const {
   return n;
 }
 
+namespace {
+
+// Integer luma 299r + 587g + 114b: exact in int32 (max 255'000), so window
+// sums over it are associative and the separable sliding-window contrast
+// pass is bit-identical to the naive 25-tap reference. The float channel
+// value divides by 255'000, matching luma()/255 up to the scale.
+inline std::int32_t intLuma(Color c) {
+  return 299 * c.r + 587 * c.g + 114 * c.b;
+}
+constexpr double kIntLumaScale = 255'000.0;
+
+// Per-thread arena for the fused feature pass: plane buffers reused across
+// FeatureMap constructions, growth-counted for the zero-steady-state-
+// allocation contract.
+struct FeatureScratch {
+  std::vector<float> lumaF;         ///< Float luma plane (Sobel input).
+  std::vector<std::int32_t> lumaI;  ///< Integer luma plane (contrast input).
+  std::vector<std::int32_t> hsum;   ///< Horizontal 5-tap sums, full plane.
+  std::vector<std::int32_t> vsum;   ///< Vertical sliding sums, one row.
+  /// Retired integral-plane buffers, recycled by the next FeatureMap on
+  /// this thread (bounded; see ~FeatureMap).
+  std::vector<std::vector<double>> planePool;
+  FeatureScratchStats stats;
+
+  template <typename T>
+  T* ensure(std::vector<T>& v, std::size_t n) {
+    const std::size_t before = v.capacity();
+    if (n > before) {
+      v.reserve(n);
+      ++stats.growths;
+      stats.grownBytes +=
+          static_cast<std::int64_t>((v.capacity() - before) * sizeof(T));
+    }
+    if (v.size() < n) v.resize(n);
+    return v.data();
+  }
+};
+
+FeatureScratch& featureScratch() {
+  thread_local FeatureScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
+const FeatureScratchStats& featureScratchStats() {
+  return featureScratch().stats;
+}
+
+void resetFeatureScratchStats() { featureScratch().stats = {}; }
+
 FeatureMap::FeatureMap(const gfx::Bitmap& screenshot, ChannelSet channels,
                        int scale)
     : scale_(std::max(scale, 1)),
@@ -21,81 +72,201 @@ FeatureMap::FeatureMap(const gfx::Bitmap& screenshot, ChannelSet channels,
       std::max(screenshot.height() / scale_, 1));
   width_ = small.width();
   height_ = small.height();
+  planeStride_ = static_cast<std::size_t>(width_ + 1) * (height_ + 1);
 
-  // Raw planes in [0, 1].
-  std::array<std::vector<float>, kChannelCount> planes;
+  const bool wantLuma = channels_.enabled(Channel::kLuma);
+  const bool wantEdge = channels_.enabled(Channel::kEdge);
+  const bool wantContrast = channels_.enabled(Channel::kContrast);
+  const bool wantSat = channels_.enabled(Channel::kSaturation);
+  const bool wantSal = channels_.enabled(Channel::kSaliency);
+
+  FeatureScratch& s = featureScratch();
+  ++s.stats.frames;
+
+  // Integral planes: recycle a retired buffer when one is pooled, and zero
+  // only what the fused pass will not overwrite — row 0 and column 0 of
+  // enabled planes (the integral borders), whole planes of disabled
+  // channels. A cold buffer is a counted growth like any other arena.
+  if (!s.planePool.empty()) {
+    integrals_ = std::move(s.planePool.back());
+    s.planePool.pop_back();
+  }
+  const std::size_t need = kChannelCount * planeStride_;
+  const std::size_t beforeCap = integrals_.capacity();
+  if (need > beforeCap) {
+    integrals_.reserve(need);
+    ++s.stats.growths;
+    s.stats.grownBytes += static_cast<std::int64_t>(
+        (integrals_.capacity() - beforeCap) * sizeof(double));
+  }
+  integrals_.resize(need);
+  for (int c = 0; c < kChannelCount; ++c) {
+    double* plane = integrals_.data() + static_cast<std::size_t>(c) * planeStride_;
+    if (channels_.enabled(static_cast<Channel>(c))) {
+      std::fill(plane, plane + width_ + 1, 0.0);  // row 0
+      for (int y = 1; y <= height_; ++y) {        // column 0
+        plane[static_cast<std::size_t>(y) * (width_ + 1)] = 0.0;
+      }
+    } else {
+      std::fill(plane, plane + planeStride_, 0.0);
+    }
+  }
+
   const std::size_t n = static_cast<std::size_t>(width_) * height_;
-  for (auto& plane : planes) plane.assign(n, 0.0f);
+  // The luma planes always exist: edge and contrast derive from luma even
+  // when the luma channel itself is disabled (only its integral is zeroed).
+  float* lumaF = s.ensure(s.lumaF, n);
+  std::int32_t* lumaI = s.ensure(s.lumaI, n);
+
+  double* lumaInt = integrals_.data();
+  double* edgeInt = integrals_.data() + 1 * planeStride_;
+  double* contrastInt = integrals_.data() + 2 * planeStride_;
+  double* satInt = integrals_.data() + 3 * planeStride_;
+  double* salInt = integrals_.data() + 4 * planeStride_;
+  const std::size_t stride = static_cast<std::size_t>(width_) + 1;
 
   // Global mean color for the saliency channel.
   const Color meanColor = small.meanColor(small.bounds());
 
+  // Pass 1 — everything with no neighborhood dependence, fused into one
+  // traversal: both luma planes, saturation, saliency, and their integral
+  // rows (disabled channels skip the work; their integrals stay zero).
   for (int y = 0; y < height_; ++y) {
+    const std::size_t row = static_cast<std::size_t>(y) * width_;
+    const std::size_t iUp = static_cast<std::size_t>(y) * stride;
+    const std::size_t iDn = static_cast<std::size_t>(y + 1) * stride;
+    double rowLuma = 0.0, rowSat = 0.0, rowSal = 0.0;
     for (int x = 0; x < width_; ++x) {
-      const std::size_t i = static_cast<std::size_t>(y) * width_ + x;
       const Color c = small.at(x, y);
-      planes[0][i] = static_cast<float>(luma(c) / 255.0);
-      const int mx = std::max({c.r, c.g, c.b});
-      const int mn = std::min({c.r, c.g, c.b});
-      planes[3][i] = static_cast<float>(mx - mn) / 255.0f;
-      const float dr = static_cast<float>(c.r - meanColor.r);
-      const float dg = static_cast<float>(c.g - meanColor.g);
-      const float db = static_cast<float>(c.b - meanColor.b);
-      planes[4][i] = std::sqrt(dr * dr + dg * dg + db * db) / 442.0f;
-    }
-  }
-
-  // Edge: Sobel magnitude over the luma plane.
-  auto lumaAt = [&](int x, int y) {
-    x = std::clamp(x, 0, width_ - 1);
-    y = std::clamp(y, 0, height_ - 1);
-    return planes[0][static_cast<std::size_t>(y) * width_ + x];
-  };
-  for (int y = 0; y < height_; ++y) {
-    for (int x = 0; x < width_; ++x) {
-      const float gx = (lumaAt(x + 1, y - 1) + 2 * lumaAt(x + 1, y) +
-                        lumaAt(x + 1, y + 1)) -
-                       (lumaAt(x - 1, y - 1) + 2 * lumaAt(x - 1, y) +
-                        lumaAt(x - 1, y + 1));
-      const float gy = (lumaAt(x - 1, y + 1) + 2 * lumaAt(x, y + 1) +
-                        lumaAt(x + 1, y + 1)) -
-                       (lumaAt(x - 1, y - 1) + 2 * lumaAt(x, y - 1) +
-                        lumaAt(x + 1, y - 1));
-      planes[1][static_cast<std::size_t>(y) * width_ + x] =
-          std::min(std::sqrt(gx * gx + gy * gy) / 4.0f, 1.0f);
-    }
-  }
-
-  // Local contrast: |luma - 5x5 box mean|.
-  for (int y = 0; y < height_; ++y) {
-    for (int x = 0; x < width_; ++x) {
-      float sum = 0.0f;
-      for (int dy = -2; dy <= 2; ++dy) {
-        for (int dx = -2; dx <= 2; ++dx) sum += lumaAt(x + dx, y + dy);
+      const float lf = static_cast<float>(luma(c) / 255.0);
+      lumaF[row + x] = lf;
+      lumaI[row + x] = intLuma(c);
+      if (wantLuma) {
+        rowLuma += lf;
+        lumaInt[iDn + x + 1] = lumaInt[iUp + x + 1] + rowLuma;
       }
-      planes[2][static_cast<std::size_t>(y) * width_ + x] =
-          std::fabs(lumaAt(x, y) - sum / 25.0f);
+      if (wantSat) {
+        const int mx = std::max({c.r, c.g, c.b});
+        const int mn = std::min({c.r, c.g, c.b});
+        rowSat += static_cast<float>(mx - mn) / 255.0f;
+        satInt[iDn + x + 1] = satInt[iUp + x + 1] + rowSat;
+      }
+      if (wantSal) {
+        const float dr = static_cast<float>(c.r - meanColor.r);
+        const float dg = static_cast<float>(c.g - meanColor.g);
+        const float db = static_cast<float>(c.b - meanColor.b);
+        rowSal += std::sqrt(dr * dr + dg * dg + db * db) / 442.0f;
+        salInt[iDn + x + 1] = salInt[iUp + x + 1] + rowSal;
+      }
     }
   }
 
-  // Zero out disabled channels, then build integral images.
-  for (int c = 0; c < kChannelCount; ++c) {
-    if (!channels_.enabled(static_cast<Channel>(c))) {
-      std::fill(planes[static_cast<std::size_t>(c)].begin(),
-                planes[static_cast<std::size_t>(c)].end(), 0.0f);
-    }
-    auto& integral = integrals_[static_cast<std::size_t>(c)];
-    integral.assign(static_cast<std::size_t>(width_ + 1) * (height_ + 1), 0.0);
+  if (wantEdge || wantContrast) {
+  // Contrast pre-pass: horizontal 5-tap sliding sums of integer luma per
+  // row (clamped columns), then a vertical sliding sum over those rows.
+  // Integer sums are exact, so the incremental updates are bit-identical
+  // to re-summing the clamped 5x5 window from scratch at every pixel.
+  std::int32_t* hsum = nullptr;
+  std::int32_t* vsum = nullptr;
+  if (wantContrast) {
+    hsum = s.ensure(s.hsum, n);
     for (int y = 0; y < height_; ++y) {
-      double rowSum = 0.0;
-      for (int x = 0; x < width_; ++x) {
-        rowSum += planes[static_cast<std::size_t>(c)]
-                        [static_cast<std::size_t>(y) * width_ + x];
-        integral[static_cast<std::size_t>(y + 1) * (width_ + 1) + (x + 1)] =
-            integral[static_cast<std::size_t>(y) * (width_ + 1) + (x + 1)] +
-            rowSum;
+      const std::int32_t* L = lumaI + static_cast<std::size_t>(y) * width_;
+      std::int32_t* H = hsum + static_cast<std::size_t>(y) * width_;
+      auto at = [&](int x) { return L[std::clamp(x, 0, width_ - 1)]; };
+      std::int32_t window = at(-2) + at(-1) + at(0) + at(1) + at(2);
+      H[0] = window;
+      for (int x = 1; x < width_; ++x) {
+        window += at(x + 2) - at(x - 3);
+        H[x] = window;
       }
     }
+    vsum = s.ensure(s.vsum, static_cast<std::size_t>(width_));
+    for (int x = 0; x < width_; ++x) {
+      std::int32_t v = 0;
+      for (int dy = -2; dy <= 2; ++dy) {
+        const int yy = std::clamp(dy, 0, height_ - 1);
+        v += hsum[static_cast<std::size_t>(yy) * width_ + x];
+      }
+      vsum[x] = v;
+    }
+  }
+
+  // Pass 2 — edge (Sobel over float luma; clamped row pointers + clamped
+  // columns reproduce the reference lumaAt() lambda's values exactly) and
+  // contrast, with their integral rows, in one traversal.
+  for (int y = 0; y < height_; ++y) {
+    const std::size_t row = static_cast<std::size_t>(y) * width_;
+    const std::size_t iUp = static_cast<std::size_t>(y) * stride;
+    const std::size_t iDn = static_cast<std::size_t>(y + 1) * stride;
+    const float* rowUp =
+        lumaF + static_cast<std::size_t>(std::max(y - 1, 0)) * width_;
+    const float* rowMid = lumaF + row;
+    const float* rowDn =
+        lumaF + static_cast<std::size_t>(std::min(y + 1, height_ - 1)) * width_;
+    double rowEdge = 0.0, rowContrast = 0.0;
+    for (int x = 0; x < width_; ++x) {
+      if (wantEdge) {
+        const int xl = std::max(x - 1, 0);
+        const int xr = std::min(x + 1, width_ - 1);
+        const float gx = (rowUp[xr] + 2 * rowMid[xr] + rowDn[xr]) -
+                         (rowUp[xl] + 2 * rowMid[xl] + rowDn[xl]);
+        const float gy = (rowDn[xl] + 2 * rowDn[x] + rowDn[xr]) -
+                         (rowUp[xl] + 2 * rowUp[x] + rowUp[xr]);
+        rowEdge += std::min(std::sqrt(gx * gx + gy * gy) / 4.0f, 1.0f);
+        edgeInt[iDn + x + 1] = edgeInt[iUp + x + 1] + rowEdge;
+      }
+      if (wantContrast) {
+        // |luma - mean(5x5)| = |25*luma - windowSum| / (25 * lumaScale),
+        // exact integers until the final division.
+        const std::int64_t diff =
+            25LL * lumaI[row + x] - static_cast<std::int64_t>(vsum[x]);
+        rowContrast += static_cast<float>(
+            static_cast<double>(diff < 0 ? -diff : diff) /
+            (25.0 * kIntLumaScale));
+        contrastInt[iDn + x + 1] = contrastInt[iUp + x + 1] + rowContrast;
+      }
+    }
+    // Slide the vertical window down one row: add the row entering the
+    // window, drop the row leaving it (both clamped).
+    if (wantContrast && y + 1 < height_) {
+      const std::int32_t* add =
+          hsum + static_cast<std::size_t>(std::clamp(y + 3, 0, height_ - 1)) *
+                     width_;
+      const std::int32_t* drop =
+          hsum + static_cast<std::size_t>(std::clamp(y - 2, 0, height_ - 1)) *
+                     width_;
+      for (int x = 0; x < width_; ++x) vsum[x] += add[x] - drop[x];
+    }
+  }
+  }
+
+  // Map-constant context cues, cached once: per-channel global means and the
+  // center-vs-surround luma difference. These are the exact values the
+  // on-demand computations produced (same integral lookups and arithmetic);
+  // the candidate descriptor reads them per grid position.
+  const Rect all{0, 0, width_ * scale_, height_ * scale_};
+  for (int c = 0; c < kChannelCount; ++c) {
+    globalMeans_[static_cast<std::size_t>(c)] =
+        boxMean(static_cast<Channel>(c), all);
+  }
+  const int fw = width_ * scale_;
+  const int fh = height_ * scale_;
+  const Rect center{fw / 4, fh / 4, fw / 2, fh / 2};
+  const float centerMean = boxMean(Channel::kLuma, center);
+  const float globalMeanL = globalMeans_[static_cast<int>(Channel::kLuma)];
+  // global = (center*A_c + surround*A_s) / A; recover the surround mean.
+  const double areaC = 0.25, areaS = 0.75;
+  const double surround = (globalMeanL - centerMean * areaC) / areaS;
+  centerSurround_ = static_cast<float>(centerMean - surround);
+}
+
+FeatureMap::~FeatureMap() {
+  if (integrals_.capacity() == 0) return;
+  FeatureScratch& s = featureScratch();
+  constexpr std::size_t kMaxPooled = 8;
+  if (s.planePool.size() < kMaxPooled) {
+    s.planePool.push_back(std::move(integrals_));
   }
 }
 
@@ -110,7 +281,8 @@ Rect FeatureMap::toCells(const Rect& fullResRect) const {
 
 double FeatureMap::integralSum(int channel, const Rect& cells) const {
   if (cells.empty()) return 0.0;
-  const auto& integral = integrals_[static_cast<std::size_t>(channel)];
+  const double* integral =
+      integrals_.data() + static_cast<std::size_t>(channel) * planeStride_;
   const int stride = width_ + 1;
   const double a =
       integral[static_cast<std::size_t>(cells.y) * stride + cells.x];
@@ -148,59 +320,92 @@ float FeatureMap::ringContrast(Channel c, const Rect& fullResRect) const {
 }
 
 float FeatureMap::globalMean(Channel c) const {
-  const Rect all{0, 0, width_ * scale_, height_ * scale_};
-  return boxMean(c, all);
+  return globalMeans_[static_cast<std::size_t>(c)];
 }
 
-float FeatureMap::centerSurroundLuma() const {
-  const int w = width_ * scale_;
-  const int h = height_ * scale_;
-  const Rect center{w / 4, h / 4, w / 2, h / 2};
-  const float centerMean = boxMean(Channel::kLuma, center);
-  const float globalMeanL = globalMean(Channel::kLuma);
-  // global = (center*A_c + surround*A_s) / A; recover the surround mean.
-  const double areaC = 0.25, areaS = 0.75;
-  const double surround = (globalMeanL - centerMean * areaC) / areaS;
-  return static_cast<float>(centerMean - surround);
-}
+float FeatureMap::centerSurroundLuma() const { return centerSurround_; }
 
-std::vector<float> candidateFeatures(const FeatureMap& map, const Rect& box) {
-  std::vector<float> f;
-  f.reserve(kCandidateFeatureDim);
-  for (int c = 0; c < kChannelCount; ++c) {
-    f.push_back(map.boxMean(static_cast<Channel>(c), box));
-    f.push_back(map.ringContrast(static_cast<Channel>(c), box));
-  }
-  const float W = static_cast<float>(map.fullSize().width);
-  const float H = static_cast<float>(map.fullSize().height);
+void candidateGeometryInto(Size fullSize, const Rect& box,
+                           std::span<float> out) {
+  float* f = out.data();
+  int k = 0;
+  const float W = static_cast<float>(fullSize.width);
+  const float H = static_cast<float>(fullSize.height);
   const float w = static_cast<float>(box.width);
   const float h = static_cast<float>(box.height);
   const float cx = static_cast<float>(box.x) + w / 2;
   const float cy = static_cast<float>(box.y) + h / 2;
-  f.push_back(w / W);
-  f.push_back(h / H);
-  f.push_back((w * h) / (W * H));
-  f.push_back(std::clamp(std::log(w / std::max(h, 1.0f)), -2.0f, 2.0f));
-  f.push_back(cx / W);
-  f.push_back(cy / H);
+  f[k++] = w / W;
+  f[k++] = h / H;
+  f[k++] = (w * h) / (W * H);
+  f[k++] = std::clamp(std::log(w / std::max(h, 1.0f)), -2.0f, 2.0f);
+  f[k++] = cx / W;
+  f[k++] = cy / H;
   // Distance to the nearest screen corner, normalized by the half-diagonal.
   const float dCorner = std::min(
       {std::hypot(cx, cy), std::hypot(W - cx, cy), std::hypot(cx, H - cy),
        std::hypot(W - cx, H - cy)});
   const float halfDiag = std::hypot(W, H) / 2.0f;
-  f.push_back(dCorner / halfDiag);
+  f[k++] = dCorner / halfDiag;
   // Distance to the screen center.
-  f.push_back(std::hypot(cx - W / 2, cy - H / 2) / halfDiag);
+  f[k++] = std::hypot(cx - W / 2, cy - H / 2) / halfDiag;
+}
+
+namespace {
+
+/// Shared descriptor fill. The channel block sums each (channel, rect) pair
+/// once — boxMean and ringContrast both need the inner sum, and the ring's
+/// outer rect is channel-independent — with arithmetic identical to the
+/// public accessors'. The geometric block is copied from `plannedGeometry`
+/// when the caller precomputed it (the batched grid plan), else computed in
+/// place.
+void fillCandidateFeatures(const FeatureMap& map, const Rect& box,
+                           const float* plannedGeometry, std::span<float> out) {
+  float* f = out.data();
+  int k = 0;
+  const Rect innerCells = map.toCells(box);
+  const double innerArea = static_cast<double>(innerCells.area());
+  const int ringMargin =
+      std::max(std::min(box.width, box.height) / 2, 2) + 2;
+  const Rect outerCells = map.toCells(box.inflated(ringMargin));
+  const double ringArea =
+      static_cast<double>(outerCells.area()) - innerCells.area();
+  for (int c = 0; c < kChannelCount; ++c) {
+    double innerSum = 0.0;
+    if (!innerCells.empty()) {
+      innerSum = map.integralSum(c, innerCells);
+      f[k++] = static_cast<float>(innerSum / innerArea);
+    } else {
+      f[k++] = 0.0f;
+    }
+    if (!innerCells.empty() && !outerCells.empty() && ringArea > 0.0) {
+      const double outerSum = map.integralSum(c, outerCells);
+      const double innerMean = innerSum / innerArea;
+      const double ringMean = (outerSum - innerSum) / ringArea;
+      f[k++] = static_cast<float>(innerMean - ringMean);
+    } else {
+      f[k++] = 0.0f;
+    }
+  }
+  if (plannedGeometry != nullptr) {
+    for (int g = 0; g < kCandidateGeometryDim; ++g) f[k++] = plannedGeometry[g];
+  } else {
+    candidateGeometryInto(map.fullSize(), box,
+                          {f + k, static_cast<std::size_t>(
+                                      kCandidateGeometryDim)});
+    k += kCandidateGeometryDim;
+  }
   // Global context: overall darkness (scrim cue), edge business, and the
   // center-vs-surround luma difference (modal panel cue).
-  f.push_back(map.globalMean(Channel::kLuma));
-  f.push_back(map.globalMean(Channel::kEdge));
-  f.push_back(map.centerSurroundLuma());
+  f[k++] = map.globalMean(Channel::kLuma);
+  f[k++] = map.globalMean(Channel::kEdge);
+  f[k++] = map.centerSurroundLuma();
   // Border edge density: edges concentrated on the candidate's perimeter.
   const Rect border = box.inflated(2);
-  f.push_back(map.boxMean(Channel::kEdge, border) -
-              map.boxMean(Channel::kEdge, box.inflated(-std::max(
-                                              2, std::min(box.width, box.height) / 4))));
+  f[k++] = map.boxMean(Channel::kEdge, border) -
+           map.boxMean(Channel::kEdge,
+                       box.inflated(-std::max(
+                           2, std::min(box.width, box.height) / 4)));
   // Edge continuation: an isolated option has quiet neighbors on both sides
   // of each axis, while a panel border continues across them. min() over the
   // opposite pair is high only when the structure runs through.
@@ -208,10 +413,28 @@ std::vector<float> candidateFeatures(const FeatureMap& map, const Rect& box) {
   const Rect rightN = box.translated(box.width, 0);
   const Rect upN = box.translated(0, -box.height);
   const Rect downN = box.translated(0, box.height);
-  f.push_back(std::min(map.boxMean(Channel::kContrast, leftN),
-                       map.boxMean(Channel::kContrast, rightN)));
-  f.push_back(std::min(map.boxMean(Channel::kContrast, upN),
-                       map.boxMean(Channel::kContrast, downN)));
+  f[k++] = std::min(map.boxMean(Channel::kContrast, leftN),
+                    map.boxMean(Channel::kContrast, rightN));
+  f[k++] = std::min(map.boxMean(Channel::kContrast, upN),
+                    map.boxMean(Channel::kContrast, downN));
+}
+
+}  // namespace
+
+void candidateFeaturesInto(const FeatureMap& map, const Rect& box,
+                           std::span<float> out) {
+  fillCandidateFeatures(map, box, nullptr, out);
+}
+
+void candidateFeaturesPlannedInto(const FeatureMap& map, const Rect& box,
+                                  std::span<const float> geometry,
+                                  std::span<float> out) {
+  fillCandidateFeatures(map, box, geometry.data(), out);
+}
+
+std::vector<float> candidateFeatures(const FeatureMap& map, const Rect& box) {
+  std::vector<float> f(kCandidateFeatureDim);
+  candidateFeaturesInto(map, box, f);
   return f;
 }
 

@@ -26,7 +26,7 @@ namespace darpa::cv {
 enum class Channel : std::uint8_t {
   kLuma = 0,       ///< Brightness.
   kEdge,           ///< Sobel gradient magnitude.
-  kContrast,       ///< |luma - local 5x5 mean| (pop-out).
+  kContrast,       ///< |luma - local 5x5 mean| (pop-out), over integer luma.
   kSaturation,     ///< max(rgb) - min(rgb).
   kSaliency,       ///< Color distance from the global mean color.
 };
@@ -62,13 +62,39 @@ struct ChannelSet {
   [[nodiscard]] int count() const;
 };
 
+/// Per-thread statistics for the fused feature pass's scratch arena. The
+/// plane buffers (luma, sliding-window sums) live in a thread_local arena
+/// reused across FeatureMap constructions; `growths` counts the heap
+/// allocations that arena performed and stops increasing once frames of the
+/// working size have been seen. The hot-path bench's zero-steady-state-
+/// allocation contract reads these counters.
+struct FeatureScratchStats {
+  std::int64_t frames = 0;      ///< FeatureMaps built on this thread.
+  std::int64_t growths = 0;     ///< Scratch buffer growths (heap allocs).
+  std::int64_t grownBytes = 0;  ///< Capacity bytes added by those growths.
+};
+
+/// This thread's scratch statistics (thread_local; see FeatureScratchStats).
+[[nodiscard]] const FeatureScratchStats& featureScratchStats();
+void resetFeatureScratchStats();
+
 /// Downscaled multi-channel feature planes with integral images.
 class FeatureMap {
  public:
-  /// Extracts features from a full-resolution screenshot. `scale` is the
-  /// downscale factor (default 4). Disabled channels read as all-zero.
+  /// Extracts features from a full-resolution screenshot in one fused
+  /// traversal (all enabled channels + their integral images; the 5x5
+  /// contrast window runs as a two-pass separable integer sliding window,
+  /// O(1) per pixel and exactly equal to the naive 25-tap sum). `scale` is
+  /// the downscale factor (default 4). Disabled channels read as all-zero.
   FeatureMap(const gfx::Bitmap& screenshot, ChannelSet channels = ChannelSet::all(),
              int scale = 4);
+
+  /// Returns the integral-plane buffer to the thread-local pool so the next
+  /// FeatureMap on this thread skips the multi-megabyte allocation (and
+  /// zeroes only the integral borders instead of whole planes).
+  ~FeatureMap();
+  FeatureMap(const FeatureMap&) = delete;
+  FeatureMap& operator=(const FeatureMap&) = delete;
 
   [[nodiscard]] int width() const { return width_; }    ///< Downscaled.
   [[nodiscard]] int height() const { return height_; }  ///< Downscaled.
@@ -90,17 +116,28 @@ class FeatureMap {
   /// a "modal panel / scrim" context cue.
   [[nodiscard]] float centerSurroundLuma() const;
 
- private:
-  [[nodiscard]] double integralSum(int channel, const Rect& cells) const;
+  /// Full-res rect -> downscaled integral-grid cells (clipped).
   [[nodiscard]] Rect toCells(const Rect& fullResRect) const;
 
+  /// Raw channel sum over integral-grid cells (see toCells). The descriptor
+  /// fill uses this directly so each (channel, rect) pair is summed once.
+  [[nodiscard]] double integralSum(int channel, const Rect& cells) const;
+
+ private:
   int width_ = 0;
   int height_ = 0;
   int scale_ = 4;
   Size fullSize_;
   ChannelSet channels_;
-  // integrals_[c] has (width_+1)*(height_+1) entries, row-major.
-  std::array<std::vector<double>, kChannelCount> integrals_;
+  // kChannelCount concatenated integral planes of (width_+1)*(height_+1)
+  // doubles each (plane c starts at c * planeStride_) — one allocation per
+  // map instead of five.
+  std::vector<double> integrals_;
+  std::size_t planeStride_ = 0;
+  // Map-constant context cues, computed once at construction (the candidate
+  // descriptor reads them per grid position — thousands of times per frame).
+  std::array<float, kChannelCount> globalMeans_{};
+  float centerSurround_ = 0.0f;
 };
 
 /// Dimension of the per-candidate descriptor built by candidateFeatures().
@@ -113,5 +150,28 @@ inline constexpr int kCandidateFeatureDim = 2 * kChannelCount + 14;
 /// separates isolated blobs from panel-border segments).
 [[nodiscard]] std::vector<float> candidateFeatures(const FeatureMap& map,
                                                    const Rect& box);
+
+/// candidateFeatures() into a caller-provided buffer of exactly
+/// kCandidateFeatureDim floats — the allocation-free form the batched
+/// detector path uses to fill descriptor matrix rows.
+void candidateFeaturesInto(const FeatureMap& map, const Rect& box,
+                           std::span<float> out);
+
+/// The descriptor's geometric-prior block: kCandidateGeometryDim floats at
+/// offset kCandidateGeometryOffset, a pure function of (frame size, box).
+/// The batched detector precomputes one block per anchor-grid entry and
+/// replays it across every frame of that size (bit-equal by construction —
+/// this very function produced the cached values).
+inline constexpr int kCandidateGeometryDim = 8;
+inline constexpr int kCandidateGeometryOffset = 2 * kChannelCount;
+void candidateGeometryInto(Size fullSize, const Rect& box,
+                           std::span<float> out);
+
+/// candidateFeaturesInto with the geometric block copied from `geometry`
+/// (a kCandidateGeometryDim block from candidateGeometryInto) instead of
+/// recomputed per candidate.
+void candidateFeaturesPlannedInto(const FeatureMap& map, const Rect& box,
+                                  std::span<const float> geometry,
+                                  std::span<float> out);
 
 }  // namespace darpa::cv

@@ -1,6 +1,7 @@
 #include "cv/one_stage.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <fstream>
 #include <limits>
@@ -34,9 +35,10 @@ struct GridPos {
   }
 };
 
-/// Enumerates all grid positions for an image size.
-std::vector<GridPos> enumerateGrid(const OneStageConfig& config, Size size) {
-  std::vector<GridPos> grid;
+/// Enumerates all grid positions for an image size into a reused buffer.
+void enumerateGridInto(const OneStageConfig& config, Size size,
+                       std::vector<GridPos>& grid) {
+  grid.clear();
   for (std::size_t a = 0; a < config.anchors.size(); ++a) {
     const int stride = config.anchors[a].stride();
     for (int cy = stride / 2; cy < size.height; cy += stride) {
@@ -45,7 +47,104 @@ std::vector<GridPos> enumerateGrid(const OneStageConfig& config, Size size) {
       }
     }
   }
+}
+
+std::vector<GridPos> enumerateGrid(const OneStageConfig& config, Size size) {
+  std::vector<GridPos> grid;
+  enumerateGridInto(config, size, grid);
   return grid;
+}
+
+/// Per-thread arena for the batched detect path: the anchor grid (cached
+/// across same-sized frames), the descriptor matrix, the logit matrix, and
+/// the MLP forward scratch. Buffer growths are counted so the executors and
+/// the hot-path bench can assert the steady state allocates nothing.
+struct DetectScratch {
+  std::vector<GridPos> grid;
+  Size gridSize{-1, -1};
+  std::vector<Anchor> gridAnchors;
+  /// Per-grid-entry geometric descriptor blocks (kCandidateGeometryDim
+  /// floats each), regenerated with the grid: geometry depends only on
+  /// (frame size, anchor box), so the batched fill replays these across
+  /// every frame of the cached size instead of recomputing hypot/log per
+  /// candidate.
+  std::vector<float> geometry;
+  std::vector<float> features;
+  std::vector<float> logits;
+  nn::ForwardScratch forward;
+  std::int64_t growths = 0;
+  std::int64_t grownBytes = 0;
+
+  float* ensure(std::vector<float>& v, std::size_t n) {
+    const std::size_t before = v.capacity();
+    if (n > before) {
+      v.reserve(n);
+      ++growths;
+      grownBytes +=
+          static_cast<std::int64_t>((v.capacity() - before) * sizeof(float));
+    }
+    if (v.size() < n) v.resize(n);
+    return v.data();
+  }
+
+  const std::vector<GridPos>& gridFor(const OneStageConfig& config,
+                                      Size size) {
+    if (size.width != gridSize.width || size.height != gridSize.height ||
+        gridAnchors != config.anchors) {
+      const std::size_t before = grid.capacity();
+      enumerateGridInto(config, size, grid);
+      if (grid.capacity() > before) {
+        ++growths;
+        grownBytes += static_cast<std::int64_t>(
+            (grid.capacity() - before) * sizeof(GridPos));
+      }
+      float* geo = ensure(geometry, grid.size() * kCandidateGeometryDim);
+      for (std::size_t r = 0; r < grid.size(); ++r) {
+        candidateGeometryInto(
+            size, grid[r].box(config.anchors),
+            {geo + r * kCandidateGeometryDim,
+             static_cast<std::size_t>(kCandidateGeometryDim)});
+      }
+      gridSize = size;
+      gridAnchors = config.anchors;
+    }
+    return grid;
+  }
+};
+
+DetectScratch& detectScratch() {
+  thread_local DetectScratch scratch;
+  return scratch;
+}
+
+/// Thresholds + decodes one candidate's head output into `raw` — the exact
+/// scalar-path logic, shared by the batched and scalar detect loops.
+void decodeCandidate(const OneStageConfig& config, const GridPos& pos,
+                     const float* out, std::vector<Detection>& raw) {
+  const Anchor& anchor = config.anchors[static_cast<std::size_t>(pos.anchorIdx)];
+  const float confAgo = nn::sigmoid(out[0]);
+  const float confUpo = nn::sigmoid(out[1]);
+  const bool agoFires = confAgo >= config.confidenceThresholdAgo;
+  const bool upoFires = confUpo >= config.confidenceThresholdUpo;
+  if (!agoFires && !upoFires) return;
+  const float best =
+      std::max(agoFires ? confAgo : 0.0f, upoFires ? confUpo : 0.0f);
+  const int stride = anchor.stride();
+  const float dx = std::clamp(out[2], -2.0f, 2.0f);
+  const float dy = std::clamp(out[3], -2.0f, 2.0f);
+  const float dw = std::clamp(out[4], -2.0f, 2.0f);
+  const float dh = std::clamp(out[5], -2.0f, 2.0f);
+  const float w = static_cast<float>(anchor.width) * std::exp(dw);
+  const float h = static_cast<float>(anchor.height) * std::exp(dh);
+  const float bx = static_cast<float>(pos.cx) + dx * stride - w / 2;
+  const float by = static_cast<float>(pos.cy) + dy * stride - h / 2;
+  Detection det;
+  det.box = RectF{bx, by, w, h}.toRect();
+  det.label = (agoFires && (!upoFires || confAgo >= confUpo))
+                  ? dataset::BoxLabel::kAgo
+                  : dataset::BoxLabel::kUpo;
+  det.confidence = best;
+  raw.push_back(det);
 }
 
 /// A selected training example: cached descriptor + targets.
@@ -165,7 +264,8 @@ OneStageDetector OneStageDetector::train(const dataset::AuiDataset& data,
       float score;
       const GridPos* pos;
     };
-    std::vector<ScoredNegative> negatives;
+    // First sweep: select positives, collect negative candidates.
+    std::vector<const GridPos*> negPos;
     for (const GridPos& pos : grid) {
       const MatchInfo info = matchCandidate(config, pos, sample.annotations);
       if (info.classTarget >= 0) {
@@ -178,10 +278,29 @@ OneStageDetector OneStageDetector::train(const dataset::AuiDataset& data,
         ex.dh = info.dh;
         selected.push_back(std::move(ex));
       } else if (!info.ignore) {
-        const std::vector<float> features =
-            candidateFeatures(map, pos.box(config.anchors));
-        const std::vector<float> out = detector.head_->forward(features);
-        negatives.push_back(ScoredNegative{std::max(out[0], out[1]), &pos});
+        negPos.push_back(&pos);
+      }
+    }
+    // Hard-negative scoring in one batched head call (bit-equal to the old
+    // per-candidate forward loop, so mining picks the same negatives).
+    std::vector<ScoredNegative> negatives;
+    if (!negPos.empty()) {
+      DetectScratch& s = detectScratch();
+      const std::size_t rows = negPos.size();
+      const std::size_t dim = kCandidateFeatureDim;
+      float* feats = s.ensure(s.features, rows * dim);
+      for (std::size_t i = 0; i < rows; ++i) {
+        candidateFeaturesInto(map, negPos[i]->box(config.anchors),
+                              {feats + i * dim, dim});
+      }
+      float* logits = s.ensure(s.logits, rows * 6);
+      detector.head_->forwardBatch({feats, rows * dim},
+                                   static_cast<int>(rows), {logits, rows * 6},
+                                   s.forward);
+      negatives.reserve(rows);
+      for (std::size_t i = 0; i < rows; ++i) {
+        negatives.push_back(ScoredNegative{
+            std::max(logits[i * 6 + 0], logits[i * 6 + 1]), negPos[i]});
       }
     }
     std::sort(negatives.begin(), negatives.end(),
@@ -214,6 +333,10 @@ OneStageDetector OneStageDetector::train(const dataset::AuiDataset& data,
   nn::AdamConfig adam;
   adam.learningRate = trainConfig.learningRate;
   const int miningEvery = std::max(trainConfig.miningEvery, 1);
+  // Hoisted backprop buffers: one Cache for the whole training run instead
+  // of one per example, so epochs stop churning the heap.
+  nn::Mlp::Cache cache;
+  std::array<float, 6> dOut{};
   for (int epoch = 0; epoch < trainConfig.epochs; ++epoch) {
     if (trainConfig.lrDecayEvery > 0 && epoch > 0 &&
         epoch % trainConfig.lrDecayEvery == 0) {
@@ -232,10 +355,9 @@ OneStageDetector OneStageDetector::train(const dataset::AuiDataset& data,
         const int repeat =
             ex.classTarget >= 0 ? std::max(trainConfig.positiveRepeat, 1) : 1;
         for (int rep = 0; rep < repeat; ++rep) {
-          nn::Mlp::Cache cache;
-          const std::vector<float> out =
-              detector.head_->forwardCached(ex.features, cache);
-          std::vector<float> dOut(6, 0.0f);
+          detector.head_->forwardCachedInto(ex.features, cache);
+          const std::span<const float> out = cache.output();
+          dOut.fill(0.0f);
           const float agoTarget = ex.classTarget == 0 ? 1.0f : 0.0f;
           const float upoTarget = ex.classTarget == 1 ? 1.0f : 0.0f;
           dOut[0] = nn::bceWithLogitsGrad(out[0], agoTarget);
@@ -269,40 +391,18 @@ std::vector<float> OneStageDetector::runHead(
   return head_->forward(features);
 }
 
-std::vector<Detection> OneStageDetector::detect(
-    const gfx::Bitmap& screenshot) const {
-  const FeatureMap map(screenshot, config_.channels, config_.featureScale);
-  std::vector<Detection> raw;
-  for (const GridPos& pos : enumerateGrid(config_, screenshot.size())) {
-    const Anchor& anchor =
-        config_.anchors[static_cast<std::size_t>(pos.anchorIdx)];
-    const Rect box = pos.box(config_.anchors);
-    const std::vector<float> features = candidateFeatures(map, box);
-    const std::vector<float> out = runHead(features);
-    const float confAgo = nn::sigmoid(out[0]);
-    const float confUpo = nn::sigmoid(out[1]);
-    const bool agoFires = confAgo >= config_.confidenceThresholdAgo;
-    const bool upoFires = confUpo >= config_.confidenceThresholdUpo;
-    if (!agoFires && !upoFires) continue;
-    const float best = std::max(agoFires ? confAgo : 0.0f,
-                                upoFires ? confUpo : 0.0f);
-    const int stride = anchor.stride();
-    const float dx = std::clamp(out[2], -2.0f, 2.0f);
-    const float dy = std::clamp(out[3], -2.0f, 2.0f);
-    const float dw = std::clamp(out[4], -2.0f, 2.0f);
-    const float dh = std::clamp(out[5], -2.0f, 2.0f);
-    const float w = static_cast<float>(anchor.width) * std::exp(dw);
-    const float h = static_cast<float>(anchor.height) * std::exp(dh);
-    const float bx = static_cast<float>(pos.cx) + dx * stride - w / 2;
-    const float by = static_cast<float>(pos.cy) + dy * stride - h / 2;
-    Detection det;
-    det.box = RectF{bx, by, w, h}.toRect();
-    det.label = (agoFires && (!upoFires || confAgo >= confUpo))
-                    ? dataset::BoxLabel::kAgo
-                    : dataset::BoxLabel::kUpo;
-    det.confidence = best;
-    raw.push_back(det);
+void OneStageDetector::runHeadBatch(std::span<const float> features, int rows,
+                                    std::span<float> logits,
+                                    nn::ForwardScratch& scratch) const {
+  if (useQuantized_ && quantizedHead_) {
+    quantizedHead_->forwardBatch(features, rows, logits, scratch);
+  } else {
+    head_->forwardBatch(features, rows, logits, scratch);
   }
+}
+
+std::vector<Detection> OneStageDetector::postprocess(
+    std::vector<Detection> raw, const gfx::Bitmap& screenshot) const {
   std::vector<Detection> kept =
       nonMaxSuppression(std::move(raw), config_.nmsIou);
   // Flood-fill refinement to the rendered option extent; failures are
@@ -321,6 +421,45 @@ std::vector<Detection> OneStageDetector::detect(
   return nonMaxSuppression(std::move(refined), 0.8);
 }
 
+std::vector<Detection> OneStageDetector::detect(
+    const gfx::Bitmap& screenshot) const {
+  const FeatureMap map(screenshot, config_.channels, config_.featureScale);
+  std::vector<Detection> raw;
+  if (config_.batchedHead) {
+    // Batched path: fill the descriptor matrix for the whole anchor grid,
+    // score it in one GEMM, decode in grid order (identical to the scalar
+    // loop's order, so the Detection stream is bit-equal).
+    DetectScratch& s = detectScratch();
+    const std::vector<GridPos>& grid = s.gridFor(config_, screenshot.size());
+    const int rows = static_cast<int>(grid.size());
+    const std::size_t dim = kCandidateFeatureDim;
+    float* feats = s.ensure(s.features, static_cast<std::size_t>(rows) * dim);
+    for (int r = 0; r < rows; ++r) {
+      candidateFeaturesPlannedInto(
+          map, grid[static_cast<std::size_t>(r)].box(config_.anchors),
+          {s.geometry.data() +
+               static_cast<std::size_t>(r) * kCandidateGeometryDim,
+           static_cast<std::size_t>(kCandidateGeometryDim)},
+          {feats + static_cast<std::size_t>(r) * dim, dim});
+    }
+    float* logits = s.ensure(s.logits, static_cast<std::size_t>(rows) * 6);
+    runHeadBatch({feats, static_cast<std::size_t>(rows) * dim}, rows,
+                 {logits, static_cast<std::size_t>(rows) * 6}, s.forward);
+    for (int r = 0; r < rows; ++r) {
+      decodeCandidate(config_, grid[static_cast<std::size_t>(r)],
+                      logits + static_cast<std::size_t>(r) * 6, raw);
+    }
+  } else {
+    for (const GridPos& pos : enumerateGrid(config_, screenshot.size())) {
+      const std::vector<float> features =
+          candidateFeatures(map, pos.box(config_.anchors));
+      const std::vector<float> out = runHead(features);
+      decodeCandidate(config_, pos, out.data(), raw);
+    }
+  }
+  return postprocess(std::move(raw), screenshot);
+}
+
 double OneStageDetector::costMacsPerImage() const {
   // Head cost over all grid candidates plus the feature-extraction sweep.
   const Size size{360, 720};
@@ -335,13 +474,63 @@ double OneStageDetector::costMacsPerImage() const {
 
 std::vector<std::vector<Detection>> OneStageDetector::detectBatch(
     std::span<const gfx::Bitmap* const> batch) const {
-  // Each image still runs the full per-image path — results must be
-  // byte-identical to lone detect() calls so batching can never change a
-  // session's verdict. The amortization lives in costMacsPerBatch(): the
-  // weights and the sweep plan stay hot across the whole batch.
-  std::vector<std::vector<Detection>> out;
-  out.reserve(batch.size());
-  for (const gfx::Bitmap* screenshot : batch) out.push_back(detect(*screenshot));
+  // Results must be byte-identical to lone detect() calls so batching can
+  // never change a session's verdict — guaranteed because each descriptor
+  // row's score is independent of what else shares its GEMM. What batching
+  // buys physically is descriptor packing across images: one head call per
+  // pack keeps the weights hot instead of re-streaming them per image
+  // (costMacsPerBatch() models exactly that amortization).
+  std::vector<std::vector<Detection>> out(batch.size());
+  if (!config_.batchedHead) {
+    for (std::size_t i = 0; i < batch.size(); ++i) out[i] = detect(*batch[i]);
+    return out;
+  }
+  // Cap pack size so the descriptor matrix stays cache/memory-friendly; the
+  // grid cache keys on frame size, so a pack also breaks where sizes change.
+  constexpr std::size_t kMaxPackRows = 1 << 16;
+  DetectScratch& s = detectScratch();
+  const std::size_t dim = kCandidateFeatureDim;
+  std::size_t b = 0;
+  while (b < batch.size()) {
+    const Size size = batch[b]->size();
+    const std::vector<GridPos>& grid = s.gridFor(config_, size);
+    const std::size_t rowsPerImage = grid.size();
+    std::size_t e = b + 1;
+    while (e < batch.size() && batch[e]->size().width == size.width &&
+           batch[e]->size().height == size.height &&
+           (e - b + 1) * rowsPerImage <= kMaxPackRows) {
+      ++e;
+    }
+    const std::size_t images = e - b;
+    const std::size_t rows = images * rowsPerImage;
+    float* feats = s.ensure(s.features, rows * dim);
+    for (std::size_t i = 0; i < images; ++i) {
+      // The FeatureMap lives only while its rows are filled: the pack never
+      // holds more than one image's planes at a time.
+      const FeatureMap map(*batch[b + i], config_.channels,
+                           config_.featureScale);
+      float* imageRows = feats + i * rowsPerImage * dim;
+      for (std::size_t r = 0; r < rowsPerImage; ++r) {
+        candidateFeaturesPlannedInto(
+            map, grid[r].box(config_.anchors),
+            {s.geometry.data() + r * kCandidateGeometryDim,
+             static_cast<std::size_t>(kCandidateGeometryDim)},
+            {imageRows + r * dim, dim});
+      }
+    }
+    float* logits = s.ensure(s.logits, rows * 6);
+    runHeadBatch({feats, rows * dim}, static_cast<int>(rows),
+                 {logits, rows * 6}, s.forward);
+    for (std::size_t i = 0; i < images; ++i) {
+      std::vector<Detection> raw;
+      const float* imageLogits = logits + i * rowsPerImage * 6;
+      for (std::size_t r = 0; r < rowsPerImage; ++r) {
+        decodeCandidate(config_, grid[r], imageLogits + r * 6, raw);
+      }
+      out[b + i] = postprocess(std::move(raw), *batch[b + i]);
+    }
+    b = e;
+  }
   return out;
 }
 
@@ -404,6 +593,13 @@ std::optional<OneStageDetector> OneStageDetector::loadModel(
     return std::nullopt;
   }
   return detector;
+}
+
+DetectScratchStats hotpathScratchStats() {
+  const DetectScratch& s = detectScratch();
+  const FeatureScratchStats& f = featureScratchStats();
+  return {s.growths + s.forward.growths() + f.growths,
+          s.grownBytes + s.forward.grownBytes() + f.grownBytes};
 }
 
 ModelMetrics evaluateDetector(const Detector& detector,

@@ -34,6 +34,8 @@ struct Anchor {
   int width = 0;
   int height = 0;
 
+  friend bool operator==(const Anchor&, const Anchor&) = default;
+
   /// Stride proportional to the anchor's smaller side, clamped to [8, 32]:
   /// small objects need dense coverage, large ones don't.
   [[nodiscard]] int stride() const {
@@ -67,6 +69,12 @@ struct OneStageConfig {
   /// border or texture, and a ghost option that cannot be snapped would
   /// miss the IoU 0.9 bar anyway.
   bool dropUnrefined = true;
+  /// Score the whole anchor grid in one Mlp::forwardBatch GEMM instead of
+  /// one forward() per candidate. Bit-equal by construction (the batched
+  /// kernel keeps the scalar per-row accumulation order), so this is purely
+  /// a throughput switch; off exists for the equality tests and the bench's
+  /// scalar baseline.
+  bool batchedHead = true;
 };
 
 struct TrainConfig {
@@ -137,12 +145,31 @@ class OneStageDetector : public Detector {
   explicit OneStageDetector(OneStageConfig config) : config_(std::move(config)) {}
 
   [[nodiscard]] std::vector<float> runHead(std::span<const float> features) const;
+  /// Scores `rows` descriptors (row-major) in one batched head call through
+  /// whichever head (fp32/int8) is active.
+  void runHeadBatch(std::span<const float> features, int rows,
+                    std::span<float> logits, nn::ForwardScratch& scratch) const;
+  /// Shared tail of detect()/detectBatch(): NMS, flood-fill refinement,
+  /// duplicate merge.
+  [[nodiscard]] std::vector<Detection> postprocess(
+      std::vector<Detection> raw, const gfx::Bitmap& screenshot) const;
 
   OneStageConfig config_;
   std::unique_ptr<nn::Mlp> head_;
   std::optional<nn::QuantizedMlp> quantizedHead_;
   bool useQuantized_ = false;
 };
+
+/// Per-thread scratch statistics for the detector hot path: the batched
+/// detect path's arenas (grid cache, descriptor matrix, logits, MLP forward
+/// scratch) plus the fused feature pass's arena. Growths stop once the
+/// working sizes have been seen; the executors diff this around detect
+/// calls and the hot-path bench asserts zero steady-state growth.
+struct DetectScratchStats {
+  std::int64_t growths = 0;
+  std::int64_t grownBytes = 0;
+};
+[[nodiscard]] DetectScratchStats hotpathScratchStats();
 
 /// Per-class and overall metrics of a detector over a set of dataset
 /// samples — the exact quantities of Tables III/IV/V.

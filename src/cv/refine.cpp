@@ -1,9 +1,9 @@
 #include "cv/refine.h"
 
 #include <algorithm>
-#include <limits>
 #include <array>
-#include <unordered_map>
+#include <cstring>
+#include <limits>
 #include <vector>
 
 namespace darpa::cv {
@@ -19,6 +19,32 @@ std::uint32_t quantKey(Color c) {
          (static_cast<std::uint32_t>(c.g >> 4) << 4) |
          (static_cast<std::uint32_t>(c.b >> 4));
 }
+
+constexpr std::size_t kBuckets = 1 << 12;
+
+/// Per-thread arena for snapToRegion. The key space is only 12 bits, so the
+/// mode-color vote runs over flat direct-indexed histograms instead of hash
+/// maps — one increment per pixel, no hashing, no rehash allocations. The
+/// histograms are cleaned via the `touched` key list after each call, so a
+/// call pays for the colors it saw, not for the whole table; the per-pixel
+/// keys, flood-fill state, and stack are likewise reused across calls. The
+/// histogram counts, mode scores, seed color, and fill set are exactly the
+/// ones the hash-map formulation produced.
+struct RefineScratch {
+  std::array<int, kBuckets> histogram{};
+  std::array<int, kBuckets> ringHistogram{};
+  std::vector<std::uint32_t> touched;      ///< Keys with a nonzero count.
+  std::vector<std::uint16_t> qkeys;        ///< Per-window-pixel quantKey.
+  std::vector<char> match;    ///< 0 untested, 1 seed-color match, 2 not.
+  std::vector<char> visited;  ///< Per-window-pixel flood-fill state.
+  std::vector<Point> stack;
+};
+
+RefineScratch& refineScratch() {
+  thread_local RefineScratch scratch;
+  return scratch;
+}
+
 }  // namespace
 
 std::optional<Rect> snapToRegion(const gfx::Bitmap& image, const Rect& coarse,
@@ -36,36 +62,59 @@ std::optional<Rect> snapToRegion(const gfx::Bitmap& image, const Rect& coarse,
   // background when the box straddles a panel edge; discounting each
   // bucket by its (area-normalized) ring frequency singles out the
   // foreground plate. Glyph strokes and text are minority pixels either way.
-  std::unordered_map<std::uint32_t, int> histogram;
-  for (int y = inner.top(); y < inner.bottom(); ++y) {
-    for (int x = inner.left(); x < inner.right(); ++x) {
-      ++histogram[quantKey(image.at(x, y))];
-    }
-  }
-  std::unordered_map<std::uint32_t, int> ringHistogram;
-  std::int64_t ringArea = 0;
+  //
+  // One fused traversal of the window fills both histograms (rows are split
+  // into ring/inner/ring segments, so there is no per-pixel containment
+  // test) and records every pixel's key for the later bucket-mean pass.
+  RefineScratch& s = refineScratch();
+  const std::size_t windowCells =
+      static_cast<std::size_t>(window.width) * window.height;
+  if (s.qkeys.size() < windowCells) s.qkeys.resize(windowCells);
+  s.touched.clear();
+  auto index = [&](int x, int y) {
+    return static_cast<std::size_t>(y - window.y) * window.width +
+           (x - window.x);
+  };
   for (int y = window.top(); y < window.bottom(); ++y) {
-    for (int x = window.left(); x < window.right(); ++x) {
-      if (inner.contains(Point{x, y})) continue;
-      ++ringHistogram[quantKey(image.at(x, y))];
-      ++ringArea;
-    }
+    const bool innerRow = y >= inner.top() && y < inner.bottom();
+    const int il = innerRow ? inner.left() : window.left();
+    const int ir = innerRow ? inner.right() : window.left();
+    auto scan = [&](int x0, int x1, std::array<int, kBuckets>& hist) {
+      for (int x = x0; x < x1; ++x) {
+        const std::uint32_t key = quantKey(image.at(x, y));
+        s.qkeys[index(x, y)] = static_cast<std::uint16_t>(key);
+        if (s.histogram[key] == 0 && s.ringHistogram[key] == 0) {
+          s.touched.push_back(key);
+        }
+        ++hist[key];
+      }
+    };
+    scan(window.left(), il, s.ringHistogram);
+    scan(il, ir, s.histogram);
+    scan(ir, window.right(), s.ringHistogram);
   }
+  const std::int64_t ringArea =
+      static_cast<std::int64_t>(window.area()) - inner.area();
   const double ringScale =
       ringArea > 0
           ? static_cast<double>(inner.area()) / static_cast<double>(ringArea)
           : 0.0;
   std::uint32_t modeKey = 0;
   double modeScore = -std::numeric_limits<double>::infinity();
-  for (const auto& [key, count] : histogram) {
-    const auto ringIt = ringHistogram.find(key);
-    const double ringCount =
-        ringIt == ringHistogram.end() ? 0.0 : ringIt->second;
-    const double score = count - ringCount * ringScale;
+  for (const std::uint32_t key : s.touched) {
+    const int count = s.histogram[key];
+    if (count == 0) continue;
+    const double score = count - s.ringHistogram[key] * ringScale;
     if (score > modeScore) {
       modeScore = score;
       modeKey = key;
     }
+  }
+  // The histograms are no longer needed; zero the touched entries now so
+  // every early return below leaves the arena clean.
+  for (const std::uint32_t key : s.touched) {
+    s.histogram[key] = 0;
+    s.ringHistogram[key] = 0;
   }
   if (modeScore <= 0.0) return std::nullopt;  // box is all background
   // Mean color of the mode bucket.
@@ -73,8 +122,8 @@ std::optional<Rect> snapToRegion(const gfx::Bitmap& image, const Rect& coarse,
   int bucketCount = 0;
   for (int y = inner.top(); y < inner.bottom(); ++y) {
     for (int x = inner.left(); x < inner.right(); ++x) {
+      if (s.qkeys[index(x, y)] != modeKey) continue;
       const Color c = image.at(x, y);
-      if (quantKey(c) != modeKey) continue;
       sumR += c.r;
       sumG += c.g;
       sumB += c.b;
@@ -87,19 +136,40 @@ std::optional<Rect> snapToRegion(const gfx::Bitmap& image, const Rect& coarse,
                         static_cast<std::uint8_t>(sumB / bucketCount), 255};
 
   // Flood fill (4-connected) within the window, seeded from every coarse-box
-  // pixel that matches the seed color.
-  std::vector<char> visited(
-      static_cast<std::size_t>(window.width) * window.height, 0);
-  auto index = [&](int x, int y) {
-    return static_cast<std::size_t>(y - window.y) * window.width +
-           (x - window.x);
+  // pixel that matches the seed color. The color test is memoized per pixel
+  // (tri-state), so only probed pixels pay for it — a fill that stays small
+  // never scans the whole window.
+  //
+  // The moment any filled pixel lands on the window border, the final
+  // border-leak check below is guaranteed to reject the call, so the fill
+  // aborts right there. False-positive coarse boxes over background are the
+  // common case (the fill leaks across the whole window before being
+  // rejected), and this turns each of them from a full-window fill into a
+  // short walk to the nearest border.
+  if (s.match.size() < windowCells) s.match.resize(windowCells);
+  if (s.visited.size() < windowCells) s.visited.resize(windowCells);
+  std::memset(s.match.data(), 0, windowCells);
+  std::memset(s.visited.data(), 0, windowCells);
+  auto isMatch = [&](int x, int y) {
+    char& m = s.match[index(x, y)];
+    if (m == 0) {
+      m = colorDistance(image.at(x, y), seedColor) < config.colorTolerance
+              ? 1
+              : 2;
+    }
+    return m == 1;
   };
-  std::vector<Point> stack;
+  auto onBorder = [&](int x, int y) {
+    return x == window.left() || x == window.right() - 1 ||
+           y == window.top() || y == window.bottom() - 1;
+  };
+  std::vector<Point>& stack = s.stack;
+  stack.clear();
   for (int y = inner.top(); y < inner.bottom(); ++y) {
     for (int x = inner.left(); x < inner.right(); ++x) {
-      if (colorDistance(image.at(x, y), seedColor) < config.colorTolerance &&
-          !visited[index(x, y)]) {
-        visited[index(x, y)] = 1;
+      if (isMatch(x, y) && !s.visited[index(x, y)]) {
+        if (onBorder(x, y)) return std::nullopt;
+        s.visited[index(x, y)] = 1;
         stack.push_back(Point{x, y});
       }
     }
@@ -122,12 +192,10 @@ std::optional<Rect> snapToRegion(const gfx::Bitmap& image, const Rect& coarse,
                                             Point{p.x, p.y + 1},
                                             Point{p.x, p.y - 1}};
     for (const Point& q : neighbors) {
-      if (!window.contains(q) || visited[index(q.x, q.y)]) continue;
-      if (colorDistance(image.at(q.x, q.y), seedColor) >=
-          config.colorTolerance) {
-        continue;
-      }
-      visited[index(q.x, q.y)] = 1;
+      if (!window.contains(q) || s.visited[index(q.x, q.y)]) continue;
+      if (!isMatch(q.x, q.y)) continue;
+      if (onBorder(q.x, q.y)) return std::nullopt;
+      s.visited[index(q.x, q.y)] = 1;
       stack.push_back(q);
     }
   }

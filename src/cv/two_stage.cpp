@@ -1,6 +1,7 @@
 #include "cv/two_stage.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 
@@ -25,10 +26,17 @@ ChannelSet TwoStageDetector::backboneChannels() const {
   return ChannelSet::all();
 }
 
-std::vector<float> TwoStageDetector::regionFeatures(const FeatureMap& map,
-                                                    const Rect& box) const {
+int TwoStageDetector::regionFeatureDim(const FeatureMap& map) const {
+  return kCandidateFeatureDim +
+         config_.roiGrid * config_.roiGrid * map.channels().count();
+}
+
+void TwoStageDetector::regionFeaturesInto(const FeatureMap& map,
+                                          const Rect& box,
+                                          std::span<float> out) const {
   // Shared descriptor + RoI-pooled NxN channel means.
-  std::vector<float> f = candidateFeatures(map, box);
+  candidateFeaturesInto(map, box, out.first(kCandidateFeatureDim));
+  std::size_t k = kCandidateFeatureDim;
   const int n = config_.roiGrid;
   for (int c = 0; c < kChannelCount; ++c) {
     if (!map.channels().enabled(static_cast<Channel>(c))) continue;
@@ -38,16 +46,27 @@ std::vector<float> TwoStageDetector::regionFeatures(const FeatureMap& map,
                         box.y + gy * box.height / n,
                         std::max(box.width / n, 1),
                         std::max(box.height / n, 1)};
-        f.push_back(map.boxMean(static_cast<Channel>(c), cell));
+        out[k++] = map.boxMean(static_cast<Channel>(c), cell);
       }
     }
   }
+}
+
+std::vector<float> TwoStageDetector::regionFeatures(const FeatureMap& map,
+                                                    const Rect& box) const {
+  std::vector<float> f(static_cast<std::size_t>(regionFeatureDim(map)));
+  regionFeaturesInto(map, box, f);
   return f;
 }
 
 std::vector<Rect> TwoStageDetector::proposals(
     const gfx::Bitmap& screenshot) const {
   const FeatureMap map(screenshot, backboneChannels(), config_.featureScale);
+  return proposalsFromMap(map, screenshot.size());
+}
+
+std::vector<Rect> TwoStageDetector::proposalsFromMap(const FeatureMap& map,
+                                                     Size size) const {
   struct Scored {
     Rect box;
     float score;
@@ -55,8 +74,8 @@ std::vector<Rect> TwoStageDetector::proposals(
   std::vector<Scored> windows;
   for (const Anchor& shape : config_.windowShapes) {
     const int stride = shape.stride();
-    for (int cy = stride / 2; cy < screenshot.height(); cy += stride) {
-      for (int cx = stride / 2; cx < screenshot.width(); cx += stride) {
+    for (int cy = stride / 2; cy < size.height; cy += stride) {
+      for (int cx = stride / 2; cx < size.width; cx += stride) {
         const Rect box{cx - shape.width / 2, cy - shape.height / 2,
                        shape.width, shape.height};
         // Class-agnostic objectness: pop-out of the region vs its ring.
@@ -100,7 +119,8 @@ TwoStageDetector TwoStageDetector::train(
                          config.featureScale);
     std::vector<Example> examples;
     std::vector<Example> negativesPool;
-    for (const Rect& prop : detector.proposals(sample.image)) {
+    for (const Rect& prop :
+         detector.proposalsFromMap(map, sample.image.size())) {
       double bestIou = 0.0;
       const dataset::Annotation* bestGt = nullptr;
       for (const dataset::Annotation& gt : sample.annotations) {
@@ -168,6 +188,9 @@ TwoStageDetector TwoStageDetector::train(
 
   nn::AdamConfig adam;
   adam.learningRate = trainConfig.learningRate;
+  // Hoisted backprop buffers (see one_stage.cpp): no per-example heap churn.
+  nn::Mlp::Cache cache;
+  std::array<float, 6> dOut{};
   for (int epoch = 0; epoch < trainConfig.epochs; ++epoch) {
     if (trainConfig.lrDecayEvery > 0 && epoch > 0 &&
         epoch % trainConfig.lrDecayEvery == 0) {
@@ -182,10 +205,9 @@ TwoStageDetector TwoStageDetector::train(
         const int repeat =
             ex.classTarget >= 0 ? std::max(trainConfig.positiveRepeat, 1) : 1;
         for (int rep = 0; rep < repeat; ++rep) {
-          nn::Mlp::Cache cache;
-          const std::vector<float> out =
-              detector.head_->forwardCached(ex.features, cache);
-          std::vector<float> dOut(6, 0.0f);
+          detector.head_->forwardCachedInto(ex.features, cache);
+          const std::span<const float> out = cache.output();
+          dOut.fill(0.0f);
           dOut[0] = nn::bceWithLogitsGrad(out[0], ex.classTarget == 0 ? 1.f : 0.f);
           dOut[1] = nn::bceWithLogitsGrad(out[1], ex.classTarget == 1 ? 1.f : 0.f);
           if (ex.classTarget >= 0) {
@@ -207,31 +229,49 @@ TwoStageDetector TwoStageDetector::train(
 
 std::vector<Detection> TwoStageDetector::detect(
     const gfx::Bitmap& screenshot) const {
+  // One FeatureMap feeds both the proposal scan and the per-region head
+  // (previously each built its own identical map), and all kept proposals
+  // are scored in a single batched head call.
   const FeatureMap map(screenshot, backboneChannels(), config_.featureScale);
+  const std::vector<Rect> props = proposalsFromMap(map, screenshot.size());
   std::vector<Detection> raw;
-  for (const Rect& prop : proposals(screenshot)) {
-    const std::vector<float> features = regionFeatures(map, prop);
-    const std::vector<float> out = head_->forward(features);
-    const float confAgo = nn::sigmoid(out[0]);
-    const float confUpo = nn::sigmoid(out[1]);
-    const float best = std::max(confAgo, confUpo);
-    if (best < config_.confidenceThreshold) continue;
-    const float dx = std::clamp(out[2], -2.0f, 2.0f);
-    const float dy = std::clamp(out[3], -2.0f, 2.0f);
-    const float dw = std::clamp(out[4], -1.5f, 1.5f);
-    const float dh = std::clamp(out[5], -1.5f, 1.5f);
-    const float w = static_cast<float>(prop.width) * std::exp(dw);
-    const float h = static_cast<float>(prop.height) * std::exp(dh);
-    const float cx =
-        static_cast<float>(prop.center().x) + dx * static_cast<float>(prop.width);
-    const float cy = static_cast<float>(prop.center().y) +
-                     dy * static_cast<float>(prop.height);
-    Detection det;
-    det.box = RectF{cx - w / 2, cy - h / 2, w, h}.toRect();
-    det.label =
-        confAgo >= confUpo ? dataset::BoxLabel::kAgo : dataset::BoxLabel::kUpo;
-    det.confidence = best;
-    raw.push_back(det);
+  if (!props.empty()) {
+    const std::size_t dim = static_cast<std::size_t>(regionFeatureDim(map));
+    thread_local std::vector<float> feats;
+    thread_local std::vector<float> logits;
+    thread_local nn::ForwardScratch scratch;
+    if (feats.size() < props.size() * dim) feats.resize(props.size() * dim);
+    if (logits.size() < props.size() * 6) logits.resize(props.size() * 6);
+    for (std::size_t i = 0; i < props.size(); ++i) {
+      regionFeaturesInto(map, props[i], {feats.data() + i * dim, dim});
+    }
+    head_->forwardBatch({feats.data(), props.size() * dim},
+                        static_cast<int>(props.size()),
+                        {logits.data(), props.size() * 6}, scratch);
+    for (std::size_t i = 0; i < props.size(); ++i) {
+      const Rect& prop = props[i];
+      const float* out = logits.data() + i * 6;
+      const float confAgo = nn::sigmoid(out[0]);
+      const float confUpo = nn::sigmoid(out[1]);
+      const float best = std::max(confAgo, confUpo);
+      if (best < config_.confidenceThreshold) continue;
+      const float dx = std::clamp(out[2], -2.0f, 2.0f);
+      const float dy = std::clamp(out[3], -2.0f, 2.0f);
+      const float dw = std::clamp(out[4], -1.5f, 1.5f);
+      const float dh = std::clamp(out[5], -1.5f, 1.5f);
+      const float w = static_cast<float>(prop.width) * std::exp(dw);
+      const float h = static_cast<float>(prop.height) * std::exp(dh);
+      const float cx = static_cast<float>(prop.center().x) +
+                       dx * static_cast<float>(prop.width);
+      const float cy = static_cast<float>(prop.center().y) +
+                       dy * static_cast<float>(prop.height);
+      Detection det;
+      det.box = RectF{cx - w / 2, cy - h / 2, w, h}.toRect();
+      det.label = confAgo >= confUpo ? dataset::BoxLabel::kAgo
+                                     : dataset::BoxLabel::kUpo;
+      det.confidence = best;
+      raw.push_back(det);
+    }
   }
   std::vector<Detection> kept =
       nonMaxSuppression(std::move(raw), config_.nmsIou);

@@ -93,6 +93,15 @@ class TwoStageDetector : public Detector {
   explicit TwoStageDetector(TwoStageConfig config) : config_(std::move(config)) {}
 
   [[nodiscard]] ChannelSet backboneChannels() const;
+  /// Proposals over an already-built FeatureMap — detect() and the training
+  /// collect loop share one map instead of each building a second identical
+  /// one just for the proposal scan.
+  [[nodiscard]] std::vector<Rect> proposalsFromMap(const FeatureMap& map,
+                                                   Size size) const;
+  /// Length of the per-region descriptor for this map's enabled channels.
+  [[nodiscard]] int regionFeatureDim(const FeatureMap& map) const;
+  void regionFeaturesInto(const FeatureMap& map, const Rect& box,
+                          std::span<float> out) const;
   [[nodiscard]] std::vector<float> regionFeatures(const FeatureMap& map,
                                                   const Rect& box) const;
 

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "android/looper.h"
+#include "cv/one_stage.h"
+#include "util/clock.h"
 
 namespace darpa::fleet {
 
@@ -52,15 +54,16 @@ void parallelFor(int threads, std::size_t count,
 /// request names one (the session drains it at the barrier), invoked
 /// directly otherwise. Called in canonical order from the flushing thread.
 void deliver(core::DetectionRequest& request,
-             std::vector<cv::Detection> detections, int batchSize) {
+             std::vector<cv::Detection> detections, int batchSize,
+             const core::DetectionTiming& timing) {
   if (!request.onComplete) return;
   if (request.replyLooper != nullptr) {
     request.replyLooper->post(
         [cb = std::move(request.onComplete), dets = std::move(detections),
-         batchSize]() mutable { cb(std::move(dets), batchSize); });
+         batchSize, timing]() mutable { cb(std::move(dets), batchSize, timing); });
     return;
   }
-  request.onComplete(std::move(detections), batchSize);
+  request.onComplete(std::move(detections), batchSize, timing);
 }
 
 }  // namespace
@@ -87,16 +90,25 @@ void ThreadPoolExecutor::flush() {
   sortCanonical(work);
 
   std::vector<std::vector<cv::Detection>> results(work.size());
+  std::vector<core::DetectionTiming> timings(work.size());
   parallelFor(threads_, work.size(), [&](std::size_t i) {
     core::DetectionRequest& request = work[i];
+    // Scratch stats are thread-local, so the before/after delta on this
+    // worker thread is exactly this call's warm-up growth.
+    const cv::DetectScratchStats before = cv::hotpathScratchStats();
+    const double startUs = wallMicros();
     results[i] = request.detector->detect(request.frame->pixels());
+    timings[i].actualMicros = wallMicros() - startUs;
+    const cv::DetectScratchStats after = cv::hotpathScratchStats();
+    timings[i].scratchGrowths = after.growths - before.growths;
+    timings[i].scratchGrownBytes = after.grownBytes - before.grownBytes;
     // §IV-E: drop our reference the moment the model ran; the frame
     // scrubs its pixels on last release.
     request.frame.reset();
   });
 
   for (std::size_t i = 0; i < work.size(); ++i) {
-    deliver(work[i], std::move(results[i]), /*batchSize=*/1);
+    deliver(work[i], std::move(results[i]), /*batchSize=*/1, timings[i]);
     ++completed_;
   }
 }
@@ -149,6 +161,7 @@ void BatchingExecutor::flush() {
   }
 
   std::vector<std::vector<std::vector<cv::Detection>>> results(batches.size());
+  std::vector<core::DetectionTiming> batchTimings(batches.size());
   parallelFor(options_.threads, batches.size(), [&](std::size_t b) {
     const Batch& batch = batches[b];
     std::vector<const gfx::Bitmap*> images;
@@ -156,7 +169,13 @@ void BatchingExecutor::flush() {
     for (std::size_t i = batch.begin; i < batch.end; ++i) {
       images.push_back(&work[i].frame->pixels());
     }
+    const cv::DetectScratchStats before = cv::hotpathScratchStats();
+    const double startUs = wallMicros();
     results[b] = work[batch.begin].detector->detectBatch(images);
+    batchTimings[b].actualMicros = wallMicros() - startUs;
+    const cv::DetectScratchStats after = cv::hotpathScratchStats();
+    batchTimings[b].scratchGrowths = after.growths - before.growths;
+    batchTimings[b].scratchGrownBytes = after.grownBytes - before.grownBytes;
     for (std::size_t i = batch.begin; i < batch.end; ++i) {
       work[i].frame.reset();  // §IV-E: scrub-on-last-release.
     }
@@ -169,7 +188,18 @@ void BatchingExecutor::flush() {
     images_ += batchSize;
     largestBatch_ = std::max(largestBatch_, batchSize);
     for (std::size_t i = batch.begin; i < batch.end; ++i) {
-      deliver(work[i], std::move(results[b][i - batch.begin]), batchSize);
+      // Per-image share of the batch's wall clock; the batch's scratch
+      // warm-up (if any) is attributed to its first request so the fleet
+      // roll-up counts each growth exactly once.
+      core::DetectionTiming timing;
+      timing.actualMicros =
+          batchTimings[b].actualMicros / static_cast<double>(batchSize);
+      if (i == batch.begin) {
+        timing.scratchGrowths = batchTimings[b].scratchGrowths;
+        timing.scratchGrownBytes = batchTimings[b].scratchGrownBytes;
+      }
+      deliver(work[i], std::move(results[b][i - batch.begin]), batchSize,
+              timing);
     }
   }
 }

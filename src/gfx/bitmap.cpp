@@ -123,6 +123,34 @@ Bitmap Bitmap::downscale(int newWidth, int newHeight) const {
   newHeight = std::max(newHeight, 1);
   Bitmap out(newWidth, newHeight);
   if (empty()) return out;
+  if (width_ == 2 * newWidth && height_ == 2 * newHeight) {
+    // Exact 2x decimation (the detector's featureScale=2 case): every output
+    // pixel averages a full 2x2 block, so the general path's bounds
+    // arithmetic and per-pixel divides collapse to a shift. The sums and the
+    // truncating division by 4 are the very ones the general path computes.
+    for (int oy = 0; oy < newHeight; ++oy) {
+      const int y0 = 2 * oy;
+      for (int ox = 0; ox < newWidth; ++ox) {
+        const int x0 = 2 * ox;
+        const Color c00 = at(x0, y0), c01 = at(x0 + 1, y0);
+        const Color c10 = at(x0, y0 + 1), c11 = at(x0 + 1, y0 + 1);
+        const std::uint32_t r = static_cast<std::uint32_t>(c00.r) + c01.r +
+                                c10.r + c11.r;
+        const std::uint32_t g = static_cast<std::uint32_t>(c00.g) + c01.g +
+                                c10.g + c11.g;
+        const std::uint32_t b = static_cast<std::uint32_t>(c00.b) + c01.b +
+                                c10.b + c11.b;
+        const std::uint32_t a = static_cast<std::uint32_t>(c00.a) + c01.a +
+                                c10.a + c11.a;
+        out.set(ox, oy,
+                {static_cast<std::uint8_t>(r >> 2),
+                 static_cast<std::uint8_t>(g >> 2),
+                 static_cast<std::uint8_t>(b >> 2),
+                 static_cast<std::uint8_t>(a >> 2)});
+      }
+    }
+    return out;
+  }
   for (int oy = 0; oy < newHeight; ++oy) {
     const int y0 = oy * height_ / newHeight;
     const int y1 = std::max((oy + 1) * height_ / newHeight, y0 + 1);

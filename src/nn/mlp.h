@@ -43,6 +43,40 @@ struct AdamConfig {
   float epsilon = 1e-8f;
 };
 
+/// Caller-owned scratch arena for the forward paths. Holds the intermediate
+/// activation matrices (and the int8 staging buffer for QuantizedMlp) so
+/// that repeated forward/forwardBatch calls reuse capacity instead of
+/// heap-allocating: after the first call at a given batch size every later
+/// call is allocation-free. Not thread-safe — keep one per thread (the
+/// detectors keep a thread_local one).
+class ForwardScratch {
+ public:
+  /// Number of buffer growths (i.e. heap allocations) since the last
+  /// resetStats(). Stops increasing once the arena is warmed up; the
+  /// hot-path bench's zero-steady-state-allocation contract reads this.
+  [[nodiscard]] std::int64_t growths() const { return growths_; }
+  /// Capacity bytes added by those growths.
+  [[nodiscard]] std::int64_t grownBytes() const { return grownBytes_; }
+  void resetStats() {
+    growths_ = 0;
+    grownBytes_ = 0;
+  }
+
+ private:
+  friend class Mlp;
+  friend class QuantizedMlp;
+
+  float* ensureFloats(bool second, std::size_t n);
+  float* ensureTile(std::size_t n);
+  std::int8_t* ensureInt8(std::size_t n);
+
+  std::vector<float> a_, b_;     ///< Ping-pong activation matrices.
+  std::vector<float> t_;         ///< Transposed row tile (column-major).
+  std::vector<std::int8_t> q_;   ///< Quantized-activation staging.
+  std::int64_t growths_ = 0;
+  std::int64_t grownBytes_ = 0;
+};
+
 /// MLP with ReLU hidden activations and a linear output layer.
 class Mlp {
  public:
@@ -58,13 +92,39 @@ class Mlp {
   /// Inference-only forward pass.
   [[nodiscard]] std::vector<float> forward(std::span<const float> x) const;
 
+  /// Single-input forward into a caller-provided output span (outputSize()
+  /// floats), using `scratch` for intermediates — the allocation-free core
+  /// of forward(). Bit-equal to forward().
+  void forwardInto(std::span<const float> x, std::span<float> out,
+                   ForwardScratch& scratch) const;
+
+  /// Scores `batch` inputs at once. `inputs` is row-major (batch x
+  /// inputSize()); `outputs` receives row-major (batch x outputSize()).
+  /// Each dense layer runs as a cache-blocked GEMM, but the per-(row, unit)
+  /// accumulation order — bias first, then ascending input index — is
+  /// exactly the scalar forward() order, so every output is bit-identical
+  /// to calling forward() per row. Allocation-free once `scratch` is warm.
+  void forwardBatch(std::span<const float> inputs, int batch,
+                    std::span<float> outputs, ForwardScratch& scratch) const;
+
   /// Per-example activation cache for backprop.
   struct Cache {
     std::vector<std::vector<float>> activations;  ///< Input + each layer out.
+
+    /// The last layer's output (valid after forwardCached/forwardCachedInto).
+    [[nodiscard]] std::span<const float> output() const {
+      return activations.empty() ? std::span<const float>{}
+                                 : std::span<const float>(activations.back());
+    }
   };
 
   /// Forward pass that records activations; returns the output.
   std::vector<float> forwardCached(std::span<const float> x, Cache& cache) const;
+
+  /// forwardCached without materializing a copy of the output — read it via
+  /// cache.output(). Reuses the cache's buffer capacity across calls, so a
+  /// hoisted Cache makes training epochs allocation-free.
+  void forwardCachedInto(std::span<const float> x, Cache& cache) const;
 
   /// Accumulates parameter gradients for one example given dLoss/dOutput.
   void accumulateGradient(const Cache& cache, std::span<const float> dOut);

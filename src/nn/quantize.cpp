@@ -66,31 +66,97 @@ QuantizedMlp QuantizedMlp::fromMlp(
   return out;
 }
 
-std::vector<float> QuantizedMlp::forward(std::span<const float> x) const {
-  std::vector<float> current(x.begin(), x.end());
-  std::vector<std::int8_t> quantized;
+namespace {
+
+// Batched int8 dense layer, row-tiled and tile-transposed like the fp32
+// GEMM (see mlp.cpp): the activations are quantized straight into the
+// column-major tile so the inner loop runs kRowTile independent int32
+// accumulators per weight element. The per-(n, j) int32 accumulation is
+// exact, so any ordering would be bit-equal anyway.
+constexpr int kRowTile = 64;
+
+/// One transposed tile; NT = compile-time row count for full tiles, 0 for
+/// the runtime-sized remainder (see mlp.cpp — same shape, int32 math).
+template <int NT>
+void quantizedForwardTile(const QuantizedLayer& layer, const float* in,
+                          int n0, int ntRuntime, float* out, bool relu,
+                          std::int8_t* tile) {
+  const int nt = NT > 0 ? NT : ntRuntime;
+  for (int n = 0; n < nt; ++n) {
+    const float* x = in + static_cast<std::size_t>(n0 + n) * layer.inSize;
+    for (int i = 0; i < layer.inSize; ++i) {
+      tile[static_cast<std::size_t>(i) * nt + n] =
+          quantizeValue(x[i], layer.inputScale);
+    }
+  }
+  std::int32_t acc[kRowTile];
+  for (int j = 0; j < layer.outSize; ++j) {
+    const std::int8_t* row =
+        layer.weights.data() + static_cast<std::size_t>(j) * layer.inSize;
+    const float bias = layer.bias[static_cast<std::size_t>(j)];
+    for (int n = 0; n < nt; ++n) acc[n] = 0;
+    for (int i = 0; i < layer.inSize; ++i) {
+      const std::int32_t w = row[i];
+      const std::int8_t* col = tile + static_cast<std::size_t>(i) * nt;
+      for (int n = 0; n < nt; ++n) {
+        acc[n] += w * static_cast<std::int32_t>(col[n]);
+      }
+    }
+    for (int n = 0; n < nt; ++n) {
+      const float sum = static_cast<float>(acc[n]) * layer.dequantScale + bias;
+      out[static_cast<std::size_t>(n0 + n) * layer.outSize + j] =
+          relu && sum < 0.0f ? 0.0f : sum;
+    }
+  }
+}
+
+void quantizedForwardBatch(const QuantizedLayer& layer, const float* in,
+                           int batch, float* out, bool relu,
+                           std::int8_t* tile) {
+  for (int n0 = 0; n0 < batch; n0 += kRowTile) {
+    const int nt = std::min(batch, n0 + kRowTile) - n0;
+    if (nt == kRowTile) {
+      quantizedForwardTile<kRowTile>(layer, in, n0, nt, out, relu, tile);
+    } else if (nt == 1) {
+      // Single-row calls collapse to a plain int8 dot product (see mlp.cpp).
+      quantizedForwardTile<1>(layer, in, n0, nt, out, relu, tile);
+    } else {
+      quantizedForwardTile<0>(layer, in, n0, nt, out, relu, tile);
+    }
+  }
+}
+
+}  // namespace
+
+void QuantizedMlp::forwardBatch(std::span<const float> inputs, int batch,
+                                std::span<float> outputs,
+                                ForwardScratch& scratch) const {
+  if (batch <= 0 || layers_.empty()) return;
+  const float* cur = inputs.data();
   for (std::size_t l = 0; l < layers_.size(); ++l) {
     const QuantizedLayer& layer = layers_[l];
-    quantized.resize(current.size());
-    for (std::size_t i = 0; i < current.size(); ++i) {
-      quantized[i] = quantizeValue(current[i], layer.inputScale);
-    }
-    std::vector<float> next(static_cast<std::size_t>(layer.outSize), 0.0f);
+    std::int8_t* tile = scratch.ensureInt8(
+        static_cast<std::size_t>(kRowTile) * layer.inSize);
     const bool hidden = l + 1 < layers_.size();
-    for (int j = 0; j < layer.outSize; ++j) {
-      const std::int8_t* row =
-          layer.weights.data() + static_cast<std::size_t>(j) * layer.inSize;
-      std::int32_t acc = 0;
-      for (int i = 0; i < layer.inSize; ++i) {
-        acc += static_cast<std::int32_t>(row[i]) * quantized[static_cast<std::size_t>(i)];
-      }
-      const float sum = static_cast<float>(acc) * layer.dequantScale +
-                        layer.bias[static_cast<std::size_t>(j)];
-      next[static_cast<std::size_t>(j)] = hidden && sum < 0.0f ? 0.0f : sum;
-    }
-    current.swap(next);
+    float* dst = hidden ? scratch.ensureFloats(
+                              l % 2 != 0, static_cast<std::size_t>(batch) *
+                                              layer.outSize)
+                        : outputs.data();
+    quantizedForwardBatch(layer, cur, batch, dst, hidden, tile);
+    cur = dst;
   }
-  return current;
+}
+
+void QuantizedMlp::forwardInto(std::span<const float> x, std::span<float> out,
+                               ForwardScratch& scratch) const {
+  forwardBatch(x, 1, out, scratch);
+}
+
+std::vector<float> QuantizedMlp::forward(std::span<const float> x) const {
+  std::vector<float> out(static_cast<std::size_t>(outputSize()));
+  thread_local ForwardScratch scratch;
+  forwardInto(x, out, scratch);
+  return out;
 }
 
 std::size_t QuantizedMlp::modelBytes() const {

@@ -55,6 +55,17 @@ class QuantizedMlp {
   /// Int8 inference; same output contract as Mlp::forward.
   [[nodiscard]] std::vector<float> forward(std::span<const float> x) const;
 
+  /// Single-input forward into a caller-provided span; allocation-free once
+  /// `scratch` is warm. Bit-equal to forward().
+  void forwardInto(std::span<const float> x, std::span<float> out,
+                   ForwardScratch& scratch) const;
+
+  /// Batched int8 inference, same layout contract as Mlp::forwardBatch.
+  /// Int32 accumulation is exact, so batching is trivially bit-equal to
+  /// per-row forward() here; the row tiling mirrors the fp32 GEMM.
+  void forwardBatch(std::span<const float> inputs, int batch,
+                    std::span<float> outputs, ForwardScratch& scratch) const;
+
   /// Serialized parameter footprint in bytes (int8 weights + fp32 biases +
   /// two scales per layer) — compare with 4 bytes/weight for the fp32 model.
   [[nodiscard]] std::size_t modelBytes() const;

@@ -6,6 +6,7 @@
 // deterministic (no wall-clock flakiness in tests).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 
 namespace darpa {
@@ -43,5 +44,15 @@ class SimClock {
  private:
   Millis now_{0};
 };
+
+/// Real host time in microseconds (steady_clock), for the WorkLedger's
+/// wall-clock observability axis. Never feeds simulated time, the modeled
+/// cost tables, or any digest-stable quantity — the determinism story above
+/// depends on that separation.
+[[nodiscard]] inline double wallMicros() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 }  // namespace darpa

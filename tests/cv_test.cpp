@@ -2,12 +2,20 @@
 // matching, flood-fill refinement, and detector scaffolding.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "cv/detection.h"
 #include "cv/features.h"
 #include "cv/one_stage.h"
 #include "cv/refine.h"
 #include "cv/two_stage.h"
 #include "gfx/canvas.h"
+#include "util/rng.h"
 
 namespace darpa::cv {
 namespace {
@@ -237,6 +245,15 @@ TEST(RefineTest, SnapsPlateStraddlingPanelEdge) {
   EXPECT_GT(iou(*snapped, plate), 0.9);
 }
 
+TEST(RefineTest, FailsWhenFillLeaksThroughRibbonToWindowBorder) {
+  // The candidate's color continues as a ribbon far past the snap window:
+  // the flood fill reaches the window border (the early-abort seam) and the
+  // candidate must be rejected, not snapped to a truncated box.
+  gfx::Bitmap bmp(160, 160, Color::rgb(90, 90, 90));
+  bmp.fillRect({60, 60, 90, 18}, Color::rgb(190, 150, 60));  // runs off-window
+  EXPECT_FALSE(snapToRegion(bmp, {60, 60, 18, 18}).has_value());
+}
+
 TEST(RefineTest, EmptyInputsRejected) {
   const gfx::Bitmap bmp(50, 50, colors::kWhite);
   EXPECT_FALSE(snapToRegion(bmp, Rect{}).has_value());
@@ -269,6 +286,349 @@ TEST(OneStageTest, TinyTrainedModelDetectsObviousAui) {
   // Loose bar: at IoU 0.5 the tiny model must already find most AGOs.
   EXPECT_GT(metrics.ago.recall(), 0.4);
   EXPECT_GT(detector.costMacsPerImage(), 0.0);
+}
+
+// ----------------------------------------------- fused feature-pass parity
+// Naive single-channel-at-a-time reference for the fused FeatureMap pass:
+// per-pixel 25-tap clamped contrast window, per-pixel clamped Sobel, and the
+// same integral accumulation order. The fused implementation must match it
+// BIT-exactly (EXPECT_EQ on floats) — including every border pixel, which is
+// where the separable sliding window's clamping could drift.
+struct ReferencePlanes {
+  int w = 0;
+  int h = 0;
+  std::array<std::vector<double>, kChannelCount> integrals;
+
+  [[nodiscard]] double sum(int c, const Rect& cells) const {
+    const int stride = w + 1;
+    const double* integral = integrals[static_cast<std::size_t>(c)].data();
+    const double a = integral[static_cast<std::size_t>(cells.y) * stride + cells.x];
+    const double b =
+        integral[static_cast<std::size_t>(cells.y) * stride + cells.right()];
+    const double cc =
+        integral[static_cast<std::size_t>(cells.bottom()) * stride + cells.x];
+    const double d = integral[static_cast<std::size_t>(cells.bottom()) * stride +
+                              cells.right()];
+    return d - b - cc + a;
+  }
+  [[nodiscard]] float mean(int c, const Rect& cells) const {
+    return static_cast<float>(sum(c, cells) /
+                              static_cast<double>(cells.area()));
+  }
+};
+
+std::int32_t refIntLuma(Color c) { return 299 * c.r + 587 * c.g + 114 * c.b; }
+
+ReferencePlanes naiveReference(const gfx::Bitmap& screenshot,
+                               ChannelSet channels, int scale) {
+  const gfx::Bitmap small = screenshot.downscale(
+      std::max(screenshot.width() / scale, 1),
+      std::max(screenshot.height() / scale, 1));
+  ReferencePlanes ref;
+  ref.w = small.width();
+  ref.h = small.height();
+  const int w = ref.w;
+  const int h = ref.h;
+  for (auto& plane : ref.integrals) {
+    plane.assign(static_cast<std::size_t>(w + 1) * (h + 1), 0.0);
+  }
+  const Color meanColor = small.meanColor(small.bounds());
+  std::vector<float> lumaF(static_cast<std::size_t>(w) * h);
+  std::vector<std::int32_t> lumaI(static_cast<std::size_t>(w) * h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const Color c = small.at(x, y);
+      lumaF[static_cast<std::size_t>(y) * w + x] =
+          static_cast<float>(luma(c) / 255.0);
+      lumaI[static_cast<std::size_t>(y) * w + x] = refIntLuma(c);
+    }
+  }
+  auto lumaAt = [&](int x, int y) {
+    return lumaF[static_cast<std::size_t>(std::clamp(y, 0, h - 1)) * w +
+                 std::clamp(x, 0, w - 1)];
+  };
+  auto intLumaAt = [&](int x, int y) {
+    return lumaI[static_cast<std::size_t>(std::clamp(y, 0, h - 1)) * w +
+                 std::clamp(x, 0, w - 1)];
+  };
+  auto pixelValue = [&](Channel channel, int x, int y) -> double {
+    const Color c = small.at(x, y);
+    switch (channel) {
+      case Channel::kLuma:
+        return lumaAt(x, y);
+      case Channel::kEdge: {
+        const float gx =
+            (lumaAt(x + 1, y - 1) + 2 * lumaAt(x + 1, y) + lumaAt(x + 1, y + 1)) -
+            (lumaAt(x - 1, y - 1) + 2 * lumaAt(x - 1, y) + lumaAt(x - 1, y + 1));
+        const float gy =
+            (lumaAt(x - 1, y + 1) + 2 * lumaAt(x, y + 1) + lumaAt(x + 1, y + 1)) -
+            (lumaAt(x - 1, y - 1) + 2 * lumaAt(x, y - 1) + lumaAt(x + 1, y - 1));
+        return std::min(std::sqrt(gx * gx + gy * gy) / 4.0f, 1.0f);
+      }
+      case Channel::kContrast: {
+        // The naive 25-tap window the separable pass must reproduce.
+        std::int64_t windowSum = 0;
+        for (int dy = -2; dy <= 2; ++dy) {
+          for (int dx = -2; dx <= 2; ++dx) {
+            windowSum += intLumaAt(x + dx, y + dy);
+          }
+        }
+        const std::int64_t diff =
+            25LL * intLumaAt(x, y) - windowSum;
+        return static_cast<float>(
+            static_cast<double>(diff < 0 ? -diff : diff) / (25.0 * 255000.0));
+      }
+      case Channel::kSaturation: {
+        const int mx = std::max({c.r, c.g, c.b});
+        const int mn = std::min({c.r, c.g, c.b});
+        return static_cast<float>(mx - mn) / 255.0f;
+      }
+      case Channel::kSaliency: {
+        const float dr = static_cast<float>(c.r - meanColor.r);
+        const float dg = static_cast<float>(c.g - meanColor.g);
+        const float db = static_cast<float>(c.b - meanColor.b);
+        return std::sqrt(dr * dr + dg * dg + db * db) / 442.0f;
+      }
+    }
+    return 0.0;
+  };
+  for (int ci = 0; ci < kChannelCount; ++ci) {
+    if (!channels.enabled(static_cast<Channel>(ci))) continue;
+    std::vector<double>& integral = ref.integrals[static_cast<std::size_t>(ci)];
+    const std::size_t stride = static_cast<std::size_t>(w) + 1;
+    for (int y = 0; y < h; ++y) {
+      double rowSum = 0.0;
+      for (int x = 0; x < w; ++x) {
+        rowSum += pixelValue(static_cast<Channel>(ci), x, y);
+        integral[static_cast<std::size_t>(y + 1) * stride + x + 1] =
+            integral[static_cast<std::size_t>(y) * stride + x + 1] + rowSum;
+      }
+    }
+  }
+  return ref;
+}
+
+gfx::Bitmap randomBitmap(int w, int h, std::uint64_t seed) {
+  Rng rng(seed);
+  gfx::Bitmap bmp(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      bmp.set(x, y,
+              Color::rgb(static_cast<std::uint8_t>(rng.next() & 0xff),
+                         static_cast<std::uint8_t>(rng.next() & 0xff),
+                         static_cast<std::uint8_t>(rng.next() & 0xff)));
+    }
+  }
+  return bmp;
+}
+
+void expectFusedMatchesReference(const gfx::Bitmap& bmp, ChannelSet channels,
+                                 int scale, const std::string& label) {
+  const FeatureMap map(bmp, channels, scale);
+  const ReferencePlanes ref = naiveReference(bmp, channels, scale);
+  ASSERT_EQ(map.width(), ref.w) << label;
+  ASSERT_EQ(map.height(), ref.h) << label;
+  for (int ci = 0; ci < kChannelCount; ++ci) {
+    if (!channels.enabled(static_cast<Channel>(ci))) continue;
+    const Channel channel = static_cast<Channel>(ci);
+    // Every single cell — this sweeps every border and corner pixel, the
+    // exact places where the sliding window's clamping could diverge from
+    // the naive reference.
+    for (int y = 0; y < ref.h; ++y) {
+      for (int x = 0; x < ref.w; ++x) {
+        const Rect cellRect{x * scale, y * scale, scale, scale};
+        EXPECT_EQ(map.boxMean(channel, cellRect),
+                  ref.mean(ci, Rect{x, y, 1, 1}))
+            << label << " channel=" << channelName(channel) << " cell=(" << x
+            << "," << y << ")";
+      }
+    }
+    // A few multi-cell boxes exercise the integral arithmetic end to end.
+    const Rect whole{0, 0, ref.w * scale, ref.h * scale};
+    EXPECT_EQ(map.boxMean(channel, whole),
+              ref.mean(ci, Rect{0, 0, ref.w, ref.h}))
+        << label << " channel=" << channelName(channel) << " whole";
+  }
+}
+
+TEST(FusedFeatureParityTest, FusedMatchesNaiveReferenceOnRandomBitmaps) {
+  // Assorted shapes: wider than the window, narrower than the window in one
+  // or both axes (maximal clamping), and non-multiples of the scale.
+  const std::array<std::array<int, 2>, 6> shapes = {
+      {{64, 48}, {33, 17}, {5, 5}, {3, 9}, {9, 3}, {7, 40}}};
+  std::uint64_t seed = 1000;
+  for (const auto& shape : shapes) {
+    for (const int scale : {1, 2}) {
+      const gfx::Bitmap bmp = randomBitmap(shape[0], shape[1], ++seed);
+      expectFusedMatchesReference(
+          bmp, ChannelSet::all(), scale,
+          std::to_string(shape[0]) + "x" + std::to_string(shape[1]) +
+              " scale=" + std::to_string(scale));
+    }
+  }
+}
+
+TEST(FusedFeatureParityTest, TinyAndDegenerateSizes) {
+  // 1x1 through sizes smaller than the 5x5 window: every pixel is a border
+  // pixel and the clamped window folds onto itself.
+  for (const auto& shape :
+       std::array<std::array<int, 2>, 5>{{{1, 1}, {2, 2}, {1, 7}, {7, 1}, {4, 4}}}) {
+    const gfx::Bitmap bmp = randomBitmap(shape[0], shape[1], 7700 + shape[0]);
+    expectFusedMatchesReference(bmp, ChannelSet::all(), 1,
+                                std::to_string(shape[0]) + "x" +
+                                    std::to_string(shape[1]));
+  }
+}
+
+TEST(FusedFeatureParityTest, ChannelSubsetsMatchAndDisabledStayZero) {
+  const gfx::Bitmap bmp = randomBitmap(24, 18, 909);
+  const Channel contrastOnly[] = {Channel::kContrast};
+  const Channel edgeSal[] = {Channel::kEdge, Channel::kSaliency};
+  for (const ChannelSet set :
+       {ChannelSet::only(contrastOnly), ChannelSet::only(edgeSal),
+        ChannelSet::all().without(Channel::kLuma)}) {
+    expectFusedMatchesReference(bmp, set, 1, "subset");
+    const FeatureMap map(bmp, set, 1);
+    for (int ci = 0; ci < kChannelCount; ++ci) {
+      if (set.enabled(static_cast<Channel>(ci))) continue;
+      EXPECT_EQ(map.boxMean(static_cast<Channel>(ci), {0, 0, 24, 18}), 0.0f);
+    }
+  }
+}
+
+TEST(FusedFeatureParityTest, BoundaryPixelsOfStructuredImage) {
+  // Regression guard for the border audit: a structured (non-random) image
+  // whose strong gradients sit exactly on the frame so any clamp mismatch
+  // in the separable window or Sobel pointers shows up as a corner diff.
+  gfx::Bitmap bmp(20, 14, colors::kWhite);
+  bmp.fillRect({0, 0, 10, 14}, colors::kBlack);    // vertical edge mid-frame
+  bmp.fillRect({0, 0, 20, 2}, colors::kRed);       // stripe on the top border
+  bmp.fillRect({18, 0, 2, 14}, colors::kBlue);     // stripe on the right border
+  const FeatureMap map(bmp, ChannelSet::all(), 1);
+  const ReferencePlanes ref = naiveReference(bmp, ChannelSet::all(), 1);
+  for (const Channel channel : {Channel::kEdge, Channel::kContrast}) {
+    const int ci = static_cast<int>(channel);
+    for (int x = 0; x < 20; ++x) {  // top and bottom rows
+      EXPECT_EQ(map.boxMean(channel, {x, 0, 1, 1}), ref.mean(ci, {x, 0, 1, 1}));
+      EXPECT_EQ(map.boxMean(channel, {x, 13, 1, 1}),
+                ref.mean(ci, {x, 13, 1, 1}));
+    }
+    for (int y = 0; y < 14; ++y) {  // left and right columns
+      EXPECT_EQ(map.boxMean(channel, {0, y, 1, 1}), ref.mean(ci, {0, y, 1, 1}));
+      EXPECT_EQ(map.boxMean(channel, {19, y, 1, 1}),
+                ref.mean(ci, {19, y, 1, 1}));
+    }
+  }
+}
+
+TEST(FusedFeatureParityTest, PooledPlaneReuseLeavesNoStaleData) {
+  // The integral planes are recycled through a thread-local pool, and a
+  // reused buffer is only re-zeroed along its integral borders (enabled
+  // channels) or in full (disabled channels). Build a large all-channels map
+  // first so the pool holds a thoroughly dirty buffer, then verify maps that
+  // reuse it — a smaller frame and a channel subset — still match the naive
+  // reference bit-for-bit and read zero on disabled channels.
+  const gfx::Bitmap big = randomBitmap(72, 54, 4242);
+  { const FeatureMap dirty(big, ChannelSet::all(), 1); }  // seeds the pool
+
+  const gfx::Bitmap smaller = randomBitmap(19, 11, 4343);
+  expectFusedMatchesReference(smaller, ChannelSet::all(), 1,
+                              "pool-reuse smaller frame");
+
+  { const FeatureMap dirty(big, ChannelSet::all(), 1); }  // re-dirty the pool
+  const ChannelSet subset =
+      ChannelSet::all().without(Channel::kSaturation).without(Channel::kEdge);
+  expectFusedMatchesReference(big, subset, 1, "pool-reuse channel subset");
+  const FeatureMap map(big, subset, 1);
+  for (const Channel off : {Channel::kSaturation, Channel::kEdge}) {
+    EXPECT_EQ(map.globalMean(off), 0.0f) << channelName(off);
+    for (int y = 0; y < map.height(); ++y) {
+      for (int x = 0; x < map.width(); ++x) {
+        ASSERT_EQ(map.boxMean(off, {x, y, 1, 1}), 0.0f)
+            << channelName(off) << " cell=(" << x << "," << y << ")";
+      }
+    }
+  }
+}
+
+TEST(FusedFeatureParityTest, PlannedGeometryDescriptorMatchesDirect) {
+  // The batched detector replays a cached geometric-prior block per grid
+  // entry; the planned fill must be bit-equal to the direct per-candidate
+  // descriptor for arbitrary boxes.
+  const gfx::Bitmap bmp = randomBitmap(96, 64, 515);
+  const FeatureMap map(bmp, ChannelSet::all(), 2);
+  const std::array<Rect, 4> boxes = {
+      {{4, 4, 20, 20}, {0, 0, 96, 64}, {70, 40, 26, 24}, {33, 17, 9, 41}}};
+  for (const Rect& box : boxes) {
+    const std::vector<float> direct = candidateFeatures(map, box);
+    std::array<float, kCandidateGeometryDim> geo{};
+    candidateGeometryInto(map.fullSize(), box, geo);
+    std::vector<float> planned(kCandidateFeatureDim);
+    candidateFeaturesPlannedInto(map, box, geo, planned);
+    ASSERT_EQ(direct.size(), planned.size());
+    for (std::size_t i = 0; i < direct.size(); ++i) {
+      EXPECT_EQ(direct[i], planned[i]) << "feature i=" << i;
+    }
+  }
+}
+
+// ------------------------------------------------ batched detect parity
+
+void expectDetectionsEq(const std::vector<Detection>& a,
+                        const std::vector<Detection>& b,
+                        const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].box.x, b[i].box.x) << label << " i=" << i;
+    EXPECT_EQ(a[i].box.y, b[i].box.y) << label << " i=" << i;
+    EXPECT_EQ(a[i].box.width, b[i].box.width) << label << " i=" << i;
+    EXPECT_EQ(a[i].box.height, b[i].box.height) << label << " i=" << i;
+    EXPECT_EQ(a[i].label, b[i].label) << label << " i=" << i;
+    EXPECT_EQ(a[i].confidence, b[i].confidence) << label << " i=" << i;
+  }
+}
+
+TEST(OneStageTest, BatchedHeadBitEqualsScalarDetect) {
+  dataset::DatasetConfig dataConfig;
+  dataConfig.totalScreenshots = 120;
+  dataConfig.seed = 31;
+  const dataset::AuiDataset data = dataset::AuiDataset::build(dataConfig);
+  cv::TrainConfig trainConfig;
+  trainConfig.epochs = 6;
+  trainConfig.benignImages = 20;
+  const OneStageDetector batched =
+      OneStageDetector::train(data, OneStageConfig{}, trainConfig);
+  ASSERT_TRUE(batched.config().batchedHead);
+
+  // Same weights through the scalar per-candidate path.
+  const std::string path = testing::TempDir() + "/one_stage_parity.bin";
+  ASSERT_TRUE(batched.saveModel(path));
+  OneStageConfig scalarConfig;
+  scalarConfig.batchedHead = false;
+  auto scalar = OneStageDetector::loadModel(path, scalarConfig);
+  ASSERT_TRUE(scalar.has_value());
+
+  std::vector<gfx::Bitmap> images;
+  for (std::size_t i = 0; i < 6 && i < data.testIndices().size(); ++i) {
+    images.push_back(data.materialize(data.testIndices()[i]).image);
+  }
+  images.push_back(randomBitmap(360, 720, 404));
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    expectDetectionsEq(batched.detect(images[i]), scalar->detect(images[i]),
+                       "image " + std::to_string(i));
+  }
+
+  // detectBatch must equal per-image detect regardless of pack composition.
+  std::vector<const gfx::Bitmap*> ptrs;
+  ptrs.reserve(images.size());
+  for (const gfx::Bitmap& img : images) ptrs.push_back(&img);
+  const std::vector<std::vector<Detection>> batchResults =
+      batched.detectBatch(ptrs);
+  ASSERT_EQ(batchResults.size(), images.size());
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    expectDetectionsEq(batchResults[i], batched.detect(images[i]),
+                       "batch image " + std::to_string(i));
+  }
 }
 
 TEST(TwoStageTest, ModelNames) {

@@ -49,7 +49,8 @@ core::DetectionRequest makeRequest(
   request.replyLooper = replyLooper;
   request.sessionId = sessionId;
   request.seq = seq;
-  request.onComplete = [=](std::vector<cv::Detection>, int batchSize) {
+  request.onComplete = [=](std::vector<cv::Detection>, int batchSize,
+                           const core::DetectionTiming&) {
     order->push_back({sessionId, static_cast<int>(seq)});
     if (batchSizes != nullptr) batchSizes->push_back(batchSize);
   };

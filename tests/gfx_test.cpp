@@ -1,6 +1,7 @@
 // Unit tests for src/gfx: Bitmap operations and Canvas drawing.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <utility>
@@ -119,6 +120,42 @@ TEST(BitmapTest, DownscalePreservesMeanLuma) {
   }
   const Bitmap small = bmp.downscale(16, 16);
   EXPECT_NEAR(small.meanLuma(small.bounds()), bmp.meanLuma(bmp.bounds()), 2.0);
+}
+
+TEST(BitmapTest, DownscaleTwoXFastPathMatchesBlockAverage) {
+  // The exact-2x decimation shortcut must reproduce the general path's
+  // truncating per-block average on every channel, alpha included.
+  Bitmap bmp(26, 14);
+  std::uint32_t state = 0x12345u;
+  auto next = [&] {
+    state = state * 1664525u + 1013904223u;
+    return static_cast<std::uint8_t>(state >> 24);
+  };
+  for (int y = 0; y < 14; ++y) {
+    for (int x = 0; x < 26; ++x) {
+      bmp.set(x, y, {next(), next(), next(), next()});
+    }
+  }
+  const Bitmap small = bmp.downscale(13, 7);
+  for (int oy = 0; oy < 7; ++oy) {
+    for (int ox = 0; ox < 13; ++ox) {
+      std::uint32_t r = 0, g = 0, b = 0, a = 0;
+      for (int dy = 0; dy < 2; ++dy) {
+        for (int dx = 0; dx < 2; ++dx) {
+          const Color c = bmp.at(2 * ox + dx, 2 * oy + dy);
+          r += c.r;
+          g += c.g;
+          b += c.b;
+          a += c.a;
+        }
+      }
+      const Color got = small.at(ox, oy);
+      EXPECT_EQ(got.r, r / 4) << ox << "," << oy;
+      EXPECT_EQ(got.g, g / 4) << ox << "," << oy;
+      EXPECT_EQ(got.b, b / 4) << ox << "," << oy;
+      EXPECT_EQ(got.a, a / 4) << ox << "," << oy;
+    }
+  }
 }
 
 TEST(BitmapTest, MeanColorAndLuma) {

@@ -186,6 +186,140 @@ TEST(QuantizeTest, EmptyCalibrationStillRuns) {
   for (float v : out) EXPECT_TRUE(std::isfinite(v));
 }
 
+// --- batched-forward parity -------------------------------------------------
+// The tentpole contract: forwardBatch is a pure throughput transform. The
+// batched GEMM keeps the scalar kernel's per-(row, unit) accumulation order,
+// so its logits must be BIT-equal to looping forward() — EXPECT_EQ on
+// floats, no tolerance.
+
+std::vector<std::vector<float>> randomInputs(int count, int dim,
+                                             std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<float>> inputs(count);
+  for (std::vector<float>& x : inputs) {
+    x.resize(dim);
+    for (float& v : x) v = static_cast<float>(rng.uniform(-2.0, 2.0));
+  }
+  return inputs;
+}
+
+TEST(MlpBatchTest, ForwardBatchBitEqualsLoopedForward) {
+  Rng rng(31);
+  const Mlp mlp({13, 24, 17, 6}, rng);
+  // Batch sizes straddling the GEMM row tile, including 1 and a non-multiple.
+  for (const int batch : {1, 3, 64, 65, 130}) {
+    const std::vector<std::vector<float>> inputs =
+        randomInputs(batch, mlp.inputSize(), 100 + batch);
+    std::vector<float> packed;
+    for (const std::vector<float>& x : inputs) {
+      packed.insert(packed.end(), x.begin(), x.end());
+    }
+    std::vector<float> logits(
+        static_cast<std::size_t>(batch) * mlp.outputSize());
+    ForwardScratch scratch;
+    mlp.forwardBatch(packed, batch, logits, scratch);
+    for (int n = 0; n < batch; ++n) {
+      const std::vector<float> expected = mlp.forward(inputs[n]);
+      for (int j = 0; j < mlp.outputSize(); ++j) {
+        EXPECT_EQ(logits[static_cast<std::size_t>(n) * mlp.outputSize() + j],
+                  expected[j])
+            << "batch=" << batch << " row=" << n << " unit=" << j;
+      }
+    }
+  }
+}
+
+TEST(MlpBatchTest, QuantizedForwardBatchBitEqualsLoopedForward) {
+  Rng rng(37);
+  const Mlp mlp({9, 16, 6}, rng);
+  const QuantizedMlp quantized =
+      QuantizedMlp::fromMlp(mlp, randomInputs(32, 9, 41));
+  for (const int batch : {1, 7, 64, 100}) {
+    const std::vector<std::vector<float>> inputs =
+        randomInputs(batch, quantized.inputSize(), 200 + batch);
+    std::vector<float> packed;
+    for (const std::vector<float>& x : inputs) {
+      packed.insert(packed.end(), x.begin(), x.end());
+    }
+    std::vector<float> logits(
+        static_cast<std::size_t>(batch) * quantized.outputSize());
+    ForwardScratch scratch;
+    quantized.forwardBatch(packed, batch, logits, scratch);
+    for (int n = 0; n < batch; ++n) {
+      const std::vector<float> expected = quantized.forward(inputs[n]);
+      for (int j = 0; j < quantized.outputSize(); ++j) {
+        EXPECT_EQ(
+            logits[static_cast<std::size_t>(n) * quantized.outputSize() + j],
+            expected[j])
+            << "batch=" << batch << " row=" << n << " unit=" << j;
+      }
+    }
+  }
+}
+
+TEST(MlpBatchTest, ForwardIntoMatchesForward) {
+  Rng rng(43);
+  const Mlp mlp({8, 12, 5}, rng);
+  const std::vector<std::vector<float>> inputs = randomInputs(4, 8, 47);
+  ForwardScratch scratch;
+  std::vector<float> out(5);
+  for (const std::vector<float>& x : inputs) {
+    mlp.forwardInto(x, out, scratch);
+    EXPECT_EQ(out, mlp.forward(x));
+  }
+}
+
+TEST(MlpBatchTest, ForwardCachedIntoMatchesAndReusesCapacity) {
+  Rng rng(53);
+  const Mlp mlp({6, 10, 10, 4}, rng);
+  const std::vector<std::vector<float>> inputs = randomInputs(8, 6, 59);
+  Mlp::Cache cache;
+  for (const std::vector<float>& x : inputs) {
+    mlp.forwardCachedInto(x, cache);
+    const std::span<const float> out = cache.output();
+    const std::vector<float> expected = mlp.forward(x);
+    ASSERT_EQ(out.size(), expected.size());
+    for (std::size_t j = 0; j < expected.size(); ++j) {
+      EXPECT_EQ(out[j], expected[j]);
+    }
+  }
+}
+
+TEST(MlpBatchTest, ScratchStopsGrowingAfterWarmup) {
+  Rng rng(61);
+  const Mlp mlp({16, 32, 16, 6}, rng);
+  const QuantizedMlp quantized = QuantizedMlp::fromMlp(mlp, {});
+  constexpr int kBatch = 96;
+  const std::vector<std::vector<float>> inputs =
+      randomInputs(kBatch, 16, 67);
+  std::vector<float> packed;
+  for (const std::vector<float>& x : inputs) {
+    packed.insert(packed.end(), x.begin(), x.end());
+  }
+  std::vector<float> logits(static_cast<std::size_t>(kBatch) * 6);
+
+  ForwardScratch scratch;
+  // Warm-up pass sizes the arena (growth expected)...
+  mlp.forwardBatch(packed, kBatch, logits, scratch);
+  quantized.forwardBatch(packed, kBatch, logits, scratch);
+  EXPECT_GT(scratch.growths(), 0);
+  scratch.resetStats();
+  // ...after which repeated batched forwards — full size and smaller —
+  // must never touch the heap again.
+  for (const int batch : {kBatch, kBatch / 2, 1, kBatch}) {
+    mlp.forwardBatch(
+        std::span<const float>(packed.data(),
+                               static_cast<std::size_t>(batch) * 16),
+        batch, logits, scratch);
+    quantized.forwardBatch(
+        std::span<const float>(packed.data(),
+                               static_cast<std::size_t>(batch) * 16),
+        batch, logits, scratch);
+  }
+  EXPECT_EQ(scratch.growths(), 0);
+  EXPECT_EQ(scratch.grownBytes(), 0);
+}
+
 TEST(QuantizeTest, WeightsAreInt8Range) {
   Rng rng(23);
   const Mlp mlp({4, 8, 2}, rng);
