@@ -1,17 +1,21 @@
 #!/usr/bin/env bash
-# Full local CI: configure, build, test, the same again under ASan+UBSan,
-# a TSan lane over the threaded fleet/executor tests, a bench smoke lane
-# (every bench binary once with --quick), a Release perf-smoke lane (the
-# detector hot-path bench's speedup/zero-alloc contracts need optimized
-# codegen), then clang-tidy as a non-fatal advisory lane (skipped
-# automatically when LLVM is not installed).
+# Full local CI: configure, build, test (which includes the detlint
+# determinism-lint gates), the same again under ASan+UBSan, a TSan lane
+# over the threaded fleet/executor tests, a bench smoke lane (every bench
+# binary once with --quick), a Release perf-smoke lane (the detector
+# hot-path bench's speedup/zero-alloc contracts need optimized codegen),
+# then the Clang-only static lanes: a -Wthread-safety -Werror build over
+# the GUARDED_BY/RankedMutex annotations and a FATAL clang-tidy pass
+# (bugprone-*/performance-* as errors). Both Clang lanes are skipped
+# automatically when LLVM is not installed — the detlint + rank-validator
+# gates above run on any toolchain and stay fatal everywhere.
 #
 #   scripts/ci.sh            # everything
 #   SKIP_SANITIZE=1 scripts/ci.sh   # skip the sanitizer rebuilds + reruns
 #   SKIP_BENCH=1 scripts/ci.sh      # skip the bench smoke + perf lanes
 #
-# Uses build/, build-asan/, build-tsan/ and build-perf/ at the repo root;
-# all gitignored.
+# Uses build/, build-asan/, build-tsan/, build-perf/ and build-tsa/ at the
+# repo root; all gitignored.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -23,6 +27,11 @@ cmake --build build -j "$JOBS"
 
 echo "== ctest (build/) =="
 ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== detlint (determinism/concurrency source lint) =="
+# Redundant with the DetlintRepo ctest gate above, but run explicitly so a
+# lint failure is reported as its own lane with the findings on stdout.
+./build/tools/detlint/detlint --root .
 
 if [ "${SKIP_SANITIZE:-0}" != "1" ]; then
   echo "== configure + build, ASan+UBSan (build-asan/) =="
@@ -68,9 +77,25 @@ if [ "${SKIP_BENCH:-0}" != "1" ]; then
   (cd build-perf/bench && ./bench_detector_hotpath --quick)
 fi
 
-echo "== clang-tidy (advisory, non-fatal) =="
-# Tidy findings are reported but do not fail CI: the toolchain's header set
-# varies across machines and the sanitizer + test lanes above are the gate.
-scripts/tidy.sh build || echo "clang-tidy reported findings (non-fatal)"
+echo "== thread-safety (clang -Wthread-safety, errors) =="
+# Compile-time concurrency proof over the GUARDED_BY/RankedMutex
+# annotations (util/thread_annotations.h). Clang-only: GCC compiles the
+# annotations away, so the lane configures its own clang++ tree. Library
+# target only — the annotations all live in src/. DARPA_NATIVE_SIMD stays
+# off so the lane builds on any host clang without -march surprises.
+if command -v clang++ >/dev/null 2>&1; then
+  cmake -B build-tsa -S . -DCMAKE_CXX_COMPILER=clang++ \
+    -DDARPA_THREAD_SAFETY=ON -DDARPA_NATIVE_SIMD=OFF
+  cmake --build build-tsa -j "$JOBS" --target darpa
+else
+  echo "clang++ not installed; skipping thread-safety lane"
+fi
+
+echo "== clang-tidy (fatal: bugprone-*/performance-* are errors) =="
+# The curated bugprone-*/performance-* set is promoted to errors via
+# WarningsAsErrors in .clang-tidy; the advisory modernize/readability
+# checks still only warn. tidy.sh exits 0 with a notice when clang-tidy
+# is not installed, so non-LLVM machines skip rather than fail.
+scripts/tidy.sh build
 
 echo "CI OK"

@@ -2,14 +2,27 @@
 # Runs clang-tidy (config: .clang-tidy at the repo root) over the first-party
 # sources using an existing build tree's compile_commands.json.
 #
-#   scripts/tidy.sh [build-dir] [paths...]
+#   scripts/tidy.sh [--fix] [build-dir] [paths...]
 #
 # Defaults: build dir "build", paths src/core and src/android (the layers the
-# lint/tidy toolchain targets first). The script is a no-op with a notice when
-# clang-tidy is not installed, so CI images without LLVM still pass.
+# lint/tidy toolchain targets first). --fix passes clang-tidy's --fix through
+# (apply suggested fixes in place; review the diff before committing). The
+# script is a no-op with a notice when clang-tidy is not installed, so CI
+# images without LLVM still pass.
+#
+# Exit status is clang-tidy's own: since .clang-tidy promotes the curated
+# bugprone-*/performance-* set via WarningsAsErrors, those findings fail the
+# run (the fatal CI lane); everything else only warns.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+FIX_ARGS=()
+if [ "${1:-}" = "--fix" ]; then
+  FIX_ARGS=(--fix)
+  shift
+fi
+
 BUILD_DIR="${1:-build}"
 shift || true
 PATHS=("$@")
@@ -30,4 +43,4 @@ fi
 
 mapfile -t FILES < <(find "${PATHS[@]}" -name '*.cpp' | sort)
 echo "tidy: ${#FILES[@]} files under: ${PATHS[*]}" >&2
-"$TIDY" -p "$BUILD_DIR" --quiet "${FILES[@]}"
+"$TIDY" -p "$BUILD_DIR" --quiet "${FIX_ARGS[@]}" "${FILES[@]}"

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "util/clock.h"
+#include "util/thread_annotations.h"
 
 namespace darpa::android {
 
@@ -96,13 +97,24 @@ class Looper {
   /// (every debounced event is a cancel in a fleet session).
   void maybeCompact();
 
-  SimClock* clock_;
-  std::priority_queue<Task, std::vector<Task>, Later> queue_;
-  std::unordered_set<TaskId> pending_;    // ids still queued and not cancelled
-  std::unordered_set<TaskId> cancelled_;  // lazy-deletion markers
-  TaskId nextId_ = 1;
-  std::int64_t purged_ = 0;
-  std::int64_t compactions_ = 0;
+  // Session-confined (no lock by design): a Looper belongs to exactly one
+  // DeviceSession and is only touched by the thread currently advancing
+  // that session; deferred executors reach it only via post() calls made
+  // from the single-threaded flush at the epoch barrier. The fleet's phase
+  // join is the happens-before edge (see core/work_ledger.h).
+  SimClock* clock_ CONFINED_TO("owning session");
+  std::priority_queue<Task, std::vector<Task>, Later> queue_
+      CONFINED_TO("owning session");
+  // pending_/cancelled_ are membership sets only (insert/erase/count) —
+  // nothing ever iterates them, so their unordered order cannot leak into
+  // task execution order (detlint's unordered-iteration rule guards this).
+  std::unordered_set<TaskId> pending_
+      CONFINED_TO("owning session");  // ids still queued and not cancelled
+  std::unordered_set<TaskId> cancelled_
+      CONFINED_TO("owning session");  // lazy-deletion markers
+  TaskId nextId_ CONFINED_TO("owning session") = 1;
+  std::int64_t purged_ CONFINED_TO("owning session") = 0;
+  std::int64_t compactions_ CONFINED_TO("owning session") = 0;
 };
 
 }  // namespace darpa::android

@@ -33,6 +33,7 @@
 #include "core/security.h"
 #include "core/work_ledger.h"
 #include "cv/detector.h"
+#include "util/thread_annotations.h"
 
 namespace darpa::analysis {
 class LintEngine;
@@ -100,16 +101,21 @@ struct DarpaConfig {
 /// the owning session writes them; fleets merge() value snapshots at epoch
 /// barriers.
 struct DarpaStats {
-  std::int64_t eventsReceived = 0;
-  std::int64_t analysesRun = 0;
-  std::int64_t screenshotsTaken = 0;  ///< Successful captures only.
-  std::int64_t auisFlagged = 0;
-  std::int64_t decorationsDrawn = 0;
-  std::int64_t bypassClicks = 0;
-  std::int64_t lintRuns = 0;          ///< Static pre-filter passes.
-  std::int64_t cvSkippedByLint = 0;   ///< Analyses resolved without CV.
-  std::int64_t verdictCacheHits = 0;  ///< Analyses served from the cache.
-  std::int64_t anchorMeasurements = 0;  ///< §IV-D offset calibrations.
+  std::int64_t eventsReceived CONFINED_TO("owning session") = 0;
+  std::int64_t analysesRun CONFINED_TO("owning session") = 0;
+  /// Successful captures only.
+  std::int64_t screenshotsTaken CONFINED_TO("owning session") = 0;
+  std::int64_t auisFlagged CONFINED_TO("owning session") = 0;
+  std::int64_t decorationsDrawn CONFINED_TO("owning session") = 0;
+  std::int64_t bypassClicks CONFINED_TO("owning session") = 0;
+  /// Static pre-filter passes.
+  std::int64_t lintRuns CONFINED_TO("owning session") = 0;
+  /// Analyses resolved without CV.
+  std::int64_t cvSkippedByLint CONFINED_TO("owning session") = 0;
+  /// Analyses served from the cache.
+  std::int64_t verdictCacheHits CONFINED_TO("owning session") = 0;
+  /// §IV-D offset calibrations.
+  std::int64_t anchorMeasurements CONFINED_TO("owning session") = 0;
 
   DarpaStats& operator+=(const DarpaStats& o) {
     eventsReceived += o.eventsReceived;

@@ -168,8 +168,9 @@ void AnalysisPipeline::run(std::shared_ptr<AnalysisContext> ctx,
         ctx->wm->dumpTopWindow(),
         top != nullptr ? top->packageName() : std::string{});
     // Memoize the fingerprint on the session thread, before the frame can
-    // be shared with executor worker threads (ScreenFrame's protocol).
-    ctx->frame->fingerprint();
+    // be shared with executor worker threads (ScreenFrame's protocol); the
+    // value itself is re-read wherever it is needed.
+    (void)ctx->frame->fingerprint();
   }
 
   // Verdict-cache probe: a hit resolves the whole analysis for the cost of
@@ -219,10 +220,14 @@ void AnalysisPipeline::advance(std::size_t from,
       return;
     }
     // Wall-clock observability around the stage's real execution; the
-    // stage's own recordRun keeps pricing the modeled axis.
+    // stage's own recordRun keeps pricing the modeled axis. Audited: both
+    // reads feed only recordActual -> StageTally::actualUs, which nothing
+    // digest-stable may consume (work_ledger.h).
+    // detlint: begin-allow(wall-clock-in-digest-path) observability axis only
     const double startUs = wallMicros();
     stage.run(*ctx, ledger);
     ledger.recordActual(stage.kind(), wallMicros() - startUs);
+    // detlint: end-allow(wall-clock-in-digest-path)
   }
   if (done) done(*ctx);
 }

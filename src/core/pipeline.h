@@ -45,6 +45,7 @@
 #include "core/screen_frame.h"
 #include "core/work_ledger.h"
 #include "cv/detector.h"
+#include "util/thread_annotations.h"
 
 namespace darpa::core {
 
@@ -106,6 +107,12 @@ class AnalysisStage {
 
 /// Bounded LRU of screen-fingerprint -> verdict. find() refreshes recency;
 /// put() evicts the least recently used entry beyond capacity.
+///
+/// Session-confined, like the pipeline that owns it (CONFINED_TO below):
+/// one cache per DeviceSession, touched only by the thread advancing that
+/// session — which is why there is no lock here. The ROADMAP's fleet-wide
+/// shared verdict tier will be a different, striped structure at
+/// LockRank::kVerdictTier; this one stays confined.
 class VerdictCache {
  public:
   struct Entry {
@@ -129,9 +136,13 @@ class VerdictCache {
  private:
   using LruList = std::list<std::pair<std::uint64_t, Entry>>;
   std::size_t capacity_;
-  LruList lru_;  ///< Front = most recently used.
-  std::unordered_map<std::uint64_t, LruList::iterator> index_;
-  std::int64_t evictions_ = 0;
+  LruList lru_ CONFINED_TO("owning session");  ///< Front = most recently used.
+  /// Lookup index only (find/erase/assign) — never iterated, so its
+  /// unordered order cannot leak into eviction order (the LRU list is the
+  /// only ordering authority; detlint guards the no-iteration contract).
+  std::unordered_map<std::uint64_t, LruList::iterator> index_
+      CONFINED_TO("owning session");
+  std::int64_t evictions_ CONFINED_TO("owning session") = 0;
 };
 
 // --------------------------------------------------------------- stages
@@ -246,9 +257,12 @@ class AnalysisPipeline {
   /// submit duplicate detects that inline's synchronous cache never pays.
   /// Followers replay their whole pass after the primary completes — by
   /// then the cache holds the verdict, so they resolve exactly like the
-  /// cache hits they would have been under the inline executor.
-  std::unordered_map<std::uint64_t, std::vector<Follower>> inflight_;
-  std::int64_t coalesced_ = 0;
+  /// cache hits they would have been under the inline executor. Accessed
+  /// by key only (find/try_emplace/extract), never iterated — follower
+  /// replay order is the per-fingerprint vector's insertion order.
+  std::unordered_map<std::uint64_t, std::vector<Follower>> inflight_
+      CONFINED_TO("owning session");
+  std::int64_t coalesced_ CONFINED_TO("owning session") = 0;
 };
 
 }  // namespace darpa::core

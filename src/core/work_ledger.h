@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "util/clock.h"
+#include "util/thread_annotations.h"
 
 namespace darpa::core {
 
@@ -270,8 +271,12 @@ class WorkLedger {
 
   void pushTrace(Stage stage, double tsUs, double durUs);
 
-  StageCosts costs_;
-  std::array<StageTally, kStageCount> tallies_{};
+  // Every member is session-confined per the thread-ownership rule above:
+  // no lock anywhere in this class is not an accident, it is the contract.
+  // CONFINED_TO documents it where the state lives; cross-session merges
+  // happen only on snapshot() copies at quiescent epoch barriers.
+  StageCosts costs_ CONFINED_TO("owning session");
+  std::array<StageTally, kStageCount> tallies_ CONFINED_TO("owning session"){};
   std::int64_t analyses_ = 0;
   std::int64_t decorations_ = 0;
   std::int64_t bypassClicks_ = 0;

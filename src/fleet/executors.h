@@ -21,10 +21,11 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "core/detection_executor.h"
+#include "util/lock_rank.h"
+#include "util/thread_annotations.h"
 
 namespace darpa::fleet {
 
@@ -45,9 +46,12 @@ class ThreadPoolExecutor : public core::DetectionExecutor {
 
  private:
   int threads_;
-  mutable std::mutex mutex_;
-  std::vector<core::DetectionRequest> parked_;
-  std::int64_t completed_ = 0;  ///< Touched only at flush (single-threaded).
+  mutable util::RankedMutex mutex_{util::LockRank::kExecutorQueue,
+                                   "fleet.ThreadPoolExecutor"};
+  std::vector<core::DetectionRequest> parked_ GUARDED_BY(mutex_);
+  /// Touched only at flush, which the fleet calls from a single thread at
+  /// the epoch barrier — flush-confined, not lock-protected.
+  std::int64_t completed_ CONFINED_TO("flush thread") = 0;
 };
 
 /// Screenshots from many sessions coalesced into detectBatch() calls.
@@ -81,11 +85,13 @@ class BatchingExecutor : public core::DetectionExecutor {
 
  private:
   Options options_;
-  mutable std::mutex mutex_;
-  std::vector<core::DetectionRequest> parked_;
-  std::int64_t batches_ = 0;
-  std::int64_t images_ = 0;
-  int largestBatch_ = 0;
+  mutable util::RankedMutex mutex_{util::LockRank::kExecutorQueue,
+                                   "fleet.BatchingExecutor"};
+  std::vector<core::DetectionRequest> parked_ GUARDED_BY(mutex_);
+  // Coalescing statistics: flush-confined (single thread at the barrier).
+  std::int64_t batches_ CONFINED_TO("flush thread") = 0;
+  std::int64_t images_ CONFINED_TO("flush thread") = 0;
+  int largestBatch_ CONFINED_TO("flush thread") = 0;
 };
 
 }  // namespace darpa::fleet

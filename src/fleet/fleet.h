@@ -28,6 +28,7 @@
 
 #include "core/detection_executor.h"
 #include "fleet/device_session.h"
+#include "util/thread_annotations.h"
 
 namespace darpa::fleet {
 
@@ -88,9 +89,12 @@ class Fleet {
   [[nodiscard]] const FleetConfig& config() const { return config_; }
   [[nodiscard]] Millis now() const { return now_; }
 
-  /// Aggregates every session's stats/ledger/coverage. Call only at a
-  /// barrier (construction, between run() epochs via the callback below, or
-  /// after run()).
+  /// Aggregates every session's stats/ledger/coverage. The stat-merge path
+  /// is deliberately lock-free: per-session ledgers/stats are
+  /// session-confined (CONFINED_TO in their headers), so this may only run
+  /// on the control thread at a barrier — construction, between run()
+  /// epochs, or after run() — when phase()'s joins have made every session
+  /// quiescent. A future sharded live merge takes LockRank::kStatMerge.
   [[nodiscard]] FleetSnapshot snapshot() const;
 
   /// The shared frame pool, or null when pooledFrames is off.
@@ -108,9 +112,12 @@ class Fleet {
   /// Declared before sessions_: every pooled Bitmap's slab-return deleter
   /// points back into the pool, so it must outlive all session state.
   std::unique_ptr<gfx::FramePool> pool_;
+  /// The vector itself is fixed after construction; each element is
+  /// confined to its phase() worker (static shard i % W) while a phase
+  /// runs, and to the control thread between phases.
   std::vector<std::unique_ptr<DeviceSession>> sessions_;
-  Millis now_{0};
-  bool started_ = false;
+  Millis now_ CONFINED_TO("control thread"){0};
+  bool started_ CONFINED_TO("control thread") = false;
 };
 
 }  // namespace darpa::fleet

@@ -28,7 +28,7 @@ Bitmap FramePool::acquire(int width, int height, Color fill, int sessionTag) {
 
   std::unique_ptr<PixelSlab> slab;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::LockGuard lock(mutex_);
     ++stats_.acquires;
 
     // Quota / cap checks against the slab's *class* footprint (that is
@@ -82,7 +82,7 @@ Bitmap FramePool::acquire(int width, int height, Color fill, int sessionTag) {
 void FramePool::release(std::unique_ptr<PixelSlab> slab,
                         std::size_t classPixels, int sessionTag) {
   const std::size_t clsBytes = classPixels * sizeof(Color);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   ++stats_.releases;
   stats_.outstandingBytes -= std::min(stats_.outstandingBytes, clsBytes);
   auto session = sessionBytes_.find(sessionTag);
@@ -103,7 +103,7 @@ void FramePool::release(std::unique_ptr<PixelSlab> slab,
 }
 
 FramePool::Stats FramePool::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   return stats_;
 }
 

@@ -23,18 +23,23 @@
 // III/Table VII outputs byte-identical with pooling on or off.
 //
 // Thread safety: acquire() and slab release may run concurrently from
-// fleet worker threads; all state is guarded by one mutex. The pool must
-// outlive every bitmap it produced (the Fleet declares its pool before its
-// sessions so destruction order guarantees this).
+// fleet worker threads; all state is guarded by one RankedMutex at
+// LockRank::kFramePool — the leaf rank, because slab release runs from
+// arbitrary call depth (any last FramePtr drop) and must stay acquirable
+// under every other runtime lock. The GUARDED_BY annotations below are
+// enforced by the -Wthread-safety CI lane. The pool must outlive every
+// bitmap it produced (the Fleet declares its pool before its sessions so
+// destruction order guarantees this).
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "gfx/bitmap.h"
+#include "util/lock_rank.h"
+#include "util/thread_annotations.h"
 
 namespace darpa::gfx {
 
@@ -108,15 +113,17 @@ class FramePool {
     }
   };
 
-  void noteFootprintLocked();
+  void noteFootprintLocked() REQUIRES(mutex_);
 
-  Options options_;
-  mutable std::mutex mutex_;
+  Options options_;  ///< Immutable after construction; read without the lock.
+  mutable util::RankedMutex mutex_{util::LockRank::kFramePool,
+                                   "gfx.FramePool"};
   /// classPixels -> parked slabs of that capacity class.
-  std::map<std::size_t, std::vector<std::unique_ptr<PixelSlab>>> free_;
+  std::map<std::size_t, std::vector<std::unique_ptr<PixelSlab>>> free_
+      GUARDED_BY(mutex_);
   /// Outstanding pooled bytes per sessionTag (quota accounting).
-  std::map<int, std::size_t> sessionBytes_;
-  Stats stats_;
+  std::map<int, std::size_t> sessionBytes_ GUARDED_BY(mutex_);
+  Stats stats_ GUARDED_BY(mutex_);
 };
 
 }  // namespace darpa::gfx

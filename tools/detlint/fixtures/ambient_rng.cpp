@@ -1,0 +1,26 @@
+// Fixture: ambient-rng-in-digest-path — unseeded randomness can never
+// reach digest-affecting code; all draws go through the seeded util::Rng.
+#include <cstdlib>
+
+namespace fixture {
+
+int ambientDraw() {
+  return rand();  // expect: ambient-rng-in-digest-path
+}
+
+void ambientSeed(unsigned seed) {
+  srand(seed);  // expect: ambient-rng-in-digest-path
+}
+
+unsigned hardwareEntropy() {
+  std::random_device rd;  // expect: ambient-rng-in-digest-path
+  return rd();
+}
+
+// Identifiers merely containing "rand" must NOT fire.
+int randomizedButSeeded(int randomSeedValue) {
+  int brand = randomSeedValue;  // "brand", "randomSeedValue": no calls
+  return brand;
+}
+
+}  // namespace fixture

@@ -1,0 +1,53 @@
+// Fixture: a digest-path file written to the house rules produces zero
+// findings — seeded randomness, simulated time, ordered iteration,
+// annotated locking. This file doubles as the no-false-positive check for
+// every rule: any finding here fails the self-test.
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#define GUARDED_BY(x)  // stand-in for util/thread_annotations.h
+
+namespace fixture {
+
+/// Seeded, replayable randomness (the util::Rng pattern).
+class SeededRng {
+ public:
+  explicit SeededRng(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next() {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state_;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Simulated time (the SimClock pattern) instead of any wall clock.
+struct SimMillis {
+  std::int64_t count = 0;
+};
+
+class Deterministic {
+ public:
+  std::int64_t total() const {
+    std::int64_t sum = 0;
+    for (const auto& [key, value] : ordered_) sum += value;  // ordered: fine
+    return sum;
+  }
+
+  void record(const std::string& key, std::int64_t value) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    guarded_.push_back(value);
+    ordered_[key] += value;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::int64_t> guarded_ GUARDED_BY(mutex_);
+  std::map<std::string, std::int64_t> ordered_ GUARDED_BY(mutex_);
+};
+
+}  // namespace fixture

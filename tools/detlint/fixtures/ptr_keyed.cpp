@@ -1,0 +1,21 @@
+// Fixture: pointer-keyed-ordered-container — a std::map/set keyed by a
+// pointer iterates in address order, which is allocation order, which is
+// nondeterministic across runs. Value-keyed ordered containers are fine.
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+struct Detector {};
+
+class Router {
+ private:
+  std::map<const Detector*, int> byDetector_;  // expect: pointer-keyed-ordered-container
+  std::set<Detector*> live_;  // expect: pointer-keyed-ordered-container
+  std::map<std::string, int> byName_;          // value-keyed: no finding
+  std::map<int, std::vector<const Detector*>> byId_;  // pointer VALUES: fine
+};
+
+}  // namespace fixture

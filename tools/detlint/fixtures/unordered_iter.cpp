@@ -1,0 +1,45 @@
+// Fixture: unordered-iteration-in-digest-path — hash-order iteration
+// leaks the per-process salt into anything it feeds. Membership ops and
+// ordered-container iteration stay legal.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+class Tracker {
+ public:
+  std::int64_t total() const {
+    std::int64_t sum = 0;
+    for (const auto& [id, count] : counts_) {  // expect: unordered-iteration-in-digest-path
+      sum += count;
+    }
+    return sum;
+  }
+
+  bool seen(std::uint64_t id) const {
+    return ids_.find(id) != ids_.end();  // membership probe: no finding
+  }
+
+  auto firstEntry() const {
+    return counts_.begin();  // expect: unordered-iteration-in-digest-path
+  }
+
+  std::int64_t orderedTotal() const {
+    std::int64_t sum = 0;
+    for (const auto& [id, count] : sorted_) {  // ordered map: no finding
+      sum += count;
+    }
+    return sum;
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, std::int64_t> counts_;
+  std::unordered_set<std::uint64_t> ids_;
+  std::map<std::uint64_t, std::int64_t> sorted_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// Fixture: wall-clock-in-digest-path must fire on every wall-clock read
+// reachable from digest-affecting code, and the allow machinery must be
+// able to carve out the audited observability axis.
+#include <cstdint>
+
+double wallMicros();  // expect: wall-clock-in-digest-path
+
+namespace fixture {
+
+double modeledCost() {
+  // A digest-stable quantity computed from wall time: the canonical bug.
+  return wallMicros() * 0.5;  // expect: wall-clock-in-digest-path
+}
+
+std::int64_t chronoRead() {
+  return static_cast<std::int64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());  // expect: wall-clock-in-digest-path
+}
+
+// "steady_clock" in a comment must NOT fire (comments are stripped).
+double commentOnly() { return 0.0; }
+
+// detlint: begin-allow(wall-clock-in-digest-path) observability axis only
+double observabilityAxis() { return wallMicros(); }
+// detlint: end-allow(wall-clock-in-digest-path)
+
+double lineAllow() {
+  return wallMicros();  // detlint: allow(wall-clock-in-digest-path) audited
+}
+
+}  // namespace fixture
