@@ -45,15 +45,16 @@ if [ "${SKIP_SANITIZE:-0}" != "1" ]; then
 
   echo "== configure + build, TSan (build-tsan/) =="
   # ThreadSanitizer lane over the tests that actually exercise threads: the
-  # fleet's epoch-lockstep workers and the deferred detection executors.
+  # work-stealing fleet scheduler (steal-heavy skewed workload at W=4), the
+  # lockstep reference driver, and the deferred detection executors.
   # (TSan is incompatible with ASan, hence the separate build tree.)
   cmake -B build-tsan -S . -DDARPA_SANITIZE=thread
   cmake --build build-tsan -j "$JOBS"
 
-  echo "== ctest, TSan fleet/executor/pool tests (build-tsan/) =="
+  echo "== ctest, TSan fleet/scheduler/executor/pool tests (build-tsan/) =="
   TSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-      -R 'FleetTest|ExecutorTest|FramePoolTest'
+      -R 'FleetTest|FleetSchedulerTest|ExecutorTest|FramePoolTest'
 fi
 
 if [ "${SKIP_BENCH:-0}" != "1" ]; then
@@ -69,12 +70,18 @@ if [ "${SKIP_BENCH:-0}" != "1" ]; then
 
   echo "== perf smoke, Release (build-perf/) =="
   # The hot-path bench asserts real speedups (batched GEMM >= 3x, detect
-  # >= 2x) and zero steady-state allocations; those contracts are only
-  # meaningful under optimization, so this lane builds Release (-O2) and
-  # runs the bench at --quick scale. Fatal on contract failure.
+  # >= 2x) and zero steady-state allocations, and the fleet-throughput
+  # bench asserts the work-stealing driver's sessions/sec at 256 sessions
+  # stays >= 0.95x the lockstep baseline (best-of-3 per driver). Those
+  # contracts are only meaningful under optimization, so this lane builds
+  # Release (-O2) and runs both benches at --quick scale. Fatal on
+  # contract failure. The two binaries share the trained-model cache in
+  # build-perf/bench, so the fleet bench reuses the hot-path bench's model.
   cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release
-  cmake --build build-perf -j "$JOBS" --target bench_detector_hotpath
+  cmake --build build-perf -j "$JOBS" \
+    --target bench_detector_hotpath --target bench_fleet_throughput
   (cd build-perf/bench && ./bench_detector_hotpath --quick)
+  (cd build-perf/bench && ./bench_fleet_throughput --quick)
 fi
 
 echo "== thread-safety (clang -Wthread-safety, errors) =="

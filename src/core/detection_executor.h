@@ -101,6 +101,16 @@ class DetectionExecutor {
   /// and its caller may then rely on results being ready synchronously.
   [[nodiscard]] virtual bool synchronous() const = 0;
 
+  /// True when flush() composes CROSS-SESSION batches whose per-image
+  /// modeled cost depends on batch size (BatchingExecutor). The
+  /// work-stealing fleet driver uses this to decide flush granularity: a
+  /// coalescing backend must see exactly the lockstep epoch's request set
+  /// per flush (grouped, so batch composition — and therefore digests —
+  /// stay byte-identical), while a non-coalescing backend prices each
+  /// image independently and may be flushed per session, with no
+  /// cross-session wait at all.
+  [[nodiscard]] virtual bool coalescing() const { return false; }
+
   [[nodiscard]] virtual const char* name() const = 0;
 };
 

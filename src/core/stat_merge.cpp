@@ -1,0 +1,49 @@
+#include "core/stat_merge.h"
+
+#include <utility>
+
+namespace darpa::core {
+
+StatMergeShards::StatMergeShards(int shards) {
+  if (shards < 1) shards = 1;
+  shards_.reserve(static_cast<std::size_t>(shards));
+  for (int i = 0; i < shards; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+void StatMergeShards::fold(int sessionId, SessionTotals totals) {
+  const std::size_t index =
+      static_cast<std::size_t>(sessionId < 0 ? -sessionId : sessionId) %
+      shards_.size();
+  Shard& shard = *shards_[index];
+  const util::LockGuard lock(shard.mutex);
+  shard.entries[sessionId] = std::move(totals);
+}
+
+StatMergeShards::Merged StatMergeShards::merged() const {
+  // Copy shard contents one lock at a time (shards share kStatMerge, so
+  // holding two at once would trip the rank validator), then merge across
+  // shards in global ascending session-id order.
+  std::map<int, const SessionTotals*> byId;
+  std::vector<std::map<int, SessionTotals>> copies;
+  copies.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    const util::LockGuard lock(shard->mutex);
+    copies.push_back(shard->entries);
+  }
+  for (const auto& copy : copies) {
+    for (const auto& [id, totals] : copy) byId.emplace(id, &totals);
+  }
+
+  Merged merged;
+  for (const auto& [id, totals] : byId) {
+    merged.stats.merge(totals->stats);
+    merged.ledger.merge(totals->ledger);
+    merged.eventsEmitted += totals->eventsEmitted;
+    merged.auiExposures += totals->auiExposures;
+    merged.auisCovered += totals->auisCovered;
+    ++merged.sessionsFolded;
+  }
+  return merged;
+}
+
+}  // namespace darpa::core

@@ -26,11 +26,18 @@
 //
 // Thread-ownership rule (fleet scale): a WorkLedger is SESSION-CONFINED —
 // only the thread currently advancing its DeviceSession may record into it,
-// and sessions never share a ledger. Cross-session aggregation happens only
-// at epoch barriers, when every session is quiescent: the fleet control
-// thread calls snapshot() on each session's ledger and merge()s the copies
-// into a fleet-wide roll-up. The ledger itself carries no synchronization;
-// the fleet's phase join is the happens-before edge.
+// and sessions never share a ledger. The ledger itself carries no
+// synchronization; aggregation happens only when the owning session is
+// quiescent, and which thread does it depends on the fleet driver:
+//  * lockstep driver — at epoch barriers the control thread calls
+//    snapshot() on each session's ledger and merge()s the copies into a
+//    fleet-wide roll-up; the phase join is the happens-before edge.
+//  * work-stealing driver — there is no barrier: the worker that RETIRES a
+//    session snapshot()s its ledger exactly once and folds the copy into
+//    core::StatMergeShards (whose merged() replays folds in session-id
+//    order, keeping double addition bit-reproducible); the shard mutex is
+//    the happens-before edge, and the session's own ledger is never read
+//    again.
 #pragma once
 
 #include <array>

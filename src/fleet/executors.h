@@ -3,9 +3,11 @@
 //
 // Both backends follow the same determinism recipe: submit() only parks the
 // request under a mutex (sessions running on different fleet workers may
-// submit concurrently, so arrival order is racy); flush() — called from a
-// single thread at the epoch barrier — restores canonical order by sorting
-// on (sessionId, seq), executes the work with however many threads it
+// submit concurrently, so arrival order is racy); flush() — serialized by
+// the driver: the lockstep fleet calls it from the control thread at the
+// epoch barrier, the work-stealing fleet from whichever worker holds
+// LockRank::kFleetFlush — restores canonical order by sorting on
+// (sessionId, seq), executes the work with however many threads it
 // likes (results are pure functions of the screenshots), and delivers the
 // completions in that canonical order. Batch composition, completion order,
 // and every downstream ledger record are therefore identical for any
@@ -49,9 +51,9 @@ class ThreadPoolExecutor : public core::DetectionExecutor {
   mutable util::RankedMutex mutex_{util::LockRank::kExecutorQueue,
                                    "fleet.ThreadPoolExecutor"};
   std::vector<core::DetectionRequest> parked_ GUARDED_BY(mutex_);
-  /// Touched only at flush, which the fleet calls from a single thread at
-  /// the epoch barrier — flush-confined, not lock-protected.
-  std::int64_t completed_ CONFINED_TO("flush thread") = 0;
+  /// Touched only inside flush(), which both fleet drivers serialize (the
+  /// lockstep barrier, or kFleetFlush) — flush-confined, not lock-protected.
+  std::int64_t completed_ CONFINED_TO("flush serialization") = 0;
 };
 
 /// Screenshots from many sessions coalesced into detectBatch() calls.
@@ -69,6 +71,10 @@ class BatchingExecutor : public core::DetectionExecutor {
   void flush() override;
   [[nodiscard]] std::size_t pendingCount() const override;
   [[nodiscard]] bool synchronous() const override { return false; }
+  /// Cross-session batch composition affects the modeled per-image cost —
+  /// the work-stealing driver must flush whole epoch groups (see
+  /// core::DetectionExecutor::coalescing).
+  [[nodiscard]] bool coalescing() const override { return true; }
   [[nodiscard]] const char* name() const override { return "batching"; }
 
   [[nodiscard]] const Options& options() const { return options_; }
@@ -88,10 +94,11 @@ class BatchingExecutor : public core::DetectionExecutor {
   mutable util::RankedMutex mutex_{util::LockRank::kExecutorQueue,
                                    "fleet.BatchingExecutor"};
   std::vector<core::DetectionRequest> parked_ GUARDED_BY(mutex_);
-  // Coalescing statistics: flush-confined (single thread at the barrier).
-  std::int64_t batches_ CONFINED_TO("flush thread") = 0;
-  std::int64_t images_ CONFINED_TO("flush thread") = 0;
-  int largestBatch_ CONFINED_TO("flush thread") = 0;
+  // Coalescing statistics: flush-confined (both fleet drivers serialize
+  // flush — the lockstep barrier, or kFleetFlush in the work stealer).
+  std::int64_t batches_ CONFINED_TO("flush serialization") = 0;
+  std::int64_t images_ CONFINED_TO("flush serialization") = 0;
+  int largestBatch_ CONFINED_TO("flush serialization") = 0;
 };
 
 }  // namespace darpa::fleet

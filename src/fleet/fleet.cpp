@@ -1,6 +1,8 @@
 #include "fleet/fleet.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 
@@ -15,21 +17,30 @@ Fleet::Fleet(const cv::Detector& detector, core::DetectionExecutor& executor,
   if (config_.sessions < 1) config_.sessions = 1;
   if (config_.workers < 1) config_.workers = 1;
   if (config_.epoch <= Millis{0}) config_.epoch = Millis{1000};
+  if (config_.framePool.shards == 0) config_.framePool.shards = config_.workers;
 
   if (config_.pooledFrames) {
     pool_ = std::make_unique<gfx::FramePool>(config_.framePool);
   }
+
+  const bool workStealing = config_.driver == FleetDriver::kWorkStealing;
+  // With an asynchronous backend the work-stealing driver must not let a
+  // mid-slice session submit into the shared queue (another worker's flush
+  // would sweep the request up — and deliver its completion — while the
+  // session is still running). Each session gets a SessionInbox instead;
+  // the scheduler replays inboxes into the backend at slice boundaries.
+  const bool useInboxes = workStealing && !executor_->synchronous();
 
   // Session seeding mirrors bench_runtime.h's per-app draw order (profile,
   // then app seed, then monkey seed) so a fleet of size 1 replays the
   // single-device benches exactly.
   Rng rng(config_.seed);
   sessions_.reserve(static_cast<std::size_t>(config_.sessions));
+  if (useInboxes) inboxes_.reserve(static_cast<std::size_t>(config_.sessions));
   for (int i = 0; i < config_.sessions; ++i) {
     DeviceSession::Config session;
     session.id = i;
     session.darpa = config_.darpa;
-    session.darpa.executor = executor_;
     session.window = config_.window;
     session.profile =
         apps::randomAppProfile(config_.packagePrefix + std::to_string(i), rng);
@@ -37,17 +48,45 @@ Fleet::Fleet(const cv::Detector& detector, core::DetectionExecutor& executor,
     session.monkeySeed = rng.next();
     session.duration = config_.duration;
     session.monkey = config_.monkey;
+    if (config_.sessionTweak) config_.sessionTweak(i, session);
+    // Fleet-owned wiring, re-asserted after the tweak: the identity and
+    // plumbing fields are not the hook's to change.
+    session.id = i;
     session.framePool = pool_.get();
+    if (useInboxes) {
+      inboxes_.push_back(std::make_unique<SessionInbox>());
+      session.darpa.executor = inboxes_.back().get();
+    } else {
+      session.darpa.executor = executor_;
+    }
     sessions_.push_back(
         std::make_unique<DeviceSession>(*detector_, std::move(session)));
+  }
+
+  if (workStealing) {
+    statMerge_ = std::make_unique<core::StatMergeShards>(config_.workers);
+    WorkStealingScheduler::Config sched;
+    sched.epoch = config_.epoch;
+    sched.duration = config_.duration;
+    sched.workers = config_.workers;
+    scheduler_ = std::make_unique<WorkStealingScheduler>(
+        sessions_, inboxes_, *executor_, *statMerge_, sched);
   }
 }
 
 // Sessions may hold DetectionRequests parked in the shared executor at
 // destruction only if run() was aborted mid-epoch; drain them so no
-// completion can fire into a dead session.
+// completion can fire into a dead session. (Inbox-parked requests need no
+// drain: an inbox dies with its fleet and delivers nothing by itself.)
 Fleet::~Fleet() {
   if (executor_->pendingCount() > 0) executor_->flush();
+}
+
+void Fleet::checkSessionIndex(int i) const {
+  if (i >= 0 && i < static_cast<int>(sessions_.size())) return;
+  std::fprintf(stderr, "Fleet::session(%d): index out of range [0, %d)\n", i,
+               static_cast<int>(sessions_.size()));
+  std::abort();
 }
 
 void Fleet::phase(const std::function<void(DeviceSession&)>& fn) {
@@ -74,10 +113,23 @@ void Fleet::phase(const std::function<void(DeviceSession&)>& fn) {
 }
 
 void Fleet::run() {
-  if (!started_) {
-    started_ = true;
-    for (auto& session : sessions_) session->start();
+  if (started_) {
+    std::fprintf(stderr,
+                 "Fleet::run() called twice; a fleet run is single-use\n");
+    std::abort();
   }
+  started_ = true;
+  for (auto& session : sessions_) session->start();
+
+  if (scheduler_ != nullptr) {
+    scheduler_->run();
+    now_ = config_.duration;
+    return;
+  }
+  runLockstep();
+}
+
+void Fleet::runLockstep() {
   const Millis end = now_ + config_.duration;
   while (now_ < end) {
     const Millis target = std::min(end, now_ + config_.epoch);
@@ -107,12 +159,24 @@ FleetSnapshot Fleet::snapshot() const {
   FleetSnapshot snap;
   snap.sessions = static_cast<int>(sessions_.size());
   snap.simTime = started_ ? now_ : Millis{0};
-  for (const auto& session : sessions_) {
-    snap.stats.merge(session->stats().snapshot());
-    snap.ledger.merge(session->ledger().snapshot());
-    snap.eventsEmitted += session->eventsEmitted();
-    snap.auiExposures += session->auiExposures();
-    snap.auisCovered += session->auisCovered();
+  if (statMerge_ != nullptr && started_) {
+    // Work-stealing run: every session folded its totals at retirement;
+    // merged() replays them in session-id order, bit-equal to the scan
+    // below.
+    const core::StatMergeShards::Merged merged = statMerge_->merged();
+    snap.stats = merged.stats;
+    snap.ledger = merged.ledger;
+    snap.eventsEmitted = merged.eventsEmitted;
+    snap.auiExposures = merged.auiExposures;
+    snap.auisCovered = merged.auisCovered;
+  } else {
+    for (const auto& session : sessions_) {
+      snap.stats.merge(session->stats().snapshot());
+      snap.ledger.merge(session->ledger().snapshot());
+      snap.eventsEmitted += session->eventsEmitted();
+      snap.auiExposures += session->auiExposures();
+      snap.auisCovered += session->auisCovered();
+    }
   }
   if (pool_ != nullptr) snap.framePool = pool_->stats();
   return snap;

@@ -1,23 +1,42 @@
-// Fleet — N DeviceSessions advanced in lockstep epochs across W workers.
+// Fleet — N DeviceSessions driven to a common simulated horizon across W
+// workers, by one of two interchangeable drivers.
 //
-// The determinism model, in one paragraph: simulated time advances in
-// epochs. Within an epoch every session is advanced independently (sessions
-// share no state, so the static shard -> worker assignment is a pure
-// wall-clock choice); detect stages park DetectionRequests in the shared
-// executor instead of blocking. At the epoch barrier the control thread
-// flushes the executor — requests are sorted into canonical (sessionId,
-// seq) order, executed with any number of threads (detection is a pure
-// function of the screenshot), and completions are posted back to each
-// owning session's Looper — and a second phase drains those completions.
-// Every source of nondeterminism (submit interleaving, worker scheduling,
-// batch assembly) is squeezed out at the barrier, so a fleet run's
-// aggregated DarpaStats/WorkLedger are identical across repeated runs and
-// across worker counts; only wall-clock changes with W.
+// The determinism model, in one paragraph: simulated time is sliced into
+// epochs. A session's slice j covers (target(j-1), target(j)] where
+// target(j) = min(duration, j*epoch): the Looper first drains the detect
+// completions delivered for slice j-1, then plays the session forward —
+// sessions share no mutable state, so WHO runs a slice and WHEN in wall
+// clock is irrelevant; only the slice sequence matters, and it is fixed by
+// the config. Detect stages park DetectionRequests instead of blocking.
+// For a coalescing backend (BatchingExecutor) all slice-j submissions
+// fleet-wide form flush group G_j, flushed as one canonical
+// (sessionId, seq)-sorted set — batch composition is a pure function of
+// the group, so the per-image modeled costs are too. Non-coalescing
+// backends price per image and flush per session. Every source of
+// nondeterminism (submit interleaving, worker scheduling, steal order,
+// batch assembly) is squeezed out at group boundaries, so a fleet run's
+// aggregated DarpaStats/WorkLedger are identical across repeated runs,
+// across worker counts, and across DRIVERS; only wall-clock changes.
 //
-// Aggregation: per-session ledgers and stats are session-confined (the
-// ownership rule in core/work_ledger.h); snapshot() copies and merges them
-// on the control thread while everything is quiescent, producing the
-// fleet-wide roll-up that perf::DeviceModel consumes unchanged.
+// The two drivers:
+//  * kWorkStealing (default) — sessions are resumable tasks in per-shard
+//    run queues keyed by next-wake simulated time; idle workers steal from
+//    siblings; a group flushes the moment no live session can still add to
+//    it; sessions that submitted nothing never wait. One straggler slows
+//    only itself. See fleet/scheduler.h.
+//  * kLockstep — the reference driver: advance-all, join, flush, drain-all,
+//    join, repeat. Structurally incapable of reordering anything, which is
+//    exactly why it stays: FleetSchedulerTest holds the work-stealing
+//    driver's digests byte-equal to it.
+//
+// Aggregation: under the lockstep driver, per-session ledgers and stats
+// are scanned on the control thread at a quiescent barrier (the
+// session-confined ownership rule in core/work_ledger.h). The
+// work-stealing driver has no barrier: each retiring worker folds its
+// session's totals into core::StatMergeShards (LockRank::kStatMerge), and
+// snapshot() assembles the roll-up from the shards in session-id order —
+// bit-identical to the quiescent scan. perf::DeviceModel consumes either
+// unchanged.
 #pragma once
 
 #include <cstdint>
@@ -27,31 +46,49 @@
 #include <vector>
 
 #include "core/detection_executor.h"
+#include "core/stat_merge.h"
 #include "fleet/device_session.h"
+#include "fleet/scheduler.h"
 #include "util/thread_annotations.h"
 
 namespace darpa::fleet {
 
+/// Which engine Fleet::run() uses. Byte-identical merged digests either
+/// way; they differ only in wall-clock shape (see the header comment).
+enum class FleetDriver {
+  kWorkStealing,  ///< Barrier-free scheduler (the default).
+  kLockstep,      ///< Reference driver: global epoch barriers.
+};
+
 struct FleetConfig {
   int sessions = 1;
-  int workers = 1;        ///< Threads advancing sessions (1 = control thread).
-  Millis epoch{1000};     ///< Lockstep quantum between executor flushes.
+  int workers = 1;        ///< Worker threads (1 = run on the calling thread).
+  Millis epoch{1000};     ///< Slice quantum between executor flush groups.
   Millis duration{60'000};
   std::uint64_t seed = 606;
+  FleetDriver driver = FleetDriver::kWorkStealing;
   core::DarpaConfig darpa;  ///< Per-session service config (sessionId and
                             ///< executor are overridden by the fleet).
   android::WindowManager::Config window;
   bool monkey = true;
   std::string packagePrefix = "com.fleet.app";
+  /// Per-session config hook, applied after the fleet's own seeding and
+  /// before the session is built. Lets tests and benches skew individual
+  /// sessions (e.g. one deliberately hyperactive straggler for the
+  /// steal-heavy path). The fleet re-asserts its own wiring (id, executor,
+  /// frame pool) afterwards, and applies the hook identically under both
+  /// drivers, so a tweaked fleet still digests identically across them.
+  std::function<void(int, DeviceSession::Config&)> sessionTweak;
   /// Share one FramePool across every session's screen captures. Off, each
   /// capture heap-allocates (the pre-pool behavior); on, slabs recycle
   /// across sessions and epochs. Results are byte-identical either way —
   /// the pool only changes where the bytes live.
   bool pooledFrames = true;
-  gfx::FramePool::Options framePool;  ///< Caps; zeros = unlimited.
+  gfx::FramePool::Options framePool;  ///< Caps; zeros = unlimited. shards=0
+                                      ///< resolves to the worker count.
 };
 
-/// Fleet-wide roll-up taken at a barrier.
+/// Fleet-wide roll-up.
 struct FleetSnapshot {
   int sessions = 0;
   Millis simTime{0};             ///< Simulated time covered per session.
@@ -66,8 +103,10 @@ struct FleetSnapshot {
 class Fleet {
  public:
   /// The detector and executor are borrowed and shared by every session;
-  /// both must outlive the fleet. The executor is installed into each
-  /// session's DarpaConfig.
+  /// both must outlive the fleet. The executor is the shared detection
+  /// BACKEND: sessions either submit to it directly (lockstep, or any
+  /// synchronous executor) or through per-session SessionInbox proxies
+  /// (work-stealing with an asynchronous backend).
   Fleet(const cv::Detector& detector, core::DetectionExecutor& executor,
         FleetConfig config);
   ~Fleet();
@@ -75,27 +114,41 @@ class Fleet {
   Fleet(const Fleet&) = delete;
   Fleet& operator=(const Fleet&) = delete;
 
-  /// Runs the whole configured duration in lockstep epochs. May be called
-  /// once.
+  /// Drives every session over the whole configured duration with the
+  /// configured driver. Single-use: a second call aborts (a fleet's
+  /// sessions have already consumed their event streams, so "run again"
+  /// has no meaningful semantics).
   void run();
 
   [[nodiscard]] int sessionCount() const {
     return static_cast<int>(sessions_.size());
   }
-  [[nodiscard]] DeviceSession& session(int i) { return *sessions_[i]; }
+  /// Aborts on an out-of-range index.
+  [[nodiscard]] DeviceSession& session(int i) {
+    checkSessionIndex(i);
+    return *sessions_[static_cast<std::size_t>(i)];
+  }
   [[nodiscard]] const DeviceSession& session(int i) const {
-    return *sessions_[i];
+    checkSessionIndex(i);
+    return *sessions_[static_cast<std::size_t>(i)];
   }
   [[nodiscard]] const FleetConfig& config() const { return config_; }
   [[nodiscard]] Millis now() const { return now_; }
 
-  /// Aggregates every session's stats/ledger/coverage. The stat-merge path
-  /// is deliberately lock-free: per-session ledgers/stats are
-  /// session-confined (CONFINED_TO in their headers), so this may only run
-  /// on the control thread at a barrier — construction, between run()
-  /// epochs, or after run() — when phase()'s joins have made every session
-  /// quiescent. A future sharded live merge takes LockRank::kStatMerge.
+  /// Aggregates every session's stats/ledger/coverage. Lockstep driver:
+  /// a quiescent control-thread scan in session-id order (per-session
+  /// state is session-confined, so this may only run at a barrier —
+  /// construction, or after run()). Work-stealing driver: assembled from
+  /// the StatMergeShards the retiring workers folded into, replayed in
+  /// the same session-id order — bit-identical to the scan.
   [[nodiscard]] FleetSnapshot snapshot() const;
+
+  /// Scheduling observability from the work-stealing run (steals, flush
+  /// counts, per-session finish wall times). Null under kLockstep;
+  /// meaningful after run().
+  [[nodiscard]] const SchedulerMetrics* schedulerMetrics() const {
+    return scheduler_ == nullptr ? nullptr : &scheduler_->metrics();
+  }
 
   /// The shared frame pool, or null when pooledFrames is off.
   [[nodiscard]] gfx::FramePool* framePool() { return pool_.get(); }
@@ -104,7 +157,10 @@ class Fleet {
  private:
   /// Applies fn to every session, sharded session i -> worker (i % W).
   /// Joins before returning (the happens-before edge of the barrier).
+  /// Lockstep driver only.
   void phase(const std::function<void(DeviceSession&)>& fn);
+  void runLockstep();
+  void checkSessionIndex(int i) const;  ///< Aborts when out of range.
 
   const cv::Detector* detector_;
   core::DetectionExecutor* executor_;
@@ -112,10 +168,18 @@ class Fleet {
   /// Declared before sessions_: every pooled Bitmap's slab-return deleter
   /// points back into the pool, so it must outlive all session state.
   std::unique_ptr<gfx::FramePool> pool_;
+  /// Per-session capture proxies (work-stealing + asynchronous backend
+  /// only; empty otherwise). Declared before sessions_ because each
+  /// session's DarpaConfig points at its inbox.
+  std::vector<std::unique_ptr<SessionInbox>> inboxes_;
   /// The vector itself is fixed after construction; each element is
-  /// confined to its phase() worker (static shard i % W) while a phase
-  /// runs, and to the control thread between phases.
+  /// confined to the worker currently running its slice (hand-offs happen
+  /// through the scheduler's queues, or phase()'s spawn/join edges), and
+  /// to the control thread outside run().
   std::vector<std::unique_ptr<DeviceSession>> sessions_;
+  /// Retirement fold target + snapshot source (work-stealing only).
+  std::unique_ptr<core::StatMergeShards> statMerge_;
+  std::unique_ptr<WorkStealingScheduler> scheduler_;
   Millis now_ CONFINED_TO("control thread"){0};
   bool started_ CONFINED_TO("control thread") = false;
 };

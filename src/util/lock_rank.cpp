@@ -11,6 +11,8 @@ const char* lockRankName(LockRank rank) {
   switch (rank) {
     case LockRank::kFleetControl:
       return "fleet-control";
+    case LockRank::kFleetFlush:
+      return "fleet-flush";
     case LockRank::kSessionQueue:
       return "session-queue";
     case LockRank::kExecutorQueue:
@@ -21,6 +23,8 @@ const char* lockRankName(LockRank rank) {
       return "stat-merge";
     case LockRank::kFramePool:
       return "frame-pool";
+    case LockRank::kFramePoolSpill:
+      return "frame-pool-spill";
   }
   return "unknown";
 }

@@ -31,6 +31,7 @@
 // std::mutex.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <mutex>
 #include <vector>
@@ -48,24 +49,37 @@ namespace darpa::util {
 /// stripes) slot between existing ranks without renumbering. DESIGN.md §12
 /// documents who holds what while acquiring what.
 enum class LockRank : int {
-  /// Fleet-level orchestration (reserved for the work-stealing scheduler's
-  /// global state; the lockstep driver needs no lock).
+  /// Fleet-level orchestration: the work-stealing scheduler's global state
+  /// (cursor counts, pending flush groups, active-session count, idle cv).
+  /// The lockstep reference driver needs no lock.
   kFleetControl = 100,
-  /// Per-shard session run queues (reserved for work stealing).
+  /// Work-stealing group-flush serialization: held while a worker replays
+  /// a closed flush group into the shared detection backend and calls its
+  /// flush(). Below kExecutorQueue because the backend's queue lock is
+  /// taken inside submit()/flush() under this one.
+  kFleetFlush = 150,
+  /// Per-shard session run queues (work-stealing scheduler). All shards
+  /// share this rank, so a thread may never hold two shard locks at once —
+  /// the steal protocol releases its own shard before probing a sibling.
   kSessionQueue = 200,
   /// Deferred-executor parked-request queues (ThreadPoolExecutor /
   /// BatchingExecutor submit/flush swap).
   kExecutorQueue = 300,
   /// Fleet-wide shared verdict tier stripes (reserved; ROADMAP).
   kVerdictTier = 400,
-  /// Sharded stat-merge locks (reserved; today stats merge lock-free at
-  /// the epoch barrier).
+  /// Sharded stat-merge locks (core::StatMergeShards): sessions fold their
+  /// stats/ledger at retirement, snapshots read shards one at a time.
   kStatMerge = 500,
-  /// gfx::FramePool free lists. Deliberately the HIGHEST rank: slab
-  /// release runs from arbitrary call depth (any last FramePtr drop, on
-  /// any thread, possibly while an executor or scheduler lock is held), so
-  /// the pool lock must be acquirable as a leaf under everything else.
+  /// gfx::FramePool per-shard free lists. Near-leaf: slab release runs
+  /// from arbitrary call depth (any last FramePtr drop, on any thread,
+  /// possibly while an executor or scheduler lock is held), so the pool
+  /// locks must be acquirable under everything else. All shards share this
+  /// rank; a thread holds at most one shard lock at a time.
   kFramePool = 600,
+  /// gfx::FramePool global spill list — the overflow tier behind the
+  /// per-shard free lists. Strictly above kFramePool because the spill is
+  /// probed while the caller's shard lock is held.
+  kFramePoolSpill = 650,
 };
 
 [[nodiscard]] const char* lockRankName(LockRank rank);
@@ -173,6 +187,26 @@ class SCOPED_CAPABILITY LockGuard {
 
  private:
   RankedMutex& mutex_;
+};
+
+/// Condition variable usable with RankedMutex. condition_variable_any takes
+/// the mutex as its Lockable, so the unlock/relock inside wait() goes
+/// through RankedMutex::lock()/unlock() and the rank validator's held-stack
+/// stays correct across the block.
+///
+/// Contract: the waiting thread must hold `mutex` as its HIGHEST-ranked
+/// lock (typically its only one). wait() releases it mid-wait; if a
+/// higher-ranked lock were still held, the re-acquisition after wakeup
+/// would violate the strictly-increasing rule and abort. Spurious wakeups
+/// happen — always wait in a predicate loop.
+class RankedConditionVariable {
+ public:
+  void wait(RankedMutex& mutex) REQUIRES(mutex) { cv_.wait(mutex); }
+  void notifyOne() { cv_.notify_one(); }
+  void notifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
 };
 
 }  // namespace darpa::util

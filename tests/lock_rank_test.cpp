@@ -93,8 +93,12 @@ TEST(LockRankTest, RegistryTracksLiveMutexes) {
 
 TEST(LockRankTest, RankNamesCoverTheTable) {
   EXPECT_STREQ(lockRankName(LockRank::kFleetControl), "fleet-control");
+  EXPECT_STREQ(lockRankName(LockRank::kFleetFlush), "fleet-flush");
+  EXPECT_STREQ(lockRankName(LockRank::kSessionQueue), "session-queue");
   EXPECT_STREQ(lockRankName(LockRank::kExecutorQueue), "executor-queue");
+  EXPECT_STREQ(lockRankName(LockRank::kStatMerge), "stat-merge");
   EXPECT_STREQ(lockRankName(LockRank::kFramePool), "frame-pool");
+  EXPECT_STREQ(lockRankName(LockRank::kFramePoolSpill), "frame-pool-spill");
 }
 
 // ------------------------------------------------- fleet rank smoke (W=4)
@@ -132,6 +136,18 @@ TEST(LockRankTest, FleetRankTagsConsistentUnderFourWorkers) {
   EXPECT_GE(registry.liveCount(LockRank::kExecutorQueue), 1);
   EXPECT_GE(registry.liveCount(LockRank::kFramePool), 1);
   EXPECT_GT(static_cast<int>(LockRank::kFramePool),
+            static_cast<int>(LockRank::kExecutorQueue));
+
+  // The work-stealing driver's lock population (the fleet default): the
+  // global control lock, one run-queue shard per worker, the flush token —
+  // ranked strictly BELOW the executor queue, because a flushing worker
+  // submits into the backend while holding it — and one stat-merge shard
+  // per worker for the retirement folds.
+  EXPECT_GE(registry.liveCount(LockRank::kFleetControl), 1);
+  EXPECT_GE(registry.liveCount(LockRank::kSessionQueue), 4);
+  EXPECT_GE(registry.liveCount(LockRank::kFleetFlush), 1);
+  EXPECT_GE(registry.liveCount(LockRank::kStatMerge), 4);
+  EXPECT_LT(static_cast<int>(LockRank::kFleetFlush),
             static_cast<int>(LockRank::kExecutorQueue));
 
   fleet.run();
