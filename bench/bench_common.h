@@ -26,10 +26,34 @@ inline bool& quickFlag() {
 }
 inline bool quick() { return quickFlag(); }
 
-/// Parses common bench flags (currently just --quick). Call first thing in
-/// main(); returns argc with the consumed flags compacted away so benches
-/// that forward argv (google-benchmark) see only what they understand.
+/// Directory the running bench binary lives in, captured from argv[0] by
+/// initFromArgs. Empty when argv[0] carried no path (bare command found
+/// via PATH) — artifacts then land in the CWD as before.
+inline std::string& artifactDirStorage() {
+  static std::string dir;
+  return dir;
+}
+
+/// Anchors a bench artifact (model cache, emitted JSON, traces) next to
+/// the binary instead of whatever CWD the bench was launched from — so a
+/// bench run from the repo root cannot litter it with generated files.
+inline std::string artifactPath(const std::string& name) {
+  const std::string& dir = artifactDirStorage();
+  return dir.empty() ? name : dir + "/" + name;
+}
+
+/// Parses common bench flags (currently just --quick) and captures the
+/// binary's directory for artifactPath(). Call first thing in main();
+/// returns argc with the consumed flags compacted away so benches that
+/// forward argv (google-benchmark) see only what they understand.
 inline int initFromArgs(int argc, char** argv) {
+  if (argc > 0 && argv[0] != nullptr) {
+    const std::string_view self(argv[0]);
+    const std::size_t slash = self.find_last_of('/');
+    if (slash != std::string_view::npos) {
+      artifactDirStorage() = std::string(self.substr(0, slash));
+    }
+  }
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::string_view(argv[i]) == "--quick") {
@@ -67,8 +91,8 @@ inline cv::OneStageDetector trainOrLoadOneStage(
     const dataset::AuiDataset& data, const std::string& variant,
     bool maskText = false) {
   const cv::OneStageConfig config;
-  const std::string path =
-      "darpa_model_" + variant + (quick() ? "_quick" : "") + ".bin";
+  const std::string path = artifactPath(
+      "darpa_model_" + variant + (quick() ? "_quick" : "") + ".bin");
   if (auto loaded = cv::OneStageDetector::loadModel(path, config)) {
     std::printf("[bench] loaded cached model '%s'\n", path.c_str());
     return std::move(*loaded);

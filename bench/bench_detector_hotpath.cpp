@@ -72,7 +72,8 @@ int main(int argc, char** argv) {
   const cv::OneStageDetector detector = trainOrLoadOneStage(data, "default");
 
   // Same weights through the scalar per-candidate path.
-  const std::string scalarPath = "darpa_model_hotpath_scalar.bin";
+  const std::string scalarPath =
+      artifactPath("darpa_model_hotpath_scalar.bin");
   if (!detector.saveModel(scalarPath)) {
     std::printf("FAIL: could not stage scalar-path model copy\n");
     return 1;
@@ -263,7 +264,8 @@ int main(int argc, char** argv) {
   }
 
   // --- BENCH_detector.json -------------------------------------------------
-  if (std::FILE* f = std::fopen("BENCH_detector.json", "w")) {
+  const std::string jsonPath = artifactPath("BENCH_detector.json");
+  if (std::FILE* f = std::fopen(jsonPath.c_str(), "w")) {
     std::fprintf(
         f,
         "{\n"
@@ -291,7 +293,7 @@ int main(int argc, char** argv) {
         detectSpeedup, allocsPerFrame,
         static_cast<long long>(steadyGrowths));
     std::fclose(f);
-    std::printf("  wrote BENCH_detector.json\n");
+    std::printf("  wrote %s\n", jsonPath.c_str());
   }
 
   if (failed) return 1;

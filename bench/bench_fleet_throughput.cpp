@@ -13,18 +13,29 @@
 //     sessions/sec must be >= 0.95x the lockstep driver's (the 5% grace
 //     absorbs run-to-run wall-clock noise; the point of the gate is that
 //     removing the barriers never makes the fleet SLOWER).
-// Emits the whole scaling curve to fleet_throughput.json.
+//  3. Shared-verdict-tier sweep over a shared app population (serving-style
+//     SLOs): the L2 hit rate at 256 sessions must reach >= 50% — below
+//     that the fleet-wide tier is not actually sharing and every session
+//     is paying for its own perception again.
+// Emits the whole scaling curve to BENCH_fleet.json (next to the binary).
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "apps/app_model.h"
 #include "bench_common.h"
+#include "core/verdict_tier.h"
 #include "core/work_ledger.h"
 #include "fleet/executors.h"
 #include "fleet/fleet.h"
+#include "util/rng.h"
 
 namespace darpa::bench {
 namespace {
@@ -42,6 +53,15 @@ struct Sample {
   double meanBatch = 0.0;
   double stragglerP50Ms = 0.0;  ///< Median session finish (WS driver only).
   double stragglerP99Ms = 0.0;  ///< Tail session finish (WS driver only).
+  // Shared-verdict-tier sweep only (zeros elsewhere):
+  bool tiered = false;
+  double l2HitRate = 0.0;            ///< hits / (hits + misses).
+  std::int64_t l2Hits = 0;
+  std::int64_t l2Misses = 0;
+  std::int64_t suppressedDetects = 0;  ///< Single-flight followers.
+  std::int64_t publishes = 0;
+  double detectP50Us = 0.0;  ///< Submit -> completion wall latency, median.
+  double detectP99Us = 0.0;  ///< Submit -> completion wall latency, tail.
 };
 
 int fleetWorkers() {
@@ -122,6 +142,158 @@ Sample runBackend(const cv::Detector& detector, const std::string& backend,
   return sample;
 }
 
+// ----------------------------- shared-verdict-tier offered-load sweep
+
+/// Transparent backend wrapper that timestamps every submit and records
+/// the wall-clock latency to its completion callback — the serving
+/// latency of the detection tier as one session experiences it (queue
+/// wait inside the flush epoch + batch run + delivery drain). Latency
+/// recording is the only added behavior; everything else forwards.
+class LatencyProbeExecutor final : public core::DetectionExecutor {
+ public:
+  explicit LatencyProbeExecutor(core::DetectionExecutor& inner)
+      : inner_(&inner) {}
+
+  void submit(core::DetectionRequest request) override {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto cb = std::move(request.onComplete);
+    request.onComplete = [this, t0, cb = std::move(cb)](
+                             std::vector<cv::Detection> detections,
+                             int batchSize,
+                             const core::DetectionTiming& timing) mutable {
+      const double us = std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      {
+        // Completions run on session worker threads with no ranked lock
+        // held; this mutex is a leaf and never nests.
+        const std::lock_guard<std::mutex> lock(mutex_);
+        latenciesUs_.push_back(us);
+      }
+      cb(std::move(detections), batchSize, timing);
+    };
+    inner_->submit(std::move(request));
+  }
+  void flush() override { inner_->flush(); }
+  [[nodiscard]] std::size_t pendingCount() const override {
+    return inner_->pendingCount();
+  }
+  [[nodiscard]] bool synchronous() const override {
+    return inner_->synchronous();
+  }
+  // Forwarding this is load-bearing: the scheduler keys its flush strategy
+  // (cross-session batch groups + single-flight) off the backend's
+  // coalescing bit, and the base class defaults to false.
+  [[nodiscard]] bool coalescing() const override {
+    return inner_->coalescing();
+  }
+  [[nodiscard]] const char* name() const override { return "latency-probe"; }
+
+  [[nodiscard]] std::vector<double> takeLatenciesUs() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return std::move(latenciesUs_);
+  }
+
+ private:
+  core::DetectionExecutor* inner_;
+  std::mutex mutex_;
+  std::vector<double> latenciesUs_;
+};
+
+/// A SHARED app population (`apps` distinct apps, session i running app
+/// i % apps with the same profile and app seed) with two twists that give
+/// a fleet-wide tier real work: AUI churn on a stable base screen (the
+/// recurring-fingerprint pattern an L2 serves) and a staggered per-session
+/// analysis debounce, so sessions of one app reach each screen in
+/// DIFFERENT flush epochs — the late cohorts are served from the tier
+/// instead of coalescing with the leader's in-flight detect.
+std::function<void(int, fleet::DeviceSession::Config&)> sharedPopulation(
+    int apps) {
+  struct App {
+    apps::AppProfile profile;
+    std::uint64_t appSeed;
+  };
+  auto population = std::make_shared<std::vector<App>>();
+  Rng rng(4242);
+  for (int a = 0; a < apps; ++a) {
+    App app{apps::randomAppProfile("com.shared.app" + std::to_string(a), rng),
+            rng.next()};
+    app.profile.screenChangeMeanMs = 6000;
+    app.profile.auisPerMinute = 40.0;
+    app.profile.auiMinVisibleMs = 600;
+    app.profile.auiMaxVisibleMs = 1600;
+    population->push_back(std::move(app));
+  }
+  return [population, apps](int i, fleet::DeviceSession::Config& config) {
+    const App& app = (*population)[static_cast<std::size_t>(i % apps)];
+    config.profile = app.profile;
+    config.appSeed = app.appSeed;
+    // Stagger WITHIN each app's cohort (i / apps), not across apps: every
+    // app's sessions split into eight debounce waves, so only the first
+    // wave pays the detector for a new fingerprint and the rest are served
+    // from the shared tier once it lands.
+    config.darpa.cutoff = ms(200 + 150 * ((i / apps) % 8));
+  };
+}
+
+/// One shared-population run on the batching backend under the WS driver,
+/// with the tier on or off (off = the who-pays baseline for the same
+/// offered load).
+Sample runTierFleet(const cv::Detector& detector, int sessions,
+                    bool tierEnabled) {
+  fleet::BatchingExecutor backend(
+      {.maxBatchSize = 64, .threads = fleetWorkers()});
+  LatencyProbeExecutor probe(backend);
+
+  fleet::FleetConfig config;
+  config.sessions = sessions;
+  config.workers = fleetWorkers();
+  config.epoch = ms(500);
+  // Fixed horizon even under --quick: contract 3's hit-rate gate needs the
+  // recurrence traffic a too-short run would not accumulate.
+  config.duration = ms(4000);
+  config.driver = fleet::FleetDriver::kWorkStealing;
+  config.sessionTweak = sharedPopulation(/*apps=*/8);
+  config.sharedVerdictTier = tierEnabled;
+  // A deliberately small L1 keeps re-encounters flowing to the shared
+  // tier; with the default 32-entry L1 this workload would be absorbed
+  // per-session and measure nothing fleet-wide.
+  config.darpa.verdictCacheCapacity = 1;
+
+  fleet::Fleet fleet(detector, probe, config);
+  const auto t0 = std::chrono::steady_clock::now();
+  fleet.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  const fleet::FleetSnapshot snap = fleet.snapshot();
+
+  Sample sample;
+  sample.sessions = sessions;
+  sample.backend = "batching";
+  sample.driver = "ws";
+  sample.workers = config.workers;
+  sample.tiered = tierEnabled;
+  sample.wallMs = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  sample.analyses = snap.ledger.analyses();
+  sample.screensPerSec =
+      sample.wallMs <= 0.0 ? 0.0 : sample.analyses / (sample.wallMs / 1000.0);
+  sample.sessionsPerSec =
+      sample.wallMs <= 0.0 ? 0.0 : sessions / (sample.wallMs / 1000.0);
+  sample.detectCpuMs = snap.ledger.tally(core::Stage::kDetect).cpuMs;
+  sample.l2Hits = snap.verdictTier.hits;
+  sample.l2Misses = snap.verdictTier.misses;
+  const std::int64_t probes = snap.verdictTier.hits + snap.verdictTier.misses;
+  sample.l2HitRate =
+      probes == 0 ? 0.0
+                  : static_cast<double>(snap.verdictTier.hits) /
+                        static_cast<double>(probes);
+  sample.suppressedDetects = snap.verdictTier.suppressedDetects;
+  sample.publishes = snap.verdictTier.publishes;
+  const std::vector<double> latencies = probe.takeLatenciesUs();
+  sample.detectP50Us = percentile(latencies, 0.50);
+  sample.detectP99Us = percentile(latencies, 0.99);
+  return sample;
+}
+
 void printSample(const Sample& s) {
   std::printf("  %-8d %-11s %-9s %7d %10.1f %12.1f %14.1f %10.2f\n",
               s.sessions, s.backend.c_str(), s.driver.c_str(), s.workers,
@@ -142,12 +314,21 @@ void writeJson(const std::vector<Sample>& samples, const char* path) {
                  "\"sessions_per_sec\": %.3f, "
                  "\"analyses\": %lld, \"detect_cpu_ms\": %.3f, "
                  "\"mean_batch\": %.3f, "
-                 "\"straggler_p50_ms\": %.3f, \"straggler_p99_ms\": %.3f}%s\n",
+                 "\"straggler_p50_ms\": %.3f, \"straggler_p99_ms\": %.3f, "
+                 "\"tiered\": %s, \"l2_hit_rate\": %.4f, "
+                 "\"l2_hits\": %lld, \"l2_misses\": %lld, "
+                 "\"suppressed_detects\": %lld, \"publishes\": %lld, "
+                 "\"detect_p50_us\": %.1f, \"detect_p99_us\": %.1f}%s\n",
                  s.sessions, s.backend.c_str(), s.driver.c_str(), s.workers,
                  s.wallMs, s.screensPerSec, s.sessionsPerSec,
                  static_cast<long long>(s.analyses), s.detectCpuMs, s.meanBatch,
                  s.stragglerP50Ms, s.stragglerP99Ms,
-                 i + 1 < samples.size() ? "," : "");
+                 s.tiered ? "true" : "false", s.l2HitRate,
+                 static_cast<long long>(s.l2Hits),
+                 static_cast<long long>(s.l2Misses),
+                 static_cast<long long>(s.suppressedDetects),
+                 static_cast<long long>(s.publishes), s.detectP50Us,
+                 s.detectP99Us, i + 1 < samples.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -227,7 +408,33 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
     samples.push_back(s);
   }
-  writeJson(samples, "fleet_throughput.json");
+
+  // Shared-verdict-tier offered-load sweep: a shared app population where
+  // 8 apps serve the whole fleet, tier off vs on at each size. The tier-on
+  // rows report the serving-style SLOs: submit->completion latency
+  // percentiles, L2 hit rate, and how many model detects the cross-session
+  // single-flight suppressed outright.
+  printHeader("Shared verdict tier: offered load vs serving SLOs");
+  std::printf("  %-8s %-5s %10s %9s %8s %8s %10s %12s %12s\n", "sessions",
+              "tier", "wall ms", "hit rate", "l2 hits", "suppr",
+              "detect cpu", "p50 us", "p99 us");
+  Sample tierGateSample;
+  for (const int sessions : {16, 64, 256}) {
+    for (const bool tierEnabled : {false, true}) {
+      const Sample s = runTierFleet(detector, sessions, tierEnabled);
+      std::printf("  %-8d %-5s %10.1f %8.1f%% %8lld %8lld %10.1f %12.1f "
+                  "%12.1f\n",
+                  s.sessions, s.tiered ? "on" : "off", s.wallMs,
+                  100.0 * s.l2HitRate, static_cast<long long>(s.l2Hits),
+                  static_cast<long long>(s.suppressedDetects), s.detectCpuMs,
+                  s.detectP50Us, s.detectP99Us);
+      std::fflush(stdout);
+      samples.push_back(s);
+      if (tierEnabled && sessions == 256) tierGateSample = s;
+    }
+  }
+
+  writeJson(samples, artifactPath("BENCH_fleet.json").c_str());
 
   // Contract 1: at 64 sessions, batching must win >= 2x over inline-serial
   // in wall-clock OR modeled detect cost.
@@ -270,6 +477,18 @@ int main(int argc, char** argv) {
               duelRatio);
   if (duelRatio < 0.95) {
     std::printf("FAIL: work-stealing fell below the lockstep baseline\n");
+    return 1;
+  }
+
+  // Contract 3: over the shared app population at 256 sessions, the tier
+  // must serve at least half of all L2 probes — the sharing the whole
+  // fleet-wide promotion exists for.
+  std::printf("  shared tier@256: L2 hit rate %.1f%%, %lld suppressed "
+              "detects (contract: hit rate >= 50%%)\n",
+              100.0 * tierGateSample.l2HitRate,
+              static_cast<long long>(tierGateSample.suppressedDetects));
+  if (tierGateSample.l2HitRate < 0.50) {
+    std::printf("FAIL: shared verdict tier is not sharing at 256 sessions\n");
     return 1;
   }
   std::printf("  contracts PASSED\n");

@@ -89,8 +89,9 @@ Outcome runWorkload(const cv::Detector& detector, std::size_t cacheCapacity,
   outcome.cacheSize = service.pipeline().cache().size();
   outcome.cacheEvictions = service.pipeline().cache().evictions();
   if (trace) {
-    if (service.ledger().writeChromeTrace("pipeline_trace.json")) {
-      std::printf("  wrote pipeline_trace.json (%zu trace events)\n",
+    const std::string tracePath = bench::artifactPath("pipeline_trace.json");
+    if (service.ledger().writeChromeTrace(tracePath)) {
+      std::printf("  wrote %s (%zu trace events)\n", tracePath.c_str(),
                   service.ledger().traceEventCount());
     }
   }

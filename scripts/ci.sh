@@ -51,10 +51,10 @@ if [ "${SKIP_SANITIZE:-0}" != "1" ]; then
   cmake -B build-tsan -S . -DDARPA_SANITIZE=thread
   cmake --build build-tsan -j "$JOBS"
 
-  echo "== ctest, TSan fleet/scheduler/executor/pool tests (build-tsan/) =="
+  echo "== ctest, TSan fleet/scheduler/executor/pool/tier tests (build-tsan/) =="
   TSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-      -R 'FleetTest|FleetSchedulerTest|ExecutorTest|FramePoolTest'
+      -R 'FleetTest|FleetSchedulerTest|ExecutorTest|FramePoolTest|SharedVerdictTierTest'
 fi
 
 if [ "${SKIP_BENCH:-0}" != "1" ]; then
@@ -82,6 +82,19 @@ if [ "${SKIP_BENCH:-0}" != "1" ]; then
     --target bench_detector_hotpath --target bench_fleet_throughput
   (cd build-perf/bench && ./bench_detector_hotpath --quick)
   (cd build-perf/bench && ./bench_fleet_throughput --quick)
+
+  # Both perf benches persist their measured numbers as JSON next to the
+  # binary; the lane fails if either artifact is missing and then publishes
+  # both at the repo root (gitignored) so perf regressions are diffable
+  # across runs without re-running the lane.
+  for artifact in BENCH_detector.json BENCH_fleet.json; do
+    if [ ! -f "build-perf/bench/$artifact" ]; then
+      echo "FAIL: perf lane did not produce $artifact" >&2
+      exit 1
+    fi
+    cp "build-perf/bench/$artifact" "./$artifact"
+    echo "-- published $artifact"
+  done
 fi
 
 echo "== thread-safety (clang -Wthread-safety, errors) =="

@@ -12,7 +12,7 @@ namespace darpa::core {
 DarpaService::DarpaService(const cv::Detector& detector, DarpaConfig config)
     : detector_(&detector),
       config_(config),
-      pipeline_(config.verdictCacheCapacity) {}
+      pipeline_(config.verdictCacheCapacity, config.verdictTier) {}
 
 DarpaService::~DarpaService() {
   if (connected()) clearDecorations();
@@ -109,7 +109,10 @@ void DarpaService::analyzeNow() {
   // executor's flush. Everything it touches is owned by the service, which
   // outlives any in-flight pass (fleets flush before teardown).
   pipeline_.run(ctx, ledger_, detectionExecutor(), [this](AnalysisContext& c) {
-    if (c.fromCache) ++stats_.verdictCacheHits;
+    // A cache-served analysis counts against the tier that served it.
+    if (c.fromCache) {
+      ++(c.fromSharedTier ? stats_.verdictTierHits : stats_.verdictCacheHits);
+    }
     lastDetections_ = c.detections;
     lastWasAui_ = c.isAui;
     ledger_.endAnalysis();

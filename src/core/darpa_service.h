@@ -85,6 +85,13 @@ struct DarpaConfig {
   /// re-stabilized structurally identical screen is served its previous
   /// verdict without lint, screenshot, or CV work.
   std::size_t verdictCacheCapacity = 32;
+  /// Optional fleet-wide shared L2 behind the session cache (borrowed;
+  /// must outlive the service). Probed on L1 miss, refilled by promotion,
+  /// published to on evidence-backed verdicts; also turns on cross-session
+  /// single-flight for deferred detects. Null (the default) keeps the
+  /// pipeline byte-identical to the tier-less build. Fleets own one tier
+  /// and point every session at it (FleetConfig::sharedVerdictTier).
+  SharedVerdictTier* verdictTier = nullptr;
   /// Detection backend (borrowed; must outlive the service). When null the
   /// service uses the shared InlineExecutor — detect() on the caller's
   /// thread, byte-identical to the pre-fleet synchronous path. Fleets point
@@ -112,8 +119,11 @@ struct DarpaStats {
   std::int64_t lintRuns CONFINED_TO("owning session") = 0;
   /// Analyses resolved without CV.
   std::int64_t cvSkippedByLint CONFINED_TO("owning session") = 0;
-  /// Analyses served from the cache.
+  /// Analyses served from the session L1 cache.
   std::int64_t verdictCacheHits CONFINED_TO("owning session") = 0;
+  /// Analyses served from the fleet-wide L2 tier (disjoint from
+  /// verdictCacheHits: each cache-served analysis counts in exactly one).
+  std::int64_t verdictTierHits CONFINED_TO("owning session") = 0;
   /// §IV-D offset calibrations.
   std::int64_t anchorMeasurements CONFINED_TO("owning session") = 0;
 
@@ -127,6 +137,7 @@ struct DarpaStats {
     lintRuns += o.lintRuns;
     cvSkippedByLint += o.cvSkippedByLint;
     verdictCacheHits += o.verdictCacheHits;
+    verdictTierHits += o.verdictTierHits;
     anchorMeasurements += o.anchorMeasurements;
     return *this;
   }

@@ -72,10 +72,21 @@ struct DetectionRequest {
   int sessionId = 0;        ///< Deterministic ordering key, major.
   std::uint64_t seq = 0;    ///< Deterministic ordering key, minor
                             ///< (monotonic per session).
+  /// Cross-session single-flight key (0 = never coalesce). Tiered
+  /// pipelines set this to the screen fingerprint: within one deferred
+  /// flush, the canonically-first request per (detector, key) is the
+  /// leader that actually runs the model; every later request with the
+  /// same key is a follower, delivered a copy of the leader's detections
+  /// with `batchSize == 0` — the suppressed-detect marker (see below).
+  /// Synchronous backends ignore the key entirely.
+  std::uint64_t coalesceKey = 0;
   /// Invoked with the detections, the size of the batch the request was
-  /// executed in (1 for unbatched backends), and the measured wall-clock
-  /// timing. Runs on the session's thread: either synchronously inside
-  /// submit(), or as a replyLooper task drained at the epoch barrier.
+  /// executed in (1 for unbatched backends; 0 when this request was a
+  /// single-flight follower whose detect was suppressed — the detections
+  /// are the leader's and no model ran for this request), and the measured
+  /// wall-clock timing. Runs on the session's thread: either synchronously
+  /// inside submit(), or as a replyLooper task drained at the epoch
+  /// barrier.
   std::function<void(std::vector<cv::Detection>, int batchSize,
                      const DetectionTiming& timing)>
       onComplete;

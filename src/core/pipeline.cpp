@@ -4,6 +4,7 @@
 
 #include "analysis/lint.h"
 #include "core/darpa_service.h"
+#include "core/verdict_tier.h"
 
 namespace darpa::core {
 
@@ -118,9 +119,21 @@ void VerdictStage::run(AnalysisContext& ctx, WorkLedger& ledger) {
   ledger.recordRun(Stage::kVerdict, ledger.costs().verdictCpuMs);
   // Cache only verdicts that rest on real evidence (a lint resolution or a
   // usable capture); a transient screenshot failure must stay transient.
-  if (cache_->enabled() && ctx.wm != nullptr &&
-      (ctx.resolvedByLint || ctx.screenshotOk)) {
+  const bool evidenced = ctx.resolvedByLint || ctx.screenshotOk;
+  if (cache_->enabled() && ctx.wm != nullptr && evidenced) {
     cache_->put(ctx.fingerprint(), {ctx.isAui, ctx.detections});
+  }
+  // Publish to the fleet L2 with the evidence grade attached; the tier's
+  // poisoning guard enforces the same seeding rule fleet-wide (an
+  // unevidenced publish is counted and dropped there, keeping one
+  // session's failed capture from becoming everyone's verdict).
+  if (tier_ != nullptr && ctx.wm != nullptr) {
+    const auto evidence = ctx.resolvedByLint
+                              ? SharedVerdictTier::Evidence::kLint
+                              : (ctx.screenshotOk
+                                     ? SharedVerdictTier::Evidence::kCapture
+                                     : SharedVerdictTier::Evidence::kNone);
+    tier_->publish(ctx.fingerprint(), {ctx.isAui, ctx.detections}, evidence);
   }
 }
 
@@ -144,12 +157,13 @@ void ActStage::run(AnalysisContext& ctx, WorkLedger& ledger) {
 
 // --------------------------------------------------------------- pipeline
 
-AnalysisPipeline::AnalysisPipeline(std::size_t cacheCapacity)
-    : cache_(cacheCapacity) {
+AnalysisPipeline::AnalysisPipeline(std::size_t cacheCapacity,
+                                   SharedVerdictTier* tier)
+    : cache_(cacheCapacity), tier_(tier) {
   stages_.push_back(std::make_unique<LintStage>());
   stages_.push_back(std::make_unique<ScreenshotStage>());
   stages_.push_back(std::make_unique<DetectStage>());
-  stages_.push_back(std::make_unique<VerdictStage>(cache_));
+  stages_.push_back(std::make_unique<VerdictStage>(cache_, tier_));
   stages_.push_back(std::make_unique<ActStage>());
 }
 
@@ -173,15 +187,38 @@ void AnalysisPipeline::run(std::shared_ptr<AnalysisContext> ctx,
     (void)ctx->frame->fingerprint();
   }
 
-  // Verdict-cache probe: a hit resolves the whole analysis for the cost of
-  // the dump walk + lookup and routes straight to the act stage.
-  if (cache_.enabled() && ctx->wm != nullptr) {
+  // Verdict-cache probe, L1 then L2: a hit in either tier resolves the
+  // whole analysis for the cost of the dump walk + lookup(s) and routes
+  // straight to the act stage. An L2 hit is promoted into L1 so the next
+  // repeat of this screen is a session-local hit again. With no tier
+  // wired this block is byte-identical to the historical L1-only probe.
+  if (ctx->wm != nullptr && (cache_.enabled() || tier_ != nullptr)) {
     ledger.recordRun(Stage::kVerdict, ledger.costs().cacheLookupCpuMs);
-    if (const VerdictCache::Entry* hit = cache_.find(ctx->fingerprint())) {
+    const VerdictCache::Entry* hit =
+        cache_.enabled() ? cache_.find(ctx->fingerprint()) : nullptr;
+    if (hit != nullptr) {
       ledger.recordCacheHit();
       ctx->fromCache = true;
       ctx->isAui = hit->isAui;
       ctx->detections = hit->detections;
+    } else if (tier_ != nullptr) {
+      // The L2 probe is a second lookup; price it as one when the L1
+      // probe above already paid the first.
+      if (cache_.enabled()) {
+        ledger.recordRun(Stage::kVerdict, ledger.costs().cacheLookupCpuMs);
+      }
+      if (auto shared = tier_->find(ctx->fingerprint())) {
+        ledger.recordCacheHit();
+        ctx->fromCache = true;
+        ctx->fromSharedTier = true;
+        ctx->isAui = shared->isAui;
+        ctx->detections = std::move(shared->detections);
+        if (cache_.enabled()) {
+          cache_.put(ctx->fingerprint(), {ctx->isAui, ctx->detections});
+        }
+      } else {
+        ledger.recordCacheMiss();
+      }
     } else {
       ledger.recordCacheMiss();
     }
@@ -259,6 +296,12 @@ void AnalysisPipeline::submitDetect(std::size_t next,
   // this request instead of duplicating it (deferred backends only; the
   // inline executor completes before run() could ever observe the entry).
   if (!executor.synchronous()) inflight_.try_emplace(ctx->fingerprint());
+  // Cross-SESSION single-flight (tiered pipelines only): tag the request
+  // with the screen fingerprint so a deferred executor's flush can
+  // coalesce concurrent misses from different sessions into one model run
+  // (the fingerprint determines the verdict, so any leader's detections
+  // serve every follower). Untagged (0) requests never coalesce.
+  request.coalesceKey = tier_ != nullptr ? ctx->fingerprint() : 0;
   request.onComplete = [this, next, ctx, &ledger, &executor,
                         done = std::move(done)](
                            std::vector<cv::Detection> detections,
@@ -266,16 +309,27 @@ void AnalysisPipeline::submitDetect(std::size_t next,
                            const DetectionTiming& timing) mutable {
     ledger.resumeAnalysis(ctx->pass);
     ctx->detections = std::move(detections);
-    // Deferred backends report the batch the request rode in; its amortized
-    // per-image share prices the stage. An unbatched detect (batchSize 1)
-    // costs exactly costMacsPerImage. The executor's measured wall clock
-    // and scratch warm-up ride along on their own observability axes.
-    const int n = batchSize > 0 ? batchSize : 1;
-    const double macsShare = ctx->detector->costMacsPerBatch(n) / n;
-    ledger.recordRun(Stage::kDetect, macsShare / ledger.costs().macsPerCpuMs,
-                     timing.actualMicros);
-    ledger.recordScratchGrowth(Stage::kDetect, timing.scratchGrowths,
-                               timing.scratchGrownBytes);
+    if (batchSize == 0) {
+      // Single-flight suppressed delivery: another session's canonical
+      // leader ran the model in this flush and these are its detections.
+      // No model ran for this request, so the stage prices at zero
+      // modeled CPU — the whole point of the coalescing — and the saved
+      // detect is reported to the tier's observability counters.
+      ledger.recordRun(Stage::kDetect, 0.0, timing.actualMicros);
+      if (tier_ != nullptr) tier_->noteSuppressedDetect();
+    } else {
+      // Deferred backends report the batch the request rode in; its
+      // amortized per-image share prices the stage. An unbatched detect
+      // (batchSize 1) costs exactly costMacsPerImage. The executor's
+      // measured wall clock and scratch warm-up ride along on their own
+      // observability axes.
+      const double macsShare =
+          ctx->detector->costMacsPerBatch(batchSize) / batchSize;
+      ledger.recordRun(Stage::kDetect, macsShare / ledger.costs().macsPerCpuMs,
+                       timing.actualMicros);
+      ledger.recordScratchGrowth(Stage::kDetect, timing.scratchGrowths,
+                                 timing.scratchGrownBytes);
+    }
     advance(next, ctx, ledger, executor, std::move(done));
     // The pass (verdict cached, epilogue run) is complete: release the
     // in-flight key, then replay the coalesced followers. The cache now

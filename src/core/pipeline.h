@@ -53,6 +53,7 @@ class DarpaService;
 struct DarpaConfig;
 struct DarpaStats;
 class ScreenshotVault;
+class SharedVerdictTier;
 
 /// Everything one analysis pass carries between stages.
 struct AnalysisContext {
@@ -73,6 +74,8 @@ struct AnalysisContext {
   std::shared_ptr<ScreenFrame> frame;
   std::vector<cv::Detection> detections;
   bool fromCache = false;          ///< Verdict served by the fingerprint cache.
+  bool fromSharedTier = false;     ///< The serving cache was the fleet L2
+                                   ///< (implies fromCache).
   bool resolvedByLint = false;     ///< Confident lint verdict; CV skipped.
   bool screenshotOk = false;       ///< A usable capture reached the vault.
   bool isAui = false;              ///< Final screen verdict.
@@ -110,9 +113,10 @@ class AnalysisStage {
 ///
 /// Session-confined, like the pipeline that owns it (CONFINED_TO below):
 /// one cache per DeviceSession, touched only by the thread advancing that
-/// session — which is why there is no lock here. The ROADMAP's fleet-wide
-/// shared verdict tier will be a different, striped structure at
-/// LockRank::kVerdictTier; this one stays confined.
+/// session — which is why there is no lock here. This is the L1 of the
+/// two-tier hierarchy: the fleet-wide SharedVerdictTier (verdict_tier.h)
+/// is the striped L2 behind it, probed on L1 miss and refilled by
+/// promotion; this structure stays confined either way.
 class VerdictCache {
  public:
   struct Entry {
@@ -180,16 +184,21 @@ class DetectStage : public AnalysisStage {
   void run(AnalysisContext& ctx, WorkLedger& ledger) override;
 };
 
-/// Merges detections into the screen verdict and stores it in the cache.
+/// Merges detections into the screen verdict and stores it in the cache —
+/// both tiers: the session L1 unconditionally (its historical seeding
+/// rule), and the fleet L2, where the same rule acts as the poisoning
+/// guard (publish carries the evidence grade; the tier drops kNone).
 class VerdictStage : public AnalysisStage {
  public:
-  explicit VerdictStage(VerdictCache& cache) : cache_(&cache) {}
+  VerdictStage(VerdictCache& cache, SharedVerdictTier* tier)
+      : cache_(&cache), tier_(tier) {}
   [[nodiscard]] Stage kind() const override { return Stage::kVerdict; }
   [[nodiscard]] bool shouldRun(const AnalysisContext& ctx) const override;
   void run(AnalysisContext& ctx, WorkLedger& ledger) override;
 
  private:
   VerdictCache* cache_;
+  SharedVerdictTier* tier_;  ///< Borrowed shared L2; null = no tier.
 };
 
 /// Acts on an AUI verdict: auto-bypass click or decoration overlays. The
@@ -206,8 +215,13 @@ class ActStage : public AnalysisStage {
 
 class AnalysisPipeline {
  public:
-  /// `cacheCapacity` bounds the verdict cache; 0 disables it.
-  explicit AnalysisPipeline(std::size_t cacheCapacity);
+  /// `cacheCapacity` bounds the session L1 verdict cache; 0 disables it.
+  /// `tier` is the optional fleet-wide L2 (borrowed; must outlive the
+  /// pipeline): probed on L1 miss, refilled by promotion, published to by
+  /// the verdict stage. Null (the default) keeps every code path
+  /// byte-identical to the tier-less build.
+  explicit AnalysisPipeline(std::size_t cacheCapacity,
+                            SharedVerdictTier* tier = nullptr);
 
   /// Runs one analysis pass: fingerprint + cache probe, then every stage in
   /// order (skipped stages are recorded as such in the ledger). The detect
@@ -248,6 +262,7 @@ class AnalysisPipeline {
   };
 
   VerdictCache cache_;
+  SharedVerdictTier* tier_;  ///< Borrowed fleet L2; null = no tier.
   std::vector<std::unique_ptr<AnalysisStage>> stages_;
   std::uint64_t nextSeq_ = 0;
   /// In-flight request coalescing (deferred executors only): fingerprints

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
 #include "android/looper.h"
@@ -50,6 +51,49 @@ void parallelFor(int threads, std::size_t count,
   for (std::thread& t : pool) t.join();
 }
 
+/// Cross-session single-flight partition of one canonically-sorted flush:
+/// returns leaderOf, where leaderOf[i] == i marks a leader (it runs the
+/// model) and leaderOf[i] == j < i marks a follower of leader j (same
+/// non-zero coalesceKey and detector — it is delivered a copy of j's
+/// detections with batchSize 0 and never reaches the model). Requests with
+/// coalesceKey 0 always lead, so an untagged (tier-less) flush partitions
+/// into all-leaders and the downstream code degenerates to the historical
+/// path byte-for-byte. Follower frames are released here: no model will
+/// read them, and §IV-E scrub-on-last-release must not wait for delivery.
+/// The key map is accessed by key only (find/assign), never iterated.
+std::vector<std::size_t> assignLeaders(
+    std::vector<core::DetectionRequest>& work) {
+  std::vector<std::size_t> leaderOf(work.size());
+  std::unordered_map<std::uint64_t, std::size_t> firstByKey;
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    leaderOf[i] = i;
+    if (work[i].coalesceKey == 0) continue;
+    const auto it = firstByKey.find(work[i].coalesceKey);
+    if (it != firstByKey.end() &&
+        work[it->second].detector == work[i].detector) {
+      leaderOf[i] = it->second;
+      work[i].frame.reset();
+    } else {
+      // First sighting of this key (or a different detector under the same
+      // key — it leads its own flight and takes over the key slot; the
+      // canonical order makes the takeover deterministic).
+      firstByKey[work[i].coalesceKey] = i;
+    }
+  }
+  return leaderOf;
+}
+
+/// Leaders that have at least one follower in this flush (their results
+/// must be copied out to the followers, so delivery cannot move them).
+std::vector<char> leadersWithFollowers(
+    const std::vector<std::size_t>& leaderOf) {
+  std::vector<char> shared(leaderOf.size(), 0);
+  for (std::size_t i = 0; i < leaderOf.size(); ++i) {
+    if (leaderOf[i] != i) shared[leaderOf[i]] = 1;
+  }
+  return shared;
+}
+
 /// Delivers one completion: posted to the owning session's Looper when the
 /// request names one (the session drains it at the barrier), invoked
 /// directly otherwise. Called in canonical order from the flushing thread.
@@ -88,10 +132,13 @@ void ThreadPoolExecutor::flush() {
   }
   if (work.empty()) return;
   sortCanonical(work);
+  const std::vector<std::size_t> leaderOf = assignLeaders(work);
+  const std::vector<char> shared = leadersWithFollowers(leaderOf);
 
   std::vector<std::vector<cv::Detection>> results(work.size());
   std::vector<core::DetectionTiming> timings(work.size());
   parallelFor(threads_, work.size(), [&](std::size_t i) {
+    if (leaderOf[i] != i) return;  // Single-flight follower: no model run.
     core::DetectionRequest& request = work[i];
     // Scratch stats are thread-local, so the before/after delta on this
     // worker thread is exactly this call's warm-up growth.
@@ -110,8 +157,19 @@ void ThreadPoolExecutor::flush() {
     request.frame.reset();
   });
 
+  // Delivery stays in canonical order over ALL requests, leaders and
+  // followers interleaved; a leader precedes its followers by
+  // construction, so a shared result is copied out until its last
+  // follower and moved never (copies are the price of sharing).
   for (std::size_t i = 0; i < work.size(); ++i) {
-    deliver(work[i], std::move(results[i]), /*batchSize=*/1, timings[i]);
+    if (leaderOf[i] == i) {
+      auto detections =
+          shared[i] != 0 ? results[i] : std::move(results[i]);
+      deliver(work[i], std::move(detections), /*batchSize=*/1, timings[i]);
+    } else {
+      deliver(work[i], results[leaderOf[i]], /*batchSize=*/0,
+              core::DetectionTiming{});
+    }
     ++completed_;
   }
 }
@@ -141,25 +199,46 @@ void BatchingExecutor::flush() {
   }
   if (work.empty()) return;
   sortCanonical(work);
+  // Single-flight first: only leaders enter batch composition, so a
+  // coalesced flush also composes SMALLER batches — the suppressed
+  // followers neither occupy batch slots nor dilute the amortized cost.
+  // An untagged flush is all-leaders and batches exactly as before.
+  const std::vector<std::size_t> leaderOf = assignLeaders(work);
+  const std::vector<char> shared = leadersWithFollowers(leaderOf);
+  std::vector<std::size_t> leaders;
+  leaders.reserve(work.size());
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    if (leaderOf[i] == i) leaders.push_back(i);
+  }
 
-  // Chunk the canonical order into batches: contiguous runs sharing a
-  // detector (fleets normally share one), cut at maxBatchSize. The chunk
-  // boundaries are a pure function of the sorted order, so batch
+  // Chunk the canonical leader order into batches: contiguous runs sharing
+  // a detector (fleets normally share one), cut at maxBatchSize. The chunk
+  // boundaries are a pure function of the sorted leader set, so batch
   // composition is identical for any worker count.
   struct Batch {
     std::size_t begin = 0;
-    std::size_t end = 0;  ///< Exclusive.
+    std::size_t end = 0;  ///< Exclusive, indices into `leaders`.
   };
   std::vector<Batch> batches;
   std::size_t runStart = 0;
-  for (std::size_t i = 1; i <= work.size(); ++i) {
-    const bool cut = i == work.size() ||
-                     work[i].detector != work[runStart].detector ||
-                     i - runStart >=
+  for (std::size_t k = 1; k <= leaders.size(); ++k) {
+    const bool cut = k == leaders.size() ||
+                     work[leaders[k]].detector !=
+                         work[leaders[runStart]].detector ||
+                     k - runStart >=
                          static_cast<std::size_t>(options_.maxBatchSize);
     if (cut) {
-      batches.push_back({runStart, i});
-      runStart = i;
+      batches.push_back({runStart, k});
+      runStart = k;
+    }
+  }
+  // Where each leader's result lives: its batch and offset within it.
+  std::vector<std::size_t> batchOf(work.size(), 0);
+  std::vector<std::size_t> offsetOf(work.size(), 0);
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    for (std::size_t k = batches[b].begin; k < batches[b].end; ++k) {
+      batchOf[leaders[k]] = b;
+      offsetOf[leaders[k]] = k - batches[b].begin;
     }
   }
 
@@ -169,44 +248,55 @@ void BatchingExecutor::flush() {
     const Batch& batch = batches[b];
     std::vector<const gfx::Bitmap*> images;
     images.reserve(batch.end - batch.begin);
-    for (std::size_t i = batch.begin; i < batch.end; ++i) {
-      images.push_back(&work[i].frame->pixels());
+    for (std::size_t k = batch.begin; k < batch.end; ++k) {
+      images.push_back(&work[leaders[k]].frame->pixels());
     }
     const cv::DetectScratchStats before = cv::hotpathScratchStats();
     // Audited: feeds only DetectionTiming::actualMicros (observability).
     // detlint: begin-allow(wall-clock-in-digest-path) observability axis only
     const double startUs = wallMicros();
-    results[b] = work[batch.begin].detector->detectBatch(images);
+    results[b] = work[leaders[batch.begin]].detector->detectBatch(images);
     batchTimings[b].actualMicros = wallMicros() - startUs;
     // detlint: end-allow(wall-clock-in-digest-path)
     const cv::DetectScratchStats after = cv::hotpathScratchStats();
     batchTimings[b].scratchGrowths = after.growths - before.growths;
     batchTimings[b].scratchGrownBytes = after.grownBytes - before.grownBytes;
-    for (std::size_t i = batch.begin; i < batch.end; ++i) {
-      work[i].frame.reset();  // §IV-E: scrub-on-last-release.
+    for (std::size_t k = batch.begin; k < batch.end; ++k) {
+      work[leaders[k]].frame.reset();  // §IV-E: scrub-on-last-release.
     }
   });
 
   for (std::size_t b = 0; b < batches.size(); ++b) {
-    const Batch& batch = batches[b];
-    const int batchSize = static_cast<int>(batch.end - batch.begin);
+    const int batchSize = static_cast<int>(batches[b].end - batches[b].begin);
     ++batches_;
     images_ += batchSize;
     largestBatch_ = std::max(largestBatch_, batchSize);
-    for (std::size_t i = batch.begin; i < batch.end; ++i) {
-      // Per-image share of the batch's wall clock; the batch's scratch
-      // warm-up (if any) is attributed to its first request so the fleet
-      // roll-up counts each growth exactly once.
-      core::DetectionTiming timing;
-      timing.actualMicros =
-          batchTimings[b].actualMicros / static_cast<double>(batchSize);
-      if (i == batch.begin) {
-        timing.scratchGrowths = batchTimings[b].scratchGrowths;
-        timing.scratchGrownBytes = batchTimings[b].scratchGrownBytes;
-      }
-      deliver(work[i], std::move(results[b][i - batch.begin]), batchSize,
-              timing);
+  }
+
+  // Delivery stays in canonical order over ALL requests, leaders and
+  // followers interleaved; a leader precedes its followers by
+  // construction, so shared results are copied out, unshared ones moved.
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    const std::size_t leader = leaderOf[i];
+    const std::size_t b = batchOf[leader];
+    std::vector<cv::Detection>& result = results[b][offsetOf[leader]];
+    if (leader != i) {
+      deliver(work[i], result, /*batchSize=*/0, core::DetectionTiming{});
+      continue;
     }
+    const int batchSize = static_cast<int>(batches[b].end - batches[b].begin);
+    // Per-image share of the batch's wall clock; the batch's scratch
+    // warm-up (if any) is attributed to its first request so the fleet
+    // roll-up counts each growth exactly once.
+    core::DetectionTiming timing;
+    timing.actualMicros =
+        batchTimings[b].actualMicros / static_cast<double>(batchSize);
+    if (offsetOf[i] == 0) {
+      timing.scratchGrowths = batchTimings[b].scratchGrowths;
+      timing.scratchGrownBytes = batchTimings[b].scratchGrownBytes;
+    }
+    auto detections = shared[i] != 0 ? result : std::move(result);
+    deliver(work[i], std::move(detections), batchSize, timing);
   }
 }
 

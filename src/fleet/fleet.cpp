@@ -22,6 +22,12 @@ Fleet::Fleet(const cv::Detector& detector, core::DetectionExecutor& executor,
   if (config_.pooledFrames) {
     pool_ = std::make_unique<gfx::FramePool>(config_.framePool);
   }
+  if (config_.sharedVerdictTier) {
+    if (config_.verdictTier.shards < 1) {
+      config_.verdictTier.shards = config_.workers;
+    }
+    tier_ = std::make_unique<core::SharedVerdictTier>(config_.verdictTier);
+  }
 
   const bool workStealing = config_.driver == FleetDriver::kWorkStealing;
   // With an asynchronous backend the work-stealing driver must not let a
@@ -53,6 +59,7 @@ Fleet::Fleet(const cv::Detector& detector, core::DetectionExecutor& executor,
     // plumbing fields are not the hook's to change.
     session.id = i;
     session.framePool = pool_.get();
+    session.darpa.verdictTier = tier_.get();
     if (useInboxes) {
       inboxes_.push_back(std::make_unique<SessionInbox>());
       session.darpa.executor = inboxes_.back().get();
@@ -179,6 +186,7 @@ FleetSnapshot Fleet::snapshot() const {
     }
   }
   if (pool_ != nullptr) snap.framePool = pool_->stats();
+  if (tier_ != nullptr) snap.verdictTier = tier_->stats();
   return snap;
 }
 

@@ -47,6 +47,7 @@
 
 #include "core/detection_executor.h"
 #include "core/stat_merge.h"
+#include "core/verdict_tier.h"
 #include "fleet/device_session.h"
 #include "fleet/scheduler.h"
 #include "util/thread_annotations.h"
@@ -86,6 +87,16 @@ struct FleetConfig {
   bool pooledFrames = true;
   gfx::FramePool::Options framePool;  ///< Caps; zeros = unlimited. shards=0
                                       ///< resolves to the worker count.
+  /// Own a fleet-wide SharedVerdictTier (the L2 behind every session's
+  /// verdict cache) and point every session at it. Off by default: a
+  /// tier-less fleet is byte-identical to the pre-tier build. On, sessions
+  /// share verdicts for recurring screens and deferred detects coalesce
+  /// cross-session — per-session verdicts are unchanged, only who pays
+  /// for them moves, so digests trade byte-equality for verdict
+  /// equivalence (see verdict_tier.h).
+  bool sharedVerdictTier = false;
+  core::SharedVerdictTier::Options verdictTier;  ///< shards=0 resolves to
+                                                 ///< the worker count.
 };
 
 /// Fleet-wide roll-up.
@@ -98,6 +109,10 @@ struct FleetSnapshot {
   std::int64_t auiExposures = 0;
   std::int64_t auisCovered = 0;
   gfx::FramePool::Stats framePool;  ///< Zeroed when pooling is off.
+  /// Shared L2 counters (zeroed when the tier is off). Observability only
+  /// — hit/suppression totals depend on cross-session timing, so nothing
+  /// digest-stable may consume them.
+  core::SharedVerdictTier::Stats verdictTier;
 };
 
 class Fleet {
@@ -154,6 +169,12 @@ class Fleet {
   [[nodiscard]] gfx::FramePool* framePool() { return pool_.get(); }
   [[nodiscard]] const gfx::FramePool* framePool() const { return pool_.get(); }
 
+  /// The fleet-wide verdict tier, or null when sharedVerdictTier is off.
+  [[nodiscard]] core::SharedVerdictTier* verdictTier() { return tier_.get(); }
+  [[nodiscard]] const core::SharedVerdictTier* verdictTier() const {
+    return tier_.get();
+  }
+
  private:
   /// Applies fn to every session, sharded session i -> worker (i % W).
   /// Joins before returning (the happens-before edge of the barrier).
@@ -168,6 +189,10 @@ class Fleet {
   /// Declared before sessions_: every pooled Bitmap's slab-return deleter
   /// points back into the pool, so it must outlive all session state.
   std::unique_ptr<gfx::FramePool> pool_;
+  /// Declared before sessions_ for the same lifetime rule: every session's
+  /// pipeline holds a borrowed tier pointer, and a teardown flush can still
+  /// run completions that publish into it.
+  std::unique_ptr<core::SharedVerdictTier> tier_;
   /// Per-session capture proxies (work-stealing + asynchronous backend
   /// only; empty otherwise). Declared before sessions_ because each
   /// session's DarpaConfig points at its inbox.

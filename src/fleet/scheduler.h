@@ -52,7 +52,9 @@
 //
 // Lock order (see util/lock_rank.h): control (100) -> shard queue (200)
 // while enqueuing; flush (150) -> executor queue (300) -> frame pool
-// (600/650) while flushing; stat merge (500) alone while folding. Shard
+// (600/650) while flushing — and a directly-invoked completion under the
+// flush lock may probe/publish a SharedVerdictTier stripe (400), still in
+// rank order; stat merge (500) alone while folding. Shard
 // locks share a rank — a thread never holds two (stealing probes siblings
 // only after releasing its own shard).
 #pragma once

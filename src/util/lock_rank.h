@@ -65,7 +65,13 @@ enum class LockRank : int {
   /// Deferred-executor parked-request queues (ThreadPoolExecutor /
   /// BatchingExecutor submit/flush swap).
   kExecutorQueue = 300,
-  /// Fleet-wide shared verdict tier stripes (reserved; ROADMAP).
+  /// Fleet-wide shared verdict tier stripes (core::SharedVerdictTier).
+  /// All shards share this rank (at most one shard lock held at a time;
+  /// nothing is called out to under it). Above kExecutorQueue/kFleetFlush
+  /// because pipeline completions probe/publish the tier while a
+  /// work-stealing flush may still hold those; below kStatMerge and the
+  /// frame-pool ranks so a tier operation can never be entangled with a
+  /// retirement fold or a slab release.
   kVerdictTier = 400,
   /// Sharded stat-merge locks (core::StatMergeShards): sessions fold their
   /// stats/ledger at retirement, snapshots read shards one at a time.

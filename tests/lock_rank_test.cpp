@@ -126,6 +126,7 @@ TEST(LockRankTest, FleetRankTagsConsistentUnderFourWorkers) {
   config.epoch = ms(500);
   config.duration = ms(2000);
   config.pooledFrames = true;
+  config.sharedVerdictTier = true;  // shards resolve to the worker count
   fleet::Fleet fleet(detector, executor, config);
 
   // The runtime's lock population carries the documented ranks: both
@@ -149,6 +150,15 @@ TEST(LockRankTest, FleetRankTagsConsistentUnderFourWorkers) {
   EXPECT_GE(registry.liveCount(LockRank::kStatMerge), 4);
   EXPECT_LT(static_cast<int>(LockRank::kFleetFlush),
             static_cast<int>(LockRank::kExecutorQueue));
+
+  // The shared verdict tier's stripes: one per worker here, ranked
+  // strictly between the executor queues (completions may publish while a
+  // flush holds one) and the stat-merge/frame-pool leaves.
+  EXPECT_GE(registry.liveCount(LockRank::kVerdictTier), 4);
+  EXPECT_GT(static_cast<int>(LockRank::kVerdictTier),
+            static_cast<int>(LockRank::kExecutorQueue));
+  EXPECT_LT(static_cast<int>(LockRank::kVerdictTier),
+            static_cast<int>(LockRank::kStatMerge));
 
   fleet.run();
   const fleet::FleetSnapshot snap = fleet.snapshot();

@@ -28,6 +28,41 @@ class FakeDetector : public cv::Detector {
   double costMacsPerImage() const override { return 1.0e6; }
 };
 
+/// Deferred executor under manual control: parks every request until the
+/// test calls flush(), which runs the model and delivers each completion
+/// through the reply looper (the deferred-backend delivery path).
+class ManualDeferredExecutor : public DetectionExecutor {
+ public:
+  void submit(DetectionRequest request) override {
+    parked_.push_back(std::move(request));
+  }
+  void flush() override {
+    std::vector<DetectionRequest> work;
+    work.swap(parked_);
+    for (DetectionRequest& request : work) {
+      auto detections = request.detector->detect(request.frame->pixels());
+      request.frame.reset();
+      if (request.replyLooper != nullptr) {
+        request.replyLooper->post(
+            [cb = std::move(request.onComplete),
+             dets = std::move(detections)]() mutable {
+              cb(std::move(dets), 1, DetectionTiming{});
+            });
+      } else {
+        request.onComplete(std::move(detections), 1, DetectionTiming{});
+      }
+    }
+  }
+  [[nodiscard]] std::size_t pendingCount() const override {
+    return parked_.size();
+  }
+  [[nodiscard]] bool synchronous() const override { return false; }
+  [[nodiscard]] const char* name() const override { return "manual"; }
+
+ private:
+  std::vector<DetectionRequest> parked_;
+};
+
 struct Harness {
   android::AndroidSystem system;
   FakeDetector detector;
@@ -154,6 +189,51 @@ TEST(VerdictCacheTest, ZeroCapacityStoresNothing) {
   cache.put(1, {true, {}});
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_EQ(cache.find(1), nullptr);
+  // A disabled cache never counts phantom evictions either.
+  EXPECT_EQ(cache.evictions(), 0);
+  cache.clear();  // clearing an empty disabled cache is a no-op, not a fault
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(VerdictCacheTest, CapacityOneHoldsExactlyTheLastKey) {
+  VerdictCache cache(1);
+  EXPECT_TRUE(cache.enabled());
+  cache.put(1, {true, {upoAt({1, 2, 3, 4})}});
+  ASSERT_NE(cache.find(1), nullptr);
+  cache.put(2, {false, {}});
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_EQ(cache.find(1), nullptr);
+  ASSERT_NE(cache.find(2), nullptr);
+  EXPECT_FALSE(cache.find(2)->isAui);
+  // Re-putting the resident key refreshes in place: no eviction churn.
+  cache.put(2, {true, {upoAt({5, 6, 7, 8})}});
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.evictions(), 1);
+  ASSERT_NE(cache.find(2), nullptr);
+  EXPECT_TRUE(cache.find(2)->isAui);
+}
+
+TEST(VerdictCacheTest, RepeatedFindPutOfSameKeyKeepsLruOrderHonest) {
+  VerdictCache cache(2);
+  cache.put(1, {true, {}});
+  cache.put(2, {false, {}});
+  // Hammer key 2 with finds and re-puts: it must stay ONE entry, and the
+  // churn must not perturb key 1's slot or fabricate evictions.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_NE(cache.find(2), nullptr);
+    cache.put(2, {i % 2 == 0, {}});
+  }
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 0);
+  // After the churn, 1 is the least recently used: the next insert evicts
+  // it and only it.
+  cache.put(3, {true, {}});
+  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_EQ(cache.find(1), nullptr);
+  ASSERT_NE(cache.find(2), nullptr);
+  EXPECT_FALSE(cache.find(2)->isAui);  // the last re-put (i=7) won
+  EXPECT_NE(cache.find(3), nullptr);
 }
 
 // ----------------------------------------------------------- fingerprint
@@ -294,6 +374,43 @@ TEST(PipelineCacheTest, FailedScreenshotIsNotCountedOrCached) {
   EXPECT_EQ(h.service.pipeline().cache().size(), 0u);
   h.service.analyzeNow();
   EXPECT_EQ(h.service.stats().verdictCacheHits, 0);
+}
+
+TEST(PipelineCacheTest, ClearDuringInFlightCoalescedDetectStaysCoherent) {
+  // Two passes of the same fingerprint through a deferred backend: the
+  // second parks behind the first's in-flight detect. clear()ing the cache
+  // while the detect is out must not strand the parked pass or leave the
+  // cache stale — the completion reseeds the fresh verdict and the
+  // replayed follower resolves against it, still without a second model
+  // run.
+  ManualDeferredExecutor executor;
+  DarpaConfig config;
+  config.executor = &executor;
+  Harness h(config);
+  h.detector.detections = {upoAt({30, 60, 20, 20})};
+
+  h.showAndSettle("com.app", makeScreen(0));  // submits, detect parked
+  EXPECT_EQ(executor.pendingCount(), 1u);
+  h.system.windowManager.notifyContentChanged();
+  h.system.looper.runUntilIdle();  // same fingerprint: coalesces in-flight
+  EXPECT_EQ(executor.pendingCount(), 1u);
+  EXPECT_EQ(h.detector.calls, 0);
+
+  h.service.pipeline().cache().clear();  // mid-flight invalidation
+  EXPECT_EQ(h.service.pipeline().cache().size(), 0u);
+
+  executor.flush();
+  h.system.looper.runUntilIdle();  // deliver completion + replay follower
+
+  // One model run served both passes, and the cleared cache holds exactly
+  // the reseeded verdict (the follower's replay was its cache hit).
+  EXPECT_EQ(h.detector.calls, 1);
+  EXPECT_EQ(h.service.stats().analysesRun, 2);
+  EXPECT_EQ(h.service.stats().verdictCacheHits, 1);
+  EXPECT_EQ(h.service.pipeline().cache().size(), 1u);
+  EXPECT_TRUE(h.service.lastWasAui());
+  ASSERT_EQ(h.service.lastDetections().size(), 1u);
+  EXPECT_EQ(h.service.lastDetections()[0].box, Rect({30, 60, 20, 20}));
 }
 
 // ------------------------------------------- anchor-overlay measurement

@@ -350,10 +350,12 @@ FileReport scanFile(const fs::path& path, const std::string& displayName,
              "-Wthread-safety"});
   }
 
-  // File-scope rule: fleet code never declares a raw std::mutex member —
-  // it must be a RankedMutex so the lock-rank validator (the scheduler's
-  // deadlock-freedom argument) can see every acquisition.
-  if (displayName.find("fleet") != std::string::npos) {
+  // File-scope rule: fleet code — and the shared verdict tier, which sits
+  // on the fleet's lock-rank spine at kVerdictTier — never declares a raw
+  // std::mutex member; it must be a RankedMutex so the lock-rank validator
+  // (the scheduler's deadlock-freedom argument) can see every acquisition.
+  if (displayName.find("fleet") != std::string::npos ||
+      displayName.find("verdict_tier") != std::string::npos) {
     for (const auto& [name, declLine] : state.rawMutexDecls) {
       if (state.rawMutexAllowed.count(name) > 0) continue;
       report.findings.push_back(
