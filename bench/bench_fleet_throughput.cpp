@@ -29,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/lint.h"
 #include "apps/app_model.h"
 #include "bench_common.h"
 #include "core/verdict_tier.h"
@@ -294,6 +295,69 @@ Sample runTierFleet(const cv::Detector& detector, int sessions,
   return sample;
 }
 
+/// One row of the hybrid-population sweep: deterministic stage-mix
+/// counters for a shared-population fleet where `webProb` of third-party
+/// AUIs deliver through a WebView (virtual nodes, rgba dim overlays that
+/// native scrim heuristics cannot see). Everything reported here is on
+/// the modeled axis — lint/CV run counts and modeled CPU are functions of
+/// the simulated event streams only, so the rows (and the contract on
+/// them) are stable across worker counts and host load.
+struct HybridSample {
+  double webProb = 0.0;
+  std::int64_t analyses = 0;
+  std::int64_t lintRuns = 0;
+  std::int64_t cvSkippedByLint = 0;
+  std::int64_t detectRuns = 0;
+  double lintCpuMs = 0.0;
+  double detectCpuMs = 0.0;
+  /// Fraction of lint passes confident enough to short-circuit CV.
+  [[nodiscard]] double lintShortCircuitRate() const {
+    return lintRuns == 0
+               ? 0.0
+               : static_cast<double>(cvSkippedByLint) /
+                     static_cast<double>(lintRuns);
+  }
+};
+
+/// Shared-population WS fleet with a lint prefilter wired into every
+/// session and `webProb` of third-party AUIs WebView-hosted. The shared
+/// tier stays OFF: its hit counts are cross-session-timing dependent,
+/// and this sweep's whole point is a deterministic stage-mix story.
+HybridSample runHybridFleet(const cv::Detector& detector,
+                            const analysis::LintEngine& lint,
+                            double webProb) {
+  fleet::BatchingExecutor backend(
+      {.maxBatchSize = 64, .threads = fleetWorkers()});
+
+  fleet::FleetConfig config;
+  config.sessions = 64;
+  config.workers = fleetWorkers();
+  config.epoch = ms(500);
+  config.duration = ms(4000);
+  config.driver = fleet::FleetDriver::kWorkStealing;
+  auto base = sharedPopulation(/*apps=*/8);
+  config.sessionTweak = [base, webProb,
+                         &lint](int i, fleet::DeviceSession::Config& c) {
+    base(i, c);
+    c.profile.webViewAuiProb = webProb;
+    c.darpa.lintPrefilter = &lint;
+  };
+
+  fleet::Fleet fleet(detector, backend, config);
+  fleet.run();
+  const fleet::FleetSnapshot snap = fleet.snapshot();
+
+  HybridSample sample;
+  sample.webProb = webProb;
+  sample.analyses = snap.ledger.analyses();
+  sample.lintRuns = snap.stats.lintRuns;
+  sample.cvSkippedByLint = snap.stats.cvSkippedByLint;
+  sample.detectRuns = snap.ledger.tally(core::Stage::kDetect).runs;
+  sample.lintCpuMs = snap.ledger.tally(core::Stage::kLint).cpuMs;
+  sample.detectCpuMs = snap.ledger.tally(core::Stage::kDetect).cpuMs;
+  return sample;
+}
+
 void printSample(const Sample& s) {
   std::printf("  %-8d %-11s %-9s %7d %10.1f %12.1f %14.1f %10.2f\n",
               s.sessions, s.backend.c_str(), s.driver.c_str(), s.workers,
@@ -434,6 +498,31 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Hybrid-population sweep: same shared population, lint prefilter on,
+  // with 0% / 50% / 100% of third-party AUIs delivered through WebViews.
+  // Web AUIs dim with rgba overlay colors instead of native scrim views,
+  // so the lint stage keeps running but stops being confident — the same
+  // screens shift from lint short-circuits onto the CV detector. All
+  // columns are modeled-axis counters (deterministic across threading).
+  printHeader("Hybrid population: WebView share vs lint/CV stage mix");
+  std::printf("  %-8s %9s %9s %11s %12s %11s %13s %9s\n", "webProb",
+              "analyses", "lintRuns", "lintSkips", "lint cpu ms", "detects",
+              "detect cpu ms", "shortcct");
+  const analysis::LintEngine hybridLint =
+      analysis::LintEngine::withDefaultRules();
+  std::vector<HybridSample> hybridRows;
+  for (const double webProb : {0.0, 0.5, 1.0}) {
+    const HybridSample h = runHybridFleet(detector, hybridLint, webProb);
+    std::printf("  %-8.2f %9lld %9lld %11lld %12.1f %11lld %13.1f %8.1f%%\n",
+                h.webProb, static_cast<long long>(h.analyses),
+                static_cast<long long>(h.lintRuns),
+                static_cast<long long>(h.cvSkippedByLint), h.lintCpuMs,
+                static_cast<long long>(h.detectRuns), h.detectCpuMs,
+                100.0 * h.lintShortCircuitRate());
+    std::fflush(stdout);
+    hybridRows.push_back(h);
+  }
+
   writeJson(samples, artifactPath("BENCH_fleet.json").c_str());
 
   // Contract 1: at 64 sessions, batching must win >= 2x over inline-serial
@@ -489,6 +578,28 @@ int main(int argc, char** argv) {
               static_cast<long long>(tierGateSample.suppressedDetects));
   if (tierGateSample.l2HitRate < 0.50) {
     std::printf("FAIL: shared verdict tier is not sharing at 256 sessions\n");
+    return 1;
+  }
+
+  // Contract 4: the stage mix must actually shift. At a fully WebView
+  // population the lint short-circuit rate has to fall below the all-native
+  // rate (web dim overlays are invisible to the native scrim heuristics, so
+  // lint verdicts lose confidence and CV carries the load), and the CV
+  // detector must run at least as often. Both sides are modeled-axis
+  // counters, so this gate is deterministic, not a wall-clock race.
+  const HybridSample& allNative = hybridRows.front();
+  const HybridSample& allWeb = hybridRows.back();
+  std::printf("  hybrid@64: lint short-circuit %.1f%% (native) -> %.1f%% "
+              "(web), detect runs %lld -> %lld (contract: rate drops, "
+              "detects do not)\n",
+              100.0 * allNative.lintShortCircuitRate(),
+              100.0 * allWeb.lintShortCircuitRate(),
+              static_cast<long long>(allNative.detectRuns),
+              static_cast<long long>(allWeb.detectRuns));
+  if (allWeb.lintShortCircuitRate() >= allNative.lintShortCircuitRate() ||
+      allWeb.detectRuns < allNative.detectRuns) {
+    std::printf("FAIL: WebView population did not shift load from lint "
+                "onto CV\n");
     return 1;
   }
   std::printf("  contracts PASSED\n");

@@ -39,12 +39,29 @@ struct RuntimeResult {
   ConfusionMatrix darpa;       ///< Screenshot-level verdicts vs ground truth.
   ConfusionMatrix fraudDroid;  ///< Same screenshots, FraudDroid-like verdict.
   ConfusionMatrix lint;        ///< Same screens, static-lint-only verdict.
+  /// DARPA's verdicts on truth-positive screens split by AUI host, so
+  /// hybrid runs can show native-screen recall is untouched while WebView
+  /// screens shift the load from lint onto CV. Only tp/fn are meaningful
+  /// (negatives have no host).
+  ConfusionMatrix darpaOnNative;
+  ConfusionMatrix darpaOnWeb;
   core::WorkLedger ledger;     ///< Per-stage work across every session.
   std::int64_t analyses = 0;
   std::int64_t eventsEmitted = 0;
   int auiExposures = 0;
   int auisCovered = 0;  ///< Exposures with >= 1 positive DARPA analysis.
   double detectorMacs = 0.0;
+  /// FraudDroid id-coverage telemetry summed over every analyzed dump
+  /// (only filled when runFraudDroid): the fraction of metadata nodes the
+  /// string features could even read. Collapses on hybrid populations.
+  std::int64_t fraudDroidNodesSeen = 0;
+  std::int64_t fraudDroidNodesWithId = 0;
+  [[nodiscard]] double fraudDroidIdCoverage() const {
+    return fraudDroidNodesSeen == 0
+               ? 0.0
+               : static_cast<double>(fraudDroidNodesWithId) /
+                     static_cast<double>(fraudDroidNodesSeen);
+  }
 };
 
 struct RuntimeOptions {
@@ -54,6 +71,11 @@ struct RuntimeOptions {
   bool runFraudDroid = false;
   bool runMonkey = true;
   std::uint64_t seed = 606;
+  /// Applied to every app profile: probability a third-party AUI is
+  /// WebView-delivered (virtual nodes, no resource ids). 0 keeps each
+  /// session's RNG streams — and so the whole run — byte-identical to the
+  /// pre-WebView harness.
+  double webViewAuiProb = 0.0;
   /// When set, every analyzed screen is also scored by this lint engine
   /// (independently of any lintPrefilter inside darpaConfig), filling
   /// RuntimeResult::lint for side-by-side lint-vs-CV comparisons.
@@ -77,6 +99,7 @@ inline RuntimeResult runSessions(const cv::Detector& detector,
     config.darpa = options.darpaConfig;
     config.profile = apps::randomAppProfile(
         "com.bench.app" + std::to_string(appIdx), rng);
+    config.profile.webViewAuiProb = options.webViewAuiProb;
     config.appSeed = rng.next();
     config.monkeySeed = rng.next();
     config.duration = options.sessionLength;
@@ -99,6 +122,13 @@ inline RuntimeResult runSessions(const cv::Detector& detector,
       } else {
         ++result.darpa.tn;
       }
+      if (truth) {
+        ConfusionMatrix& byHost =
+            exposure->spec.host == apps::AuiHost::kWebView
+                ? result.darpaOnWeb
+                : result.darpaOnNative;
+        ++(isAui ? byHost.tp : byHost.fn);
+      }
       if (options.lintScorer != nullptr) {
         const analysis::LintReport lintReport = options.lintScorer->run(
             system.windowManager.dumpTopWindow(),
@@ -118,6 +148,8 @@ inline RuntimeResult runSessions(const cv::Detector& detector,
         const android::UiDump dump = system.windowManager.dumpTopWindow();
         const baselines::FraudDroidResult verdict = fraudDroid.analyze(
             dump, system.windowManager.config().screenSize);
+        result.fraudDroidNodesSeen += verdict.nodesSeen;
+        result.fraudDroidNodesWithId += verdict.nodesWithId;
         if (truth && verdict.isAui) {
           ++result.fraudDroid.tp;
         } else if (truth && !verdict.isAui) {

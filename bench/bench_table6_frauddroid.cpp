@@ -51,5 +51,38 @@ int main(int argc, char** argv) {
               result.auiExposures == 0
                   ? 0.0
                   : 100.0 * result.auisCovered / result.auiExposures);
+
+  // --- hybrid row: WebView-hosted AUIs (§VI-C) ----------------------------
+  // 75% of third-party AUIs now deliver through a WebView: the whole
+  // interstitial is a virtual accessibility subtree with zero resource
+  // ids. The string baseline's id coverage — the fraction of metadata
+  // nodes it can read at all — collapses, and with it its recall, while
+  // DARPA's pixel path doesn't care where the pixels came from.
+  bench::RuntimeOptions hybridOptions = options;
+  hybridOptions.webViewAuiProb = 0.75;
+  const bench::RuntimeResult hybrid =
+      bench::runSessions(detector, hybridOptions);
+
+  std::printf("\n  hybrid population (75%% of third-party AUIs in WebViews):\n");
+  bench::printConfusion("FraudDroid-like", hybrid.fraudDroid);
+  bench::printConfusion("DARPA", hybrid.darpa);
+  std::printf("\n  FraudDroid id coverage:  native %.3f  ->  hybrid %.3f\n",
+              result.fraudDroidIdCoverage(), hybrid.fraudDroidIdCoverage());
+  std::printf("  DARPA recall by host (hybrid run): native-screen %.3f "
+              "(%d AUI)  webview-screen %.3f (%d AUI)\n",
+              hybrid.darpaOnNative.recall(), hybrid.darpaOnNative.labeledAui(),
+              hybrid.darpaOnWeb.recall(), hybrid.darpaOnWeb.labeledAui());
+
+  // Contract: the hybrid population must visibly starve the string
+  // features. Virtual nodes carry no resource ids, so id coverage has to
+  // drop whenever WebView screens were analyzed (the margin only absorbs
+  // cross-run sampling noise on the benign screens).
+  if (hybrid.fraudDroidIdCoverage() + 0.005 >=
+      result.fraudDroidIdCoverage()) {
+    std::printf("\nFAIL: hybrid id coverage %.3f did not collapse vs native "
+                "%.3f\n",
+                hybrid.fraudDroidIdCoverage(), result.fraudDroidIdCoverage());
+    return 1;
+  }
   return 0;
 }

@@ -43,6 +43,16 @@ if [ "${SKIP_SANITIZE:-0}" != "1" ]; then
   ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
+  echo "== ctest, ASan strict-stack webview/virtual-tree tests (build-asan/) =="
+  # Focused rerun of the WebView/virtual-subtree suites with
+  # stack-use-after-return detection on: the iterative virtual-tree walk
+  # exists precisely so hostile page depth stays off the native stack, and
+  # the deep/wide traversal tests are where a frame-lifetime bug would hide.
+  ASAN_OPTIONS=detect_leaks=1:detect_stack_use_after_return=1 \
+  UBSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
+      -R 'WebViewTest|VirtualFingerprintPropertyTest|VirtualLintTraversalTest|VirtualDecorationTest'
+
   echo "== configure + build, TSan (build-tsan/) =="
   # ThreadSanitizer lane over the tests that actually exercise threads: the
   # work-stealing fleet scheduler (steal-heavy skewed workload at W=4), the
@@ -51,10 +61,13 @@ if [ "${SKIP_SANITIZE:-0}" != "1" ]; then
   cmake -B build-tsan -S . -DDARPA_SANITIZE=thread
   cmake --build build-tsan -j "$JOBS"
 
-  echo "== ctest, TSan fleet/scheduler/executor/pool/tier tests (build-tsan/) =="
+  echo "== ctest, TSan fleet/scheduler/executor/pool/tier/webview tests (build-tsan/) =="
+  # The webview suites ride along: hybrid dumps flow through the same
+  # threaded fleet pipeline (fingerprint -> verdict caches -> tier), so
+  # the virtual-subtree code must be as race-clean as the native path.
   TSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-      -R 'FleetTest|FleetSchedulerTest|ExecutorTest|FramePoolTest|SharedVerdictTierTest'
+      -R 'FleetTest|FleetSchedulerTest|ExecutorTest|FramePoolTest|SharedVerdictTierTest|WebViewTest|VirtualFingerprintPropertyTest|VirtualLintTraversalTest'
 fi
 
 if [ "${SKIP_BENCH:-0}" != "1" ]; then

@@ -300,6 +300,13 @@ class IdTokenRule : public LintRule {
         baselines::FraudDroidDetector::Config{}.agoIdTokens;
     std::int64_t maxDismissArea = 8100;  ///< FraudDroid's 90x90 UPO cap.
     double minAgoAreaFrac = 0.01;
+    /// Virtual (WebView) nodes never carry resource ids (§VI-C), so the
+    /// rule would otherwise silently pass over the whole subtree. Instead
+    /// it degrades gracefully: page-global virtual ids and visible labels
+    /// are matched against the same vocabularies, scaled down because web
+    /// ids are weaker evidence (minified, duplicated, page-controlled).
+    bool matchVirtualNodes = true;
+    double virtualEvidenceScale = 0.6;
   };
   // Defined out of line: Config's default member initializers are not
   // available inside the still-incomplete class (cf. WindowManager).

@@ -2,6 +2,7 @@
 // structured findings; thresholds live in the per-rule Config structs so a
 // deployment can tighten or relax any rule independently.
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <string>
 
@@ -261,20 +262,55 @@ void IdTokenRule::run(const LintContext& ctx,
   for (int i = 0; i < static_cast<int>(dump.size()); ++i) {
     const android::UiNode& node = dump[i];
     const Rect& b = node.boundsOnScreen;
-    if (b.empty() || node.resourceId.empty()) continue;
-    if (node.clickable && b.area() <= config_.maxDismissArea &&
-        FraudDroidDetector::idMatchesAny(node.resourceId, config_.upoTokens)) {
-      out.push_back(makeFinding(
-          ctx, *this, i, config_.maxSeverity, 0.4,
-          "dismiss-vocabulary resource id '" + node.resourceId + "'"));
+    if (b.empty()) continue;
+    if (!node.isVirtual) {
+      if (node.resourceId.empty()) continue;
+      if (node.clickable && b.area() <= config_.maxDismissArea &&
+          FraudDroidDetector::idMatchesAny(node.resourceId,
+                                           config_.upoTokens)) {
+        out.push_back(makeFinding(
+            ctx, *this, i, config_.maxSeverity, 0.4,
+            "dismiss-vocabulary resource id '" + node.resourceId + "'"));
+      }
+      if (static_cast<double>(b.area()) >= minAgoArea &&
+          FraudDroidDetector::idMatchesAny(node.resourceId,
+                                           config_.agoTokens)) {
+        // "CTA" prefix is load-bearing: the verdict merge sorts these boxes
+        // into the AGO set by it.
+        out.push_back(makeFinding(
+            ctx, *this, i, config_.maxSeverity, 0.3,
+            "CTA-vocabulary resource id '" + node.resourceId + "'"));
+      }
+      continue;
     }
-    if (static_cast<double>(b.area()) >= minAgoArea &&
-        FraudDroidDetector::idMatchesAny(node.resourceId, config_.agoTokens)) {
-      // "CTA" prefix is load-bearing: the verdict merge sorts these boxes
-      // into the AGO set by it.
+    // Virtual (WebView) node: no resource id to match, ever. Degrade
+    // gracefully to the page-global virtual id plus the visible label
+    // (lowercased — web CTAs shout) at reduced confidence, instead of the
+    // old behavior of silently passing over the whole subtree.
+    if (!config_.matchVirtualNodes) continue;
+    std::string label = node.text;
+    std::transform(label.begin(), label.end(), label.begin(), [](char c) {
+      return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    });
+    const bool upoEvidence =
+        FraudDroidDetector::idMatchesAny(node.virtualId, config_.upoTokens) ||
+        FraudDroidDetector::idMatchesAny(label, config_.upoTokens);
+    const bool agoEvidence =
+        FraudDroidDetector::idMatchesAny(node.virtualId, config_.agoTokens) ||
+        FraudDroidDetector::idMatchesAny(label, config_.agoTokens);
+    if (node.clickable && b.area() <= config_.maxDismissArea && upoEvidence) {
       out.push_back(makeFinding(
-          ctx, *this, i, config_.maxSeverity, 0.3,
-          "CTA-vocabulary resource id '" + node.resourceId + "'"));
+          ctx, *this, i, config_.maxSeverity,
+          0.4 * config_.virtualEvidenceScale,
+          "dismiss-vocabulary virtual node '" +
+              (node.virtualId.empty() ? label : node.virtualId) + "'"));
+    }
+    if (static_cast<double>(b.area()) >= minAgoArea && agoEvidence) {
+      out.push_back(makeFinding(
+          ctx, *this, i, config_.maxSeverity,
+          0.3 * config_.virtualEvidenceScale,
+          "CTA-vocabulary virtual node '" +
+              (node.virtualId.empty() ? label : node.virtualId) + "'"));
     }
   }
 }

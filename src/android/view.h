@@ -88,8 +88,10 @@ class View {
 
   /// Deepest visible clickable descendant containing `p` (coordinates
   /// relative to this view's frame origin); nullptr when none. Later
-  /// siblings are on top (Android child z-order).
-  [[nodiscard]] View* hitTest(Point p);
+  /// siblings are on top (Android child z-order). Virtual so views hosting
+  /// non-View content (WebView's virtual accessibility tree) can consume
+  /// hits on that content's behalf.
+  [[nodiscard]] virtual View* hitTest(Point p);
 
   /// Number of views in this subtree, including this one.
   [[nodiscard]] int subtreeSize() const;

@@ -2,7 +2,41 @@
 
 #include <algorithm>
 
+#include "android/webview.h"
+
 namespace darpa::android {
+
+namespace {
+
+/// Inlines a WebView's virtual accessibility tree into the dump, directly
+/// below the host's own node. Depth continues past the host, bounds are
+/// carried into screen space through the host's position, the host's
+/// effective alpha multiplies into every node's opacity chain, and
+/// resourceId stays empty throughout — virtual nodes only ever have a
+/// page-global virtualId. The walk itself is iterative (forEachVirtual),
+/// so hostile page depth cannot overflow the dumping service's stack.
+void appendVirtualNodes(const WebView& web, const Rect& hostAbs,
+                        int hostDepth, double hostEffAlpha, UiDump& out) {
+  web.forEachVirtual([&](const VirtualNode& vn, int depth, double effOpacity) {
+    UiNode node;
+    node.className = std::string(virtualRoleClassName(vn.role));
+    node.boundsOnScreen = vn.bounds.translated(hostAbs.x, hostAbs.y);
+    node.clickable = vn.clickable;
+    node.text = vn.text;
+    node.depth = hostDepth + 1 + depth;
+    node.background = vn.background;
+    if (!vn.text.empty() || vn.crossGlyph) {
+      node.contentColor = vn.contentColor;
+      node.hasContentColor = true;
+    }
+    node.effAlpha = hostEffAlpha * effOpacity;
+    node.isVirtual = true;
+    node.virtualId = vn.virtualId;
+    out.push_back(std::move(node));
+  });
+}
+
+}  // namespace
 
 WindowManager::WindowManager() : WindowManager(Config{}) {}
 WindowManager::WindowManager(Config config) : config_(config) {}
@@ -168,6 +202,10 @@ void WindowManager::dumpViewRecursive(const View& view, Point origin,
     node.hasContentColor = true;
   }
   out.push_back(std::move(node));
+  if (const auto* web = dynamic_cast<const WebView*>(&view);
+      web != nullptr && web->hasPage()) {
+    appendVirtualNodes(*web, abs, depth, effAlpha, out);
+  }
   for (const auto& child : view.children()) {
     dumpViewRecursive(*child, {abs.x, abs.y}, depth + 1, effAlpha, out);
   }
@@ -231,6 +269,15 @@ std::uint64_t WindowManager::fingerprint(const UiDump& dump) {
     // Alpha is a double; quantize to 1/1024 so float noise cannot split
     // visually identical screens into distinct fingerprints.
     hashInt(h, static_cast<std::int64_t>(node.effAlpha * 1024.0));
+    // Virtual (WebView) nodes have no resource id to mix, so their
+    // page-global id enters the stream instead, plus a marker that keeps a
+    // virtual node from colliding with a native one that happens to share
+    // class/bounds/text. Native nodes hash exactly as before: the
+    // fingerprint of an all-native dump is bit-identical across versions.
+    if (node.isVirtual) {
+      hashString(h, node.virtualId);
+      hashInt(h, 1);
+    }
   }
   hashInt(h, hashedNodes);
   return finalize(h);

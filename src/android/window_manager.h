@@ -80,9 +80,14 @@ class Window {
 /// color, and the effective alpha inherited down the tree. Nodes appear in
 /// pre-order, so `depth` reconstructs the hierarchy and z-order (later
 /// siblings draw on top).
+///
+/// Hybrid dumps: a WebView's virtual accessibility tree (webview.h) is
+/// inlined below its host node with `isVirtual` set, `depth` continuing
+/// past the host, and `resourceId` always empty — virtual nodes carry a
+/// page-global `virtualId` instead, exactly the asymmetry §VI-C exploits.
 struct UiNode {
   std::string className;
-  std::string resourceId;  ///< Empty when obfuscated / dynamic.
+  std::string resourceId;  ///< Empty when obfuscated / dynamic / virtual.
   Rect boundsOnScreen;
   bool clickable = false;
   std::string text;  ///< TextView content, if any.
@@ -91,6 +96,8 @@ struct UiNode {
   Color contentColor = colors::kTransparent;  ///< Text/glyph color.
   bool hasContentColor = false;  ///< True for TextView/IconView nodes.
   double effAlpha = 1.0;  ///< View alpha multiplied through its ancestors.
+  bool isVirtual = false;  ///< Node of a WebView's virtual subtree.
+  std::string virtualId;   ///< Page-global DOM id; may be empty/duplicated.
 };
 
 using UiDump = std::vector<UiNode>;
@@ -184,6 +191,13 @@ class WindowManager {
   /// pixels. DARPA's own overlay views never poison the fingerprint: the
   /// dump only covers the top *app* window, and decoration nodes are
   /// skipped defensively besides.
+  ///
+  /// The hash never leans on resource ids alone — class, bounds, text,
+  /// depth and style all mix in, and virtual (WebView) nodes additionally
+  /// mix their page-global virtualId — so all-empty-`resourceId` virtual
+  /// subtrees still fingerprint apart when structurally distinct. Native
+  /// nodes hash byte-for-byte as they always did: the virtual fields only
+  /// enter the stream for nodes with `isVirtual` set.
   [[nodiscard]] static std::uint64_t fingerprint(const UiDump& dump);
   /// dumpTopWindow() + fingerprint() in one call.
   [[nodiscard]] std::uint64_t topWindowFingerprint() const;

@@ -28,6 +28,7 @@ AppSession::AppSession(android::AndroidSystem& system, AppProfile profile,
             ScreenGenerator::Params params;
             const Rect frame = system.windowManager.appFrame(false);
             params.frame = {frame.width, frame.height};
+            params.webViewAuiProb = profile_.webViewAuiProb;
             return params;
           }(),
           rng_.next()) {}

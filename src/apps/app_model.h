@@ -41,6 +41,11 @@ struct AppProfile {
   /// Gap between animation events of an animated AUI (ms).
   int animMinGapMs = 150;
   int animMaxGapMs = 450;
+  /// Probability a third-party AUI is WebView-delivered (virtual nodes, no
+  /// resource ids — §VI-C). Defaults to 0 so existing populations, and
+  /// every fleet digest over them, are untouched; hybrid workloads opt in
+  /// per profile (ScreenGenerator::Params::webViewAuiProb).
+  double webViewAuiProb = 0.0;
 };
 
 /// One AUI popup shown during a session, with screen-space ground truth.

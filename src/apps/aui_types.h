@@ -65,12 +65,20 @@ inline constexpr std::array<AuiType, 7> kAllAuiTypes = {
   return 0;
 }
 
-/// Who authored the AUI: the app itself or an integrated third party
-/// (§III-A "Hosts of AUI": 35.1 % first-party, 64.9 % third-party ads).
-enum class AuiHost { kFirstParty, kThirdParty };
+/// Who authored the AUI: the app itself, an integrated third party
+/// (§III-A "Hosts of AUI": 35.1 % first-party, 64.9 % third-party ads), or
+/// a third party delivering through a WebView — the §VI-C worst case where
+/// the whole AUI surface is a virtual accessibility subtree with no
+/// Android resource ids at all.
+enum class AuiHost { kFirstParty, kThirdParty, kWebView };
 
 [[nodiscard]] constexpr std::string_view auiHostName(AuiHost h) {
-  return h == AuiHost::kFirstParty ? "first-party" : "third-party";
+  switch (h) {
+    case AuiHost::kFirstParty: return "first-party";
+    case AuiHost::kThirdParty: return "third-party";
+    case AuiHost::kWebView: return "webview";
+  }
+  return "unknown";
 }
 
 }  // namespace darpa::apps

@@ -1,6 +1,7 @@
 #include "apps/screen_generator.h"
 
 #include "android/layout.h"
+#include "android/webview.h"
 
 #include <algorithm>
 #include <array>
@@ -51,6 +52,14 @@ AuiSpec ScreenGenerator::randomSpec() {
   // §III-A: all advertisements are third-party; everything else first-party.
   spec.host = spec.type == AuiType::kAdvertisement ? AuiHost::kThirdParty
                                                    : AuiHost::kFirstParty;
+  // Some third-party ads deliver through a WebView (§VI-C). The prob>0
+  // guard is load-bearing: at the default of zero no RNG draw happens, so
+  // the draw sequence — and every downstream fleet digest — stays
+  // bit-identical to the generator without this feature.
+  if (params_.webViewAuiProb > 0 && spec.host == AuiHost::kThirdParty &&
+      rng_.chance(params_.webViewAuiProb)) {
+    spec.host = AuiHost::kWebView;
+  }
   // Table II: 744 AGO boxes over 1,072 screenshots. All 376 non-ads have an
   // AGO box; the remaining 368 boxes fall on the 696 ads (the other ads are
   // whole-creative-clickable with no separately annotatable AGO).
@@ -138,9 +147,11 @@ ScreenGenerator::PanelLayout ScreenGenerator::addPanel(View& root,
 
 std::string ScreenGenerator::resourceIdFor(std::string_view realName,
                                            AuiHost host) {
-  const double pObf = host == AuiHost::kThirdParty
-                          ? params_.obfuscateThirdParty
-                          : params_.obfuscateFirstParty;
+  // WebView hosts obfuscate like any third party — this only governs the
+  // host app's own container ids; the page content has no resource ids.
+  const double pObf = host == AuiHost::kFirstParty
+                          ? params_.obfuscateFirstParty
+                          : params_.obfuscateThirdParty;
   if (!rng_.chance(pObf)) return std::string(realName);
   // Half of the obfuscated ids are dynamically generated (empty in dumps),
   // half are minified junk like "a1" / "jx9".
@@ -347,6 +358,7 @@ void ScreenGenerator::addDistractors(const PanelLayout& panel, View& root) {
 }
 
 GeneratedScreen ScreenGenerator::makeAui(const AuiSpec& spec) {
+  if (spec.host == AuiHost::kWebView) return makeWebAui(spec);
   GeneratedScreen out;
   auto root = makeRoot(Color::rgb(245, 245, 248));
   addBenignBackdrop(*root);
@@ -444,6 +456,192 @@ GeneratedScreen ScreenGenerator::makeAui(const AuiSpec& spec) {
         addUpo(panel, *root, spec, i, scrimBackdrop));
   }
 
+  out.truth.isAui = true;
+  out.truth.spec = spec;
+  out.root = std::move(root);
+  return out;
+}
+
+std::string ScreenGenerator::webIdFor(std::string_view realName) {
+  // Real pages: roughly a third of interesting nodes have no id at all,
+  // ad frameworks ship semantic ids, and bundler minification leaves
+  // one-to-three-letter junk. None of these are Android resource ids.
+  const double roll = rng_.uniform();
+  if (roll < 0.3) return {};
+  if (roll < 0.65) return std::string(realName);
+  std::string junk;
+  const int len = rng_.uniformInt(1, 3);
+  for (int i = 0; i < len; ++i) {
+    junk.push_back(static_cast<char>('a' + rng_.uniformInt(0, 25)));
+  }
+  return junk;
+}
+
+GeneratedScreen ScreenGenerator::makeWebAui(const AuiSpec& spec) {
+  using android::VirtualNode;
+  using android::VirtualRole;
+  using android::WebView;
+  GeneratedScreen out;
+  const int w = params_.frame.width;
+  const int h = params_.frame.height;
+  auto root = makeRoot(Color::rgb(245, 245, 248));
+  addBenignBackdrop(*root);
+
+  // One native view hosts the whole interstitial. Its container id belongs
+  // to the embedding app and obfuscates like any third-party surface.
+  auto webOwned = std::make_unique<WebView>();
+  webOwned->setFrame({0, 0, w, h});
+  webOwned->setResourceId(resourceIdFor("webview_overlay", spec.host));
+  auto* web = static_cast<WebView*>(root->addChild(std::move(webOwned)));
+
+  VirtualNode page;
+  page.role = VirtualRole::kWebArea;
+  page.virtualId = "page";
+  page.bounds = {0, 0, w, h};
+
+  // Real pages reuse DOM ids freely; model it so duplicate ids are an
+  // exercised, not hypothetical, case for every consumer downstream.
+  const bool duplicateIds = rng_.chance(0.3);
+
+  // Dim overlay: a div with an rgba background — the opacity lives in the
+  // color, not in a view alpha, so native scrim heuristics (opaque
+  // background at fractional view alpha) see nothing modal here. Pixels
+  // composite the same either way.
+  VirtualNode overlay;
+  overlay.role = VirtualRole::kGenericContainer;
+  overlay.virtualId = duplicateIds ? "gwd-div" : webIdFor("modal-overlay");
+  overlay.bounds = page.bounds;
+  overlay.background = Color::rgba(
+      0, 0, 0, static_cast<std::uint8_t>(rng_.uniformInt(115, 160)));
+  page.children.push_back(overlay);
+  const Color scrimBackdrop =
+      lerp(Color::rgb(238, 238, 240), colors::kBlack,
+           overlay.background.a / 255.0);
+
+  // Panel ("ad frame" div). Flattened tree: the frame, the creative, the
+  // texts and the options are all *siblings* of the overlay — document
+  // order carries z-order, exactly like Chromium's flattened export.
+  const int pw = rng_.uniformInt(280, std::min(320, w - 8));
+  const int ph = rng_.uniformInt(360, std::min(430, h - 40));
+  const int px = std::clamp((w - pw) / 2 + rng_.uniformInt(-8, 8), 2, w - pw - 2);
+  int py;
+  if (spec.agoCentral) {
+    py = (h - ph) / 2 + rng_.uniformInt(-24, 24);
+  } else {
+    py = rng_.chance(0.5) ? rng_.uniformInt(30, 70)
+                          : h - ph - rng_.uniformInt(30, 70);
+  }
+  const Rect pf{px, std::clamp(py, 26, h - ph - 2), pw, ph};
+  VirtualNode frameDiv;
+  frameDiv.role = VirtualRole::kGenericContainer;
+  frameDiv.virtualId = duplicateIds ? "gwd-div" : webIdFor("ad-frame");
+  frameDiv.bounds = pf;
+  frameDiv.background = colors::kWhite;
+  frameDiv.cornerRadius = 10;
+  page.children.push_back(frameDiv);
+
+  // Creative image filling the frame, clickable (the app-guided surface
+  // when no separate CTA is annotated).
+  VirtualNode creative;
+  creative.role = VirtualRole::kImage;
+  creative.virtualId = webIdFor("creative");
+  creative.bounds = pf.inflated(-10);
+  creative.clickable = true;
+  creative.patternSeed = rng_.next();
+  page.children.push_back(creative);
+
+  // Headline + the regulation-mandated near-invisible "AD" marker.
+  VirtualNode headline;
+  headline.role = VirtualRole::kStaticText;
+  headline.virtualId = webIdFor("headline");
+  headline.text = "limited offer";
+  headline.contentColor = Color::rgb(70, 40, 40);
+  headline.bounds = {pf.x + 20, pf.y + 16, pf.width - 40, 18};
+  page.children.push_back(headline);
+  if (rng_.chance(0.7)) {
+    VirtualNode marker;
+    marker.role = VirtualRole::kStaticText;
+    marker.text = "AD";
+    marker.contentColor = lerp(colors::kWhite, colors::kBlack, 0.18);
+    marker.bounds = {pf.x + 4, pf.bottom() - 10, 10, 6};
+    page.children.push_back(marker);
+  }
+
+  if (spec.hasAgoBox) {
+    const Color accent = kAccentColors[static_cast<std::size_t>(
+        rng_.uniformInt(0, static_cast<int>(kAccentColors.size()) - 1))];
+    const int bw = std::min(pf.width - 50, rng_.uniformInt(180, 230));
+    const int bh = rng_.uniformInt(44, 60);
+    VirtualNode cta;
+    cta.role = rng_.chance(0.5) ? VirtualRole::kButton : VirtualRole::kLink;
+    cta.virtualId = webIdFor("cta");
+    cta.bounds = {
+        std::clamp(pf.x + (pf.width - bw) / 2 + rng_.uniformInt(-6, 6),
+                   pf.x + 4, pf.right() - bw - 4),
+        pf.bottom() - bh - rng_.uniformInt(14, 28), bw, bh};
+    cta.clickable = true;
+    cta.text = kAgoTexts[static_cast<std::size_t>(
+        rng_.uniformInt(0, static_cast<int>(kAgoTexts.size()) - 1))];
+    cta.background = accent;
+    cta.contentColor = highContrastAgainst(accent);
+    cta.cornerRadius = 8;
+    out.truth.agoBoxes.push_back(cta.bounds);
+    page.children.push_back(cta);
+  }
+
+  for (int i = 0; i < spec.numUpos; ++i) {
+    const int s = rng_.uniformInt(14, 26);
+    Rect frame;
+    const bool corner = spec.upoCorner != (i > 0);
+    if (corner) {
+      const double cornerWeights[] = {0.6, 0.2, 0.1, 0.1};  // TR TL BR BL
+      const std::size_t which = rng_.pickWeighted(cornerWeights);
+      const int inset = rng_.uniformInt(-s / 2, 6);
+      const int cx = (which == 0 || which == 2) ? pf.right() - s - inset
+                                                : pf.x + inset;
+      const int cy = (which <= 1) ? pf.y + inset : pf.bottom() - s - inset;
+      frame = {cx, cy, s, s};
+    } else {
+      const int cx = pf.x + (pf.width - s * 3) / 2 + rng_.uniformInt(-10, 10);
+      const int cy = rng_.chance(0.6)
+                         ? pf.bottom() + rng_.uniformInt(8, 26)
+                         : pf.bottom() - s - rng_.uniformInt(4, 10);
+      frame = {cx, cy, s * 3, s};
+    }
+    frame.x = std::clamp(frame.x, 0, w - frame.width);
+    frame.y = std::clamp(frame.y, 0, h - frame.height);
+
+    const bool floating = frame.y < pf.y + 2 || frame.x < pf.x + 2 ||
+                          frame.right() > pf.right() - 2 ||
+                          frame.bottom() > pf.bottom() - 2;
+    const Color backdrop = floating ? scrimBackdrop : colors::kWhite;
+    const Color awayFromBackdrop =
+        luma(backdrop) > 128 ? colors::kBlack : colors::kWhite;
+    const Color plate =
+        lerp(backdrop, awayFromBackdrop, rng_.uniform(0.18, 0.38));
+
+    VirtualNode upo;
+    upo.role = VirtualRole::kButton;
+    upo.virtualId = webIdFor(i == 0 ? "dismiss" : "skip");
+    upo.bounds = frame;
+    upo.clickable = true;
+    upo.background = plate;
+    upo.cornerRadius = s / 2;
+    upo.contentColor = lerp(plate, awayFromBackdrop, rng_.uniform(0.35, 0.6));
+    if (corner) {
+      upo.crossGlyph = true;
+    } else {
+      upo.text = kUpoTexts[static_cast<std::size_t>(
+          rng_.uniformInt(0, static_cast<int>(kUpoTexts.size()) - 1))];
+    }
+    if (spec.ghostUpo && i == 0) {
+      upo.opacity = rng_.uniform(0.16, 0.32);  // nearly invisible
+    }
+    out.truth.upoBoxes.push_back(frame);
+    page.children.push_back(upo);
+  }
+
+  web->setPage(std::move(page));
   out.truth.isAui = true;
   out.truth.spec = spec;
   out.root = std::move(root);

@@ -67,6 +67,13 @@ class ScreenGenerator {
     double obfuscateFirstParty = 0.55;
     /// Probability a benign screen carries UPO-lookalike decorations.
     double benignDecorations = 0.35;
+    /// Probability a *third-party* AUI is delivered through a WebView: the
+    /// whole interstitial becomes a virtual accessibility subtree behind
+    /// one native view — no resource ids anywhere (§VI-C). 0 (the
+    /// default) keeps the generator's draw sequence and output
+    /// bit-identical to the pre-WebView generator: the knob is never even
+    /// rolled when it is zero.
+    double webViewAuiProb = 0.0;
   };
 
   ScreenGenerator(Params params, std::uint64_t seed)
@@ -116,6 +123,14 @@ class ScreenGenerator {
   // Resource-id helper: real name or obfuscated junk per host probability.
   [[nodiscard]] std::string resourceIdFor(std::string_view realName,
                                           AuiHost host);
+
+  // WebView-hosted interstitial: the AUI lives entirely in a virtual
+  // accessibility tree (flattened depth, page-global ids, zero resource
+  // ids) but composites into the same kind of pixels as a native one.
+  [[nodiscard]] GeneratedScreen makeWebAui(const AuiSpec& spec);
+  // Page-global DOM id: absent, semantic, or minified junk. Never an
+  // Android resource id.
+  [[nodiscard]] std::string webIdFor(std::string_view realName);
 
   // Benign content blocks.
   void addFeedScreen(android::View& root);

@@ -12,6 +12,19 @@ bool FraudDroidDetector::idMatchesAny(std::string_view resourceId,
   });
 }
 
+namespace {
+
+/// Appends `b` unless an identical box is already flagged. Duplicate page
+/// ids on co-located nodes (a real-web pattern the virtual dumps model)
+/// would otherwise multiply one element into several matches.
+void pushUniqueBox(std::vector<Rect>& boxes, const Rect& b) {
+  if (std::find(boxes.begin(), boxes.end(), b) == boxes.end()) {
+    boxes.push_back(b);
+  }
+}
+
+}  // namespace
+
 FraudDroidResult FraudDroidDetector::analyze(const android::UiDump& dump,
                                              Size screenSize) const {
   FraudDroidResult result;
@@ -21,16 +34,18 @@ FraudDroidResult FraudDroidDetector::analyze(const android::UiDump& dump,
   for (const android::UiNode& node : dump) {
     const Rect& b = node.boundsOnScreen;
     if (b.empty()) continue;
+    ++result.nodesSeen;
+    if (!node.resourceId.empty()) ++result.nodesWithId;
 
     // UPO: id token match + small-size placement feature.
     if (node.clickable && idMatchesAny(node.resourceId, config_.upoIdTokens) &&
         b.width <= config_.maxUpoSide && b.height <= config_.maxUpoSide) {
-      result.upoBoxes.push_back(b);
+      pushUniqueBox(result.upoBoxes, b);
     }
     // AGO: id token match + prominent size.
     if (idMatchesAny(node.resourceId, config_.agoIdTokens) &&
         static_cast<double>(b.area()) >= config_.minAgoAreaFrac * screenArea) {
-      result.agoBoxes.push_back(b);
+      pushUniqueBox(result.agoBoxes, b);
     }
     // Fallback placement feature: any clickable surface dominating the
     // screen (full-screen ad creatives) counts as app-guided.

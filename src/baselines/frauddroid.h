@@ -21,6 +21,17 @@ struct FraudDroidResult {
   bool isAui = false;
   std::vector<Rect> upoBoxes;  ///< Screen coords of flagged user options.
   std::vector<Rect> agoBoxes;
+  /// Id-coverage telemetry: how much of the screen's metadata the
+  /// string features could even see. WebView-hosted screens (virtual
+  /// accessibility nodes, no resource ids at all) drive coverage toward
+  /// zero — the collapse Table VI's hybrid row quantifies.
+  int nodesSeen = 0;    ///< Nodes with non-empty bounds inspected.
+  int nodesWithId = 0;  ///< ...of which carried a non-empty resource id.
+  [[nodiscard]] double idCoverage() const {
+    return nodesSeen == 0
+               ? 0.0
+               : static_cast<double>(nodesWithId) / static_cast<double>(nodesSeen);
+  }
 };
 
 class FraudDroidDetector {
@@ -46,7 +57,9 @@ class FraudDroidDetector {
 
   /// Analyzes one UI dump. A screen is flagged as AUI when an id-matched
   /// small UPO co-occurs with an id-matched prominent AGO (or a dominant
-  /// clickable surface).
+  /// clickable surface). Empty ids never match, and nodes sharing both a
+  /// duplicated id and identical bounds (web pages reuse DOM ids freely)
+  /// collapse to one flagged box instead of inflating the result.
   [[nodiscard]] FraudDroidResult analyze(const android::UiDump& dump,
                                          Size screenSize) const;
 

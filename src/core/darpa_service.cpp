@@ -124,6 +124,27 @@ void DarpaService::decorate(const std::vector<cv::Detection>& detections) {
   decorateDetections(detections, measureWindowOffset());
 }
 
+bool DarpaService::decorateVirtualNode(std::string_view virtualId,
+                                       bool asUpo) {
+  android::WindowManager* wm = windowManager();
+  if (wm == nullptr || virtualId.empty()) return false;
+  // The hybrid dump already carries every virtual node's bounds in screen
+  // coordinates (page bounds translated through the hosting WebView), so
+  // resolving the id is a linear scan — no native findViewById analogue
+  // exists for virtual nodes.
+  const android::UiDump dump = wm->dumpTopWindow();
+  for (const android::UiNode& node : dump) {
+    if (!node.isVirtual || node.virtualId != virtualId) continue;
+    cv::Detection det;
+    det.box = node.boundsOnScreen;
+    det.label = asUpo ? dataset::BoxLabel::kUpo : dataset::BoxLabel::kAgo;
+    det.confidence = 1.0f;
+    decorateDetections({det}, measureWindowOffset());
+    return true;
+  }
+  return false;
+}
+
 void DarpaService::tryBypass(const std::vector<cv::Detection>& detections) {
   // Click the most confident UPO to dismiss the AUI on the user's behalf.
   const cv::Detection* bestUpo = nullptr;

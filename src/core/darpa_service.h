@@ -23,6 +23,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <string_view>
 #include <vector>
 
 #include <set>
@@ -205,6 +206,16 @@ class DarpaService : public android::AccessibilityService {
   /// the anchor-overlay trick first — the offset is only ever measured on
   /// this path, where it is actually consumed.
   void decorate(const std::vector<cv::Detection>& detections);
+
+  /// Decorates a *virtual* (WebView) node by its page-global id: resolves
+  /// the node's screen bounds through the top window's hybrid dump — the
+  /// host WebView's position carries the page-coordinate bounds into
+  /// screen space — and draws one decoration ring around it. Virtual
+  /// nodes have no native View to anchor an overlay to, so targeting
+  /// through the hosting view is the only route. Returns false when the
+  /// id does not resolve in the current top window.
+  bool decorateVirtualNode(std::string_view virtualId, bool asUpo = true);
+
   /// Clicks the most confident UPO, subject to the bypass cooldown.
   void tryBypass(const std::vector<cv::Detection>& detections);
 

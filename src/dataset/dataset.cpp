@@ -107,6 +107,16 @@ AuiDataset AuiDataset::build(const DatasetConfig& config) {
   std::vector<char> adAgo(static_cast<std::size_t>(adQuota), 0);
   markQuota(adAgo, adsWithAgo, rng);
 
+  // WebView-hosted ad quota. Guarded: markQuota shuffles (draws RNG), so
+  // at the default of zero no draw happens and the seed stream — hence
+  // every sample — stays bit-identical to builds without this feature.
+  std::vector<char> webHosted(static_cast<std::size_t>(adQuota), 0);
+  if (config.webViewFrac > 0) {
+    markQuota(webHosted,
+              static_cast<int>(std::lround(adQuota * config.webViewFrac)),
+              rng);
+  }
+
   int adIndex = 0;
   int sampleId = 0;
   for (std::size_t t = 0; t < apps::kAllAuiTypes.size(); ++t) {
@@ -115,12 +125,15 @@ AuiDataset AuiDataset::build(const DatasetConfig& config) {
       spec.id = sampleId;
       spec.seed = rng.next();
       spec.spec.type = apps::kAllAuiTypes[t];
-      spec.spec.host = spec.spec.type == apps::AuiType::kAdvertisement
-                           ? apps::AuiHost::kThirdParty
-                           : apps::AuiHost::kFirstParty;
-      spec.spec.hasAgoBox =
-          spec.spec.type != apps::AuiType::kAdvertisement ||
-          adAgo[static_cast<std::size_t>(adIndex++)] != 0;
+      if (spec.spec.type == apps::AuiType::kAdvertisement) {
+        const auto ai = static_cast<std::size_t>(adIndex++);
+        spec.spec.host = webHosted[ai] != 0 ? apps::AuiHost::kWebView
+                                            : apps::AuiHost::kThirdParty;
+        spec.spec.hasAgoBox = adAgo[ai] != 0;
+      } else {
+        spec.spec.host = apps::AuiHost::kFirstParty;
+        spec.spec.hasAgoBox = true;
+      }
       const auto idx = static_cast<std::size_t>(sampleId);
       spec.spec.numUpos = doubleUpo[idx] ? 2 : 1;
       spec.spec.agoCentral = agoCentral[idx] != 0;

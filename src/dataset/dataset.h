@@ -59,6 +59,11 @@ struct DatasetConfig {
   /// Fraction of AUIs shown full-screen (splash ads etc.).
   double fullscreenProb = 0.4;
   double ghostUpoProb = 0.08;
+  /// Fraction of *advertisement* samples delivered through a WebView
+  /// (AuiHost::kWebView: virtual accessibility nodes, no resource ids).
+  /// 0 keeps the build's RNG draw sequence — and thus every sample seed —
+  /// bit-identical to the pre-WebView builder.
+  double webViewFrac = 0.0;
 };
 
 class AuiDataset {

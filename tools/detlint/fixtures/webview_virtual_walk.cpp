@@ -1,0 +1,71 @@
+// Fixture: digest-path rules in a WebView virtual-tree walk. The hybrid
+// UI dump feeds the screen fingerprint (and with it every fleet digest),
+// so a virtual-subtree visitor is digest-affecting code: no wall clocks,
+// no ambient randomness, no hash-ordered iteration, no pointer keys.
+#include <chrono>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct VirtualNode {
+  std::string virtualId;
+  std::vector<VirtualNode> children;
+};
+
+// Timing a traversal with the wall clock poisons any digest derived from
+// the visit (e.g. a "slow page" branch would flip run to run).
+double timedWalk(const VirtualNode& root) {
+  const auto t0 = std::chrono::steady_clock::now();  // expect: wall-clock-in-digest-path
+  (void)root;
+  const auto t1 = std::chrono::steady_clock::now();  // expect: wall-clock-in-digest-path
+  return static_cast<double>((t1 - t0).count());
+}
+
+// Indexing virtual ids is fine; ITERATING the unordered index while
+// emitting dump nodes leaks hash order into the fingerprint.
+std::unordered_map<std::string, int> idIndex;
+
+int emitInHashOrder() {
+  int emitted = 0;
+  for (const auto& [id, count] : idIndex) {  // expect: unordered-iteration-in-digest-path
+    emitted += count + static_cast<int>(id.size());
+  }
+  return emitted;
+}
+
+// Pointer-keyed ordered containers sort by address — a virtual-node visit
+// order keyed this way differs across allocations.
+std::map<const VirtualNode*, int> visitOrder;  // expect: pointer-keyed-ordered-container
+
+// Negative: document-order traversal over value containers is exactly what
+// the iterative walk does, and must not fire.
+int countNodes(const VirtualNode& root) {
+  int count = 0;
+  std::vector<const VirtualNode*> stack{&root};
+  while (!stack.empty()) {
+    const VirtualNode* node = stack.back();
+    stack.pop_back();
+    ++count;
+    for (const VirtualNode& child : node->children) stack.push_back(&child);
+  }
+  return count;
+}
+
+// Negative: lookups into the unordered index (no iteration) are fine.
+int lookupId(const std::string& id) {
+  const auto it = idIndex.find(id);
+  return it == idIndex.end() ? 0 : it->second;
+}
+
+// Negative: observability-only timing is allowed when explicitly waived.
+// detlint: begin-allow(wall-clock-in-digest-path)
+double allowedProbe() {
+  return static_cast<double>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+// detlint: end-allow(wall-clock-in-digest-path)
+
+}  // namespace fixture
