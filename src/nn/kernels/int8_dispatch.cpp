@@ -1,0 +1,145 @@
+// Runtime per-arch dispatch for the int8 GEMM lanes.
+//
+// Resolution happens exactly once per process (std::once_flag): CPUID
+// picks the widest compiled-in lane the host supports, and the
+// DARPA_KERNEL env var (scalar|sse4|avx2) can pin a specific lane for
+// benchmarking, parity testing, and sanitizer runs. An unknown name, or a
+// lane the host cannot run, aborts immediately — a typo that silently
+// fell back to dispatch would produce perf numbers attributed to the
+// wrong kernel.
+//
+// Determinism: reading the environment and CPUID inside digest-affecting
+// code is normally banned (ambient host state), but this read is
+// digest-safe by construction — it happens once, before any forward, and
+// every lane it can select is bit-equal to every other (exact int32
+// accumulation; see int8_kernels.h). The lane choice can change how fast
+// a digest is produced, never its bytes. detlint's
+// env-config-in-digest-path rule audits exactly this pattern; the allow
+// region below is its documented instance.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "nn/kernels/int8_lanes.h"
+
+namespace darpa::nn::kernels {
+
+namespace {
+
+const Int8Kernel kScalarKernel = {Int8Lane::kScalar, "scalar",
+                                  /*vectorWidth=*/1,
+                                  /*macsPerInstruction=*/1,
+                                  detail::quantizeRowsScalar,
+                                  detail::gemmScalar};
+
+#if DARPA_INT8_X86_LANES
+const Int8Kernel kSse4Kernel = {Int8Lane::kSse4, "sse4",
+                                /*vectorWidth=*/16,
+                                /*macsPerInstruction=*/16,
+                                detail::quantizeRowsSse4, detail::gemmSse4};
+const Int8Kernel kAvx2Kernel = {Int8Lane::kAvx2, "avx2",
+                                /*vectorWidth=*/32,
+                                /*macsPerInstruction=*/32,
+                                detail::quantizeRowsAvx2, detail::gemmAvx2};
+#endif
+
+[[noreturn]] void abortUnusableLane(const char* requested,
+                                    const char* reason) {
+  std::fprintf(stderr,
+               "DARPA_KERNEL=%s: %s (known lanes: scalar, sse4, avx2; "
+               "supported on this host:%s%s%s)\n",
+               requested, reason,
+               laneSupported(Int8Lane::kScalar) ? " scalar" : "",
+               laneSupported(Int8Lane::kSse4) ? " sse4" : "",
+               laneSupported(Int8Lane::kAvx2) ? " avx2" : "");
+  std::abort();
+}
+
+}  // namespace
+
+const char* laneName(Int8Lane lane) {
+  switch (lane) {
+    case Int8Lane::kScalar:
+      return "scalar";
+    case Int8Lane::kSse4:
+      return "sse4";
+    case Int8Lane::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool laneCompiled(Int8Lane lane) {
+#if DARPA_INT8_X86_LANES
+  (void)lane;
+  return true;
+#else
+  return lane == Int8Lane::kScalar;
+#endif
+}
+
+// detlint: begin-allow(env-config-in-digest-path) one-time kernel-lane
+// resolution; every selectable lane is bit-equal (exact int32 GEMM), so
+// this ambient read can change digest latency, never digest bytes.
+bool laneSupported(Int8Lane lane) {
+  if (!laneCompiled(lane)) return false;
+#if DARPA_INT8_X86_LANES
+  switch (lane) {
+    case Int8Lane::kScalar:
+      return true;
+    case Int8Lane::kSse4:
+      return __builtin_cpu_supports("ssse3") &&
+             __builtin_cpu_supports("sse4.1");
+    case Int8Lane::kAvx2:
+      return __builtin_cpu_supports("avx2");
+  }
+  return false;
+#else
+  return lane == Int8Lane::kScalar;
+#endif
+}
+
+const Int8Kernel& kernelForLane(Int8Lane lane) {
+#if DARPA_INT8_X86_LANES
+  if (lane == Int8Lane::kAvx2) return kAvx2Kernel;
+  if (lane == Int8Lane::kSse4) return kSse4Kernel;
+#endif
+  return kScalarKernel;
+}
+
+const Int8Kernel& resolveInt8Kernel(const char* envOverride) {
+  if (envOverride != nullptr && envOverride[0] != '\0') {
+    Int8Lane forced = Int8Lane::kScalar;
+    if (std::strcmp(envOverride, "scalar") == 0) {
+      forced = Int8Lane::kScalar;
+    } else if (std::strcmp(envOverride, "sse4") == 0) {
+      forced = Int8Lane::kSse4;
+    } else if (std::strcmp(envOverride, "avx2") == 0) {
+      forced = Int8Lane::kAvx2;
+    } else {
+      abortUnusableLane(envOverride, "unknown kernel lane");
+    }
+    if (!laneSupported(forced)) {
+      abortUnusableLane(envOverride,
+                        "lane not compiled in or not supported by this CPU");
+    }
+    return kernelForLane(forced);
+  }
+  if (laneSupported(Int8Lane::kAvx2)) return kernelForLane(Int8Lane::kAvx2);
+  if (laneSupported(Int8Lane::kSse4)) return kernelForLane(Int8Lane::kSse4);
+  return kScalarKernel;
+}
+
+const Int8Kernel& activeInt8Kernel() {
+  static std::once_flag flag;
+  static const Int8Kernel* chosen = nullptr;
+  std::call_once(flag,
+                 [] { chosen = &resolveInt8Kernel(std::getenv("DARPA_KERNEL")); });
+  return *chosen;
+}
+// detlint: end-allow(env-config-in-digest-path)
+
+Int8Lane activeInt8Lane() { return activeInt8Kernel().lane; }
+
+}  // namespace darpa::nn::kernels

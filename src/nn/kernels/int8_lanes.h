@@ -1,0 +1,51 @@
+// Internal declarations shared between the lane translation units and the
+// dispatcher. Each lane lives in its own TU so its functions can carry
+// per-function __attribute__((target(...))) markers and still build into
+// the default (non -march=native) binary.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/kernels/int8_kernels.h"
+
+// x86 lanes exist on x86 builds only; elsewhere the dispatcher registers
+// just the scalar lane. GCC and Clang both provide the target attribute
+// and __builtin_cpu_supports on x86.
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+#define DARPA_INT8_X86_LANES 1
+#else
+#define DARPA_INT8_X86_LANES 0
+#endif
+
+namespace darpa::nn::kernels::detail {
+
+void quantizeRowsScalar(const float* in, int rows, int inSize, int rowStride,
+                        float scale, std::int8_t* out);
+void gemmScalar(const std::int8_t* act, const std::int8_t* weights,
+                const float* bias, float dequantScale, int rows, int rowStride,
+                int outSize, bool relu, float* out);
+
+#if DARPA_INT8_X86_LANES
+void quantizeRowsSse4(const float* in, int rows, int inSize, int rowStride,
+                      float scale, std::int8_t* out);
+void gemmSse4(const std::int8_t* act, const std::int8_t* weights,
+              const float* bias, float dequantScale, int rows, int rowStride,
+              int outSize, bool relu, float* out);
+
+void quantizeRowsAvx2(const float* in, int rows, int inSize, int rowStride,
+                      float scale, std::int8_t* out);
+void gemmAvx2(const std::int8_t* act, const std::int8_t* weights,
+              const float* bias, float dequantScale, int rows, int rowStride,
+              int outSize, bool relu, float* out);
+#endif
+
+/// The exact dequant+activation epilogue every lane must evaluate: cast,
+/// multiply, add (never fused), then a sign-exact ReLU compare. Baseline
+/// ISA, so target()-attributed callers can still inline it.
+[[nodiscard]] inline float int8Epilogue(std::int32_t acc, float dequantScale,
+                                        float bias, bool relu) {
+  const float sum = static_cast<float>(acc) * dequantScale + bias;
+  return relu && sum < 0.0f ? 0.0f : sum;
+}
+
+}  // namespace darpa::nn::kernels::detail

@@ -1,0 +1,132 @@
+// SSE4.1 lane: 16 int8 MACs per pmaddubsw, widened exactly through
+// pmaddwd — the same |a| x sign(w, a) construction as the AVX2 lane at
+// half the width (see int8_avx2.cpp for the overflow/exactness argument).
+// target("sse4.1") pulls in SSSE3 (pabsb/psignb/pmaddubsw) and roundps;
+// the dispatcher gates on both CPUID bits anyway. This lane exists for
+// pre-AVX2 x86 hosts and as a second, differently-shaped witness that
+// lane choice cannot change results.
+#include "nn/kernels/int8_lanes.h"
+
+#if DARPA_INT8_X86_LANES
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace darpa::nn::kernels::detail {
+namespace {
+
+#define DARPA_SSE4 __attribute__((target("sse4.1")))
+
+/// Exact std::round for 4 floats — same construction as the AVX2 lane.
+DARPA_SSE4 inline __m128 roundHalfAway4(__m128 q) {
+  const __m128 signMask = _mm_set1_ps(-0.0f);
+  const __m128 t = _mm_round_ps(q, _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC);
+  const __m128 diff = _mm_sub_ps(q, t);
+  const __m128 absDiff = _mm_andnot_ps(signMask, diff);
+  const __m128 needStep = _mm_cmpge_ps(absDiff, _mm_set1_ps(0.5f));
+  const __m128 one = _mm_and_ps(needStep, _mm_set1_ps(1.0f));
+  const __m128 step = _mm_or_ps(one, _mm_and_ps(q, signMask));
+  return _mm_add_ps(t, step);
+}
+
+DARPA_SSE4 inline std::int32_t hsum4(__m128i acc) {
+  acc = _mm_add_epi32(acc, _mm_shuffle_epi32(acc, _MM_SHUFFLE(1, 0, 3, 2)));
+  acc = _mm_add_epi32(acc, _mm_shuffle_epi32(acc, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(acc);
+}
+
+/// One weight row's contribution for 16 activation bytes.
+DARPA_SSE4 inline __m128i dot16(__m128i absA, __m128i a, const std::int8_t* w,
+                                __m128i acc, __m128i ones16) {
+  const __m128i wv = _mm_loadu_si128(reinterpret_cast<const __m128i*>(w));
+  const __m128i signedW = _mm_sign_epi8(wv, a);
+  const __m128i pairs = _mm_maddubs_epi16(absA, signedW);
+  return _mm_add_epi32(acc, _mm_madd_epi16(pairs, ones16));
+}
+
+}  // namespace
+
+DARPA_SSE4 void quantizeRowsSse4(const float* in, int rows, int inSize,
+                                 int rowStride, float scale,
+                                 std::int8_t* out) {
+  const __m128 vScale = _mm_set1_ps(scale);
+  const __m128 vLo = _mm_set1_ps(-127.0f);
+  const __m128 vHi = _mm_set1_ps(127.0f);
+  for (int n = 0; n < rows; ++n) {
+    const float* x = in + static_cast<std::size_t>(n) * inSize;
+    std::int8_t* q = out + static_cast<std::size_t>(n) * rowStride;
+    int i = 0;
+    for (; i + 4 <= inSize; i += 4) {
+      const __m128 v = _mm_div_ps(_mm_loadu_ps(x + i), vScale);
+      __m128 r = roundHalfAway4(v);
+      r = _mm_min_ps(_mm_max_ps(r, vLo), vHi);
+      const __m128i qi = _mm_cvttps_epi32(r);
+      const __m128i packed8 =
+          _mm_packs_epi16(_mm_packs_epi32(qi, qi), _mm_setzero_si128());
+      const int quad = _mm_cvtsi128_si32(packed8);
+      std::memcpy(q + i, &quad, 4);
+    }
+    for (; i < inSize; ++i) q[i] = quantizeOne(x[i], scale);
+    if (i < rowStride) {
+      std::memset(q + i, 0, static_cast<std::size_t>(rowStride - i));
+    }
+  }
+}
+
+DARPA_SSE4 void gemmSse4(const std::int8_t* act, const std::int8_t* weights,
+                         const float* bias, float dequantScale, int rows,
+                         int rowStride, int outSize, bool relu, float* out) {
+  const __m128i ones16 = _mm_set1_epi16(1);
+  const __m128 vDequant = _mm_set1_ps(dequantScale);
+  const __m128 vZero = _mm_setzero_ps();
+  for (int n = 0; n < rows; ++n) {
+    const std::int8_t* a = act + static_cast<std::size_t>(n) * rowStride;
+    float* o = out + static_cast<std::size_t>(n) * outSize;
+    int j = 0;
+    for (; j + 4 <= outSize; j += 4) {
+      const std::int8_t* w0 =
+          weights + static_cast<std::size_t>(j) * rowStride;
+      const std::int8_t* w1 = w0 + rowStride;
+      const std::int8_t* w2 = w1 + rowStride;
+      const std::int8_t* w3 = w2 + rowStride;
+      __m128i acc0 = _mm_setzero_si128();
+      __m128i acc1 = _mm_setzero_si128();
+      __m128i acc2 = _mm_setzero_si128();
+      __m128i acc3 = _mm_setzero_si128();
+      for (int i = 0; i < rowStride; i += 16) {
+        const __m128i av =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+        const __m128i absA = _mm_abs_epi8(av);
+        acc0 = dot16(absA, av, w0 + i, acc0, ones16);
+        acc1 = dot16(absA, av, w1 + i, acc1, ones16);
+        acc2 = dot16(absA, av, w2 + i, acc2, ones16);
+        acc3 = dot16(absA, av, w3 + i, acc3, ones16);
+      }
+      // hadd pairs: [sum(acc0), sum(acc1), sum(acc2), sum(acc3)].
+      const __m128i sums = _mm_hadd_epi32(_mm_hadd_epi32(acc0, acc1),
+                                          _mm_hadd_epi32(acc2, acc3));
+      __m128 f = _mm_cvtepi32_ps(sums);
+      f = _mm_add_ps(_mm_mul_ps(f, vDequant), _mm_loadu_ps(bias + j));
+      if (relu) f = _mm_andnot_ps(_mm_cmplt_ps(f, vZero), f);
+      _mm_storeu_ps(o + j, f);
+    }
+    for (; j < outSize; ++j) {
+      const std::int8_t* w =
+          weights + static_cast<std::size_t>(j) * rowStride;
+      __m128i acc = _mm_setzero_si128();
+      for (int i = 0; i < rowStride; i += 16) {
+        const __m128i av =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+        acc = dot16(_mm_abs_epi8(av), av, w + i, acc, ones16);
+      }
+      o[j] = int8Epilogue(hsum4(acc), dequantScale, bias[j], relu);
+    }
+  }
+}
+
+#undef DARPA_SSE4
+
+}  // namespace darpa::nn::kernels::detail
+
+#endif  // DARPA_INT8_X86_LANES

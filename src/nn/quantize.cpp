@@ -3,12 +3,13 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/kernels/int8_kernels.h"
+
 namespace darpa::nn {
 
 namespace {
 std::int8_t quantizeValue(float x, float scale) {
-  const float q = std::round(x / scale);
-  return static_cast<std::int8_t>(std::clamp(q, -127.0f, 127.0f));
+  return kernels::quantizeOne(x, scale);
 }
 }  // namespace
 
@@ -61,90 +62,57 @@ QuantizedMlp QuantizedMlp::fromMlp(
     q.inputScale = inputMax[l] > 0.0f ? inputMax[l] / 127.0f : 1.0f;
     // Constant folding: one multiplier per layer instead of two.
     q.dequantScale = weightScale * q.inputScale;
+    // Pre-pack for the SIMD microkernels: pad each weight row to the
+    // kernel stride with zeros once at conversion time, so every lane
+    // runs full-width vector loops over arbitrary inSize.
+    q.paddedInSize = kernels::padInt8RowSize(layer.inSize);
+    q.packedWeights.assign(
+        static_cast<std::size_t>(layer.outSize) * q.paddedInSize, 0);
+    for (int j = 0; j < layer.outSize; ++j) {
+      std::copy_n(
+          q.weights.begin() + static_cast<std::size_t>(j) * layer.inSize,
+          layer.inSize,
+          q.packedWeights.begin() +
+              static_cast<std::size_t>(j) * q.paddedInSize);
+    }
     out.layers_.push_back(std::move(q));
   }
   return out;
 }
 
-namespace {
-
-// Batched int8 dense layer, row-tiled and tile-transposed like the fp32
-// GEMM (see mlp.cpp): the activations are quantized straight into the
-// column-major tile so the inner loop runs kRowTile independent int32
-// accumulators per weight element. The per-(n, j) int32 accumulation is
-// exact, so any ordering would be bit-equal anyway.
-constexpr int kRowTile = 64;
-
-/// One transposed tile; NT = compile-time row count for full tiles, 0 for
-/// the runtime-sized remainder (see mlp.cpp — same shape, int32 math).
-template <int NT>
-void quantizedForwardTile(const QuantizedLayer& layer, const float* in,
-                          int n0, int ntRuntime, float* out, bool relu,
-                          std::int8_t* tile) {
-  const int nt = NT > 0 ? NT : ntRuntime;
-  for (int n = 0; n < nt; ++n) {
-    const float* x = in + static_cast<std::size_t>(n0 + n) * layer.inSize;
-    for (int i = 0; i < layer.inSize; ++i) {
-      tile[static_cast<std::size_t>(i) * nt + n] =
-          quantizeValue(x[i], layer.inputScale);
-    }
-  }
-  std::int32_t acc[kRowTile];
-  for (int j = 0; j < layer.outSize; ++j) {
-    const std::int8_t* row =
-        layer.weights.data() + static_cast<std::size_t>(j) * layer.inSize;
-    const float bias = layer.bias[static_cast<std::size_t>(j)];
-    for (int n = 0; n < nt; ++n) acc[n] = 0;
-    for (int i = 0; i < layer.inSize; ++i) {
-      const std::int32_t w = row[i];
-      const std::int8_t* col = tile + static_cast<std::size_t>(i) * nt;
-      for (int n = 0; n < nt; ++n) {
-        acc[n] += w * static_cast<std::int32_t>(col[n]);
-      }
-    }
-    for (int n = 0; n < nt; ++n) {
-      const float sum = static_cast<float>(acc[n]) * layer.dequantScale + bias;
-      out[static_cast<std::size_t>(n0 + n) * layer.outSize + j] =
-          relu && sum < 0.0f ? 0.0f : sum;
-    }
-  }
-}
-
-void quantizedForwardBatch(const QuantizedLayer& layer, const float* in,
-                           int batch, float* out, bool relu,
-                           std::int8_t* tile) {
-  for (int n0 = 0; n0 < batch; n0 += kRowTile) {
-    const int nt = std::min(batch, n0 + kRowTile) - n0;
-    if (nt == kRowTile) {
-      quantizedForwardTile<kRowTile>(layer, in, n0, nt, out, relu, tile);
-    } else if (nt == 1) {
-      // Single-row calls collapse to a plain int8 dot product (see mlp.cpp).
-      quantizedForwardTile<1>(layer, in, n0, nt, out, relu, tile);
-    } else {
-      quantizedForwardTile<0>(layer, in, n0, nt, out, relu, tile);
-    }
-  }
-}
-
-}  // namespace
-
-void QuantizedMlp::forwardBatch(std::span<const float> inputs, int batch,
-                                std::span<float> outputs,
-                                ForwardScratch& scratch) const {
+// The batched int8 layer walk. PR 5's in-place tile-transposed kernel
+// moved to src/nn/kernels/ as the scalar reference lane; this body is now
+// just layout staging (quantize the whole batch into a padded row-major
+// int8 matrix) around the dispatched microkernel. Exact int32
+// accumulation makes every lane — and the old tile kernel — bit-equal.
+void QuantizedMlp::forwardBatchWithKernel(
+    std::span<const float> inputs, int batch, std::span<float> outputs,
+    ForwardScratch& scratch, const kernels::Int8Kernel& kernel) const {
   if (batch <= 0 || layers_.empty()) return;
   const float* cur = inputs.data();
   for (std::size_t l = 0; l < layers_.size(); ++l) {
     const QuantizedLayer& layer = layers_[l];
-    std::int8_t* tile = scratch.ensureInt8(
-        static_cast<std::size_t>(kRowTile) * layer.inSize);
+    std::int8_t* qact = scratch.ensureInt8(static_cast<std::size_t>(batch) *
+                                           layer.paddedInSize);
+    kernel.quantizeRows(cur, batch, layer.inSize, layer.paddedInSize,
+                        layer.inputScale, qact);
     const bool hidden = l + 1 < layers_.size();
     float* dst = hidden ? scratch.ensureFloats(
                               l % 2 != 0, static_cast<std::size_t>(batch) *
                                               layer.outSize)
                         : outputs.data();
-    quantizedForwardBatch(layer, cur, batch, dst, hidden, tile);
+    kernel.gemm(qact, layer.packedWeights.data(), layer.bias.data(),
+                layer.dequantScale, batch, layer.paddedInSize, layer.outSize,
+                hidden, dst);
     cur = dst;
   }
+}
+
+void QuantizedMlp::forwardBatch(std::span<const float> inputs, int batch,
+                                std::span<float> outputs,
+                                ForwardScratch& scratch) const {
+  forwardBatchWithKernel(inputs, batch, outputs, scratch,
+                         kernels::activeInt8Kernel());
 }
 
 void QuantizedMlp::forwardInto(std::span<const float> x, std::span<float> out,

@@ -21,6 +21,7 @@
 #include <span>
 #include <vector>
 
+#include "nn/kernels/int8_kernels.h"
 #include "nn/mlp.h"
 
 namespace darpa::nn {
@@ -32,6 +33,13 @@ struct QuantizedLayer {
   std::vector<float> bias;           ///< Kept fp32 (as ncnn does).
   float inputScale = 1.0f;           ///< Activation quantization step.
   float dequantScale = 1.0f;         ///< Folded weightScale * inputScale.
+  /// inSize rounded up to kernels::kInt8KernelPad — the row stride of
+  /// packedWeights and of the quantized-activation scratch matrix.
+  int paddedInSize = 0;
+  /// Kernel-ready weights: outSize rows of paddedInSize int8, the tail of
+  /// each row zero-filled. Zeros add exactly zero to the int32 dot
+  /// product, so ragged inSize costs no in-kernel edge handling.
+  std::vector<std::int8_t> packedWeights;
 };
 
 class QuantizedMlp {
@@ -61,10 +69,20 @@ class QuantizedMlp {
                    ForwardScratch& scratch) const;
 
   /// Batched int8 inference, same layout contract as Mlp::forwardBatch.
-  /// Int32 accumulation is exact, so batching is trivially bit-equal to
-  /// per-row forward() here; the row tiling mirrors the fp32 GEMM.
+  /// Routes through the process-wide kernel table
+  /// (kernels::activeInt8Kernel()): scalar, SSE4.1, or AVX2 picked once
+  /// from CPUID / DARPA_KERNEL. Int32 accumulation is exact, so every
+  /// lane — and any batch size — is bit-equal to per-row forward().
   void forwardBatch(std::span<const float> inputs, int batch,
                     std::span<float> outputs, ForwardScratch& scratch) const;
+
+  /// forwardBatch through an explicitly chosen kernel, bypassing the
+  /// dispatcher — the hook the lane-parity tests and the per-lane
+  /// roofline bench stand on. Same contract and results as forwardBatch.
+  void forwardBatchWithKernel(std::span<const float> inputs, int batch,
+                              std::span<float> outputs,
+                              ForwardScratch& scratch,
+                              const kernels::Int8Kernel& kernel) const;
 
   /// Serialized parameter footprint in bytes (int8 weights + fp32 biases +
   /// two scales per layer) — compare with 4 bytes/weight for the fp32 model.

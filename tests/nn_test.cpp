@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "nn/kernels/int8_kernels.h"
 #include "nn/losses.h"
 #include "nn/mlp.h"
 #include "nn/quantize.h"
@@ -318,6 +319,135 @@ TEST(MlpBatchTest, ScratchStopsGrowingAfterWarmup) {
   }
   EXPECT_EQ(scratch.growths(), 0);
   EXPECT_EQ(scratch.grownBytes(), 0);
+}
+
+// --- dispatch-lane parity suite ---------------------------------------------
+// Every compiled-in SIMD lane must be BIT-equal to the scalar reference
+// lane: the int8 core accumulates in exact int32 and the float quantize/
+// dequant stages are written to evaluate identical IEEE sequences (see
+// src/nn/kernels/int8_kernels.h). EXPECT_EQ on floats, no tolerance —
+// this is what lets different hosts dispatch different kernels while the
+// fleet digests stay byte-identical. Lanes the host CPU lacks are skipped
+// (and reported), not failed.
+
+std::vector<kernels::Int8Lane> supportedSimdLanes() {
+  std::vector<kernels::Int8Lane> lanes;
+  for (const kernels::Int8Lane lane :
+       {kernels::Int8Lane::kSse4, kernels::Int8Lane::kAvx2}) {
+    if (kernels::laneSupported(lane)) lanes.push_back(lane);
+  }
+  return lanes;
+}
+
+TEST(MlpBatchTest, KernelLanesBitEqualToScalarLane) {
+  const std::vector<kernels::Int8Lane> lanes = supportedSimdLanes();
+  if (lanes.empty()) {
+    GTEST_SKIP() << "host CPU offers no SIMD lane; scalar-only build";
+  }
+  // Layer widths straddling the kernel pad (32): 1, width-1, width+1,
+  // plus the production head shape. Batches straddle the old row tile.
+  const std::vector<std::vector<int>> shapes = {
+      {1, 4, 1}, {31, 33, 5}, {33, 31, 4}, {24, 48, 24, 6}};
+  const kernels::Int8Kernel& scalarKernel =
+      kernels::kernelForLane(kernels::Int8Lane::kScalar);
+  std::uint64_t seed = 500;
+  for (const std::vector<int>& shape : shapes) {
+    Rng rng(++seed);
+    const Mlp mlp(shape, rng);
+    // Calibrated and the empty-calibration scale-1 edge case both count.
+    for (const bool calibrated : {true, false}) {
+      const QuantizedMlp quantized = QuantizedMlp::fromMlp(
+          mlp, calibrated
+                   ? randomInputs(32, mlp.inputSize(), ++seed)
+                   : std::vector<std::vector<float>>{});
+      for (const int batch : {1, 31, 64, 65, 130}) {
+        const std::vector<std::vector<float>> inputs =
+            randomInputs(batch, mlp.inputSize(), ++seed);
+        std::vector<float> packed;
+        for (const std::vector<float>& x : inputs) {
+          packed.insert(packed.end(), x.begin(), x.end());
+        }
+        const std::size_t outCount =
+            static_cast<std::size_t>(batch) * quantized.outputSize();
+        std::vector<float> reference(outCount);
+        ForwardScratch scratch;
+        quantized.forwardBatchWithKernel(packed, batch, reference, scratch,
+                                         scalarKernel);
+        for (const kernels::Int8Lane lane : lanes) {
+          std::vector<float> simd(outCount, -1.0f);
+          quantized.forwardBatchWithKernel(packed, batch, simd, scratch,
+                                           kernels::kernelForLane(lane));
+          for (std::size_t i = 0; i < outCount; ++i) {
+            EXPECT_EQ(simd[i], reference[i])
+                << "lane=" << kernels::laneName(lane)
+                << " shape[0]=" << shape[0] << " calibrated=" << calibrated
+                << " batch=" << batch << " out=" << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelDispatchTest, ActiveKernelIsASupportedLaneAndStable) {
+  const kernels::Int8Kernel& active = kernels::activeInt8Kernel();
+  EXPECT_TRUE(kernels::laneSupported(active.lane));
+  EXPECT_STREQ(active.name, kernels::laneName(active.lane));
+  // once_flag resolution: the table is resolved exactly once per process.
+  EXPECT_EQ(&kernels::activeInt8Kernel(), &active);
+  EXPECT_EQ(kernels::activeInt8Lane(), active.lane);
+}
+
+TEST(KernelDispatchTest, ResolveHonorsOverrideAndPicksWidestByDefault) {
+  // "scalar" is compiled and supported everywhere.
+  EXPECT_EQ(kernels::resolveInt8Kernel("scalar").lane,
+            kernels::Int8Lane::kScalar);
+  EXPECT_EQ(kernels::resolveInt8Kernel(nullptr).lane,
+            kernels::resolveInt8Kernel("").lane);
+  const kernels::Int8Kernel& best = kernels::resolveInt8Kernel(nullptr);
+  EXPECT_TRUE(kernels::laneSupported(best.lane));
+  if (kernels::laneSupported(kernels::Int8Lane::kAvx2)) {
+    EXPECT_EQ(best.lane, kernels::Int8Lane::kAvx2);
+  }
+  for (const kernels::Int8Lane lane : supportedSimdLanes()) {
+    EXPECT_EQ(kernels::resolveInt8Kernel(kernels::laneName(lane)).lane, lane);
+  }
+}
+
+TEST(KernelDispatchTest, UnknownLaneAborts) {
+  // DARPA_KERNEL typos must fail loudly, not silently fall back — perf
+  // numbers pinned to a lane that was never selected are worse than none.
+  EXPECT_DEATH(static_cast<void>(kernels::resolveInt8Kernel("neon")),
+               "unknown kernel lane");
+}
+
+TEST(KernelDispatchTest, PaddingIsKernelSized) {
+  EXPECT_EQ(kernels::padInt8RowSize(1), kernels::kInt8KernelPad);
+  EXPECT_EQ(kernels::padInt8RowSize(kernels::kInt8KernelPad),
+            kernels::kInt8KernelPad);
+  EXPECT_EQ(kernels::padInt8RowSize(kernels::kInt8KernelPad + 1),
+            2 * kernels::kInt8KernelPad);
+  Rng rng(71);
+  const Mlp mlp({33, 31, 4}, rng);
+  const QuantizedMlp quantized = QuantizedMlp::fromMlp(mlp, {});
+  for (const QuantizedLayer& layer : quantized.layers()) {
+    EXPECT_EQ(layer.paddedInSize, kernels::padInt8RowSize(layer.inSize));
+    ASSERT_EQ(layer.packedWeights.size(),
+              static_cast<std::size_t>(layer.outSize) * layer.paddedInSize);
+    for (int j = 0; j < layer.outSize; ++j) {
+      const std::int8_t* packed =
+          layer.packedWeights.data() +
+          static_cast<std::size_t>(j) * layer.paddedInSize;
+      for (int i = 0; i < layer.inSize; ++i) {
+        EXPECT_EQ(packed[i],
+                  layer.weights[static_cast<std::size_t>(j) * layer.inSize +
+                                i]);
+      }
+      for (int i = layer.inSize; i < layer.paddedInSize; ++i) {
+        EXPECT_EQ(packed[i], 0) << "padding must be zero (exactness)";
+      }
+    }
+  }
 }
 
 TEST(QuantizeTest, WeightsAreInt8Range) {

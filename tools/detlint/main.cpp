@@ -28,6 +28,16 @@
 //       std::map/std::set keyed by a pointer type in digest-affecting
 //       code. Ordered iteration over addresses is allocation-order — i.e.
 //       nondeterministic across runs — wearing a deterministic disguise.
+//   env-config-in-digest-path
+//       getenv / secure_getenv / __builtin_cpu_supports / __get_cpuid
+//       inside digest-affecting code. Ambient host configuration (env
+//       vars, CPUID) varies machine to machine and deploy to deploy;
+//       code that branches on it mid-computation produces digests that
+//       depend on where the run happened. The one legal shape is
+//       one-time init whose every outcome is bit-equal (the int8 kernel
+//       dispatcher in src/nn/kernels/int8_dispatch.cpp: all lanes
+//       produce identical bytes, so the CPUID/env read only picks a
+//       speed) — documented with an explicit begin-allow region.
 //   mutex-missing-guarded-by
 //       A std::mutex / RankedMutex member whose file contains no
 //       GUARDED_BY(<that mutex>) annotation. Applies everywhere (not only
@@ -94,6 +104,7 @@ const char kRuleWallClock[] = "wall-clock-in-digest-path";
 const char kRuleAmbientRng[] = "ambient-rng-in-digest-path";
 const char kRuleUnorderedIter[] = "unordered-iteration-in-digest-path";
 const char kRulePtrKeyed[] = "pointer-keyed-ordered-container";
+const char kRuleEnvConfig[] = "env-config-in-digest-path";
 const char kRuleMutexGuard[] = "mutex-missing-guarded-by";
 const char kRuleRawMutexFleet[] = "raw-mutex-in-fleet";
 
@@ -255,6 +266,10 @@ void checkDigestRules(const std::string& text, const std::string& file,
       {kRulePtrKeyed,
        std::regex(R"(std::(?:map|set)\s*<\s*(?:const\s+)?[A-Za-z_][\w:]*\s*\*)"),
        "pointer-keyed ordered container (iteration order = address order)"},
+      {kRuleEnvConfig,
+       std::regex(R"(\bgetenv\s*\(|\bsecure_getenv\s*\(|__builtin_cpu_supports\b|__get_cpuid\b)"),
+       "ambient host configuration read (env/CPUID); only legal as "
+       "documented one-time init whose outcomes are all bit-equal"},
   };
 
   for (const TokenRule& tr : kTokenRules) {
@@ -448,7 +463,7 @@ int selfTest(const fs::path& fixtureDir) {
   // Coverage contract: the fixture suite must make every rule fire at
   // least once, or a silently dead rule would pass CI forever.
   for (const char* rule : {kRuleWallClock, kRuleAmbientRng, kRuleUnorderedIter,
-                           kRulePtrKeyed, kRuleMutexGuard,
+                           kRulePtrKeyed, kRuleEnvConfig, kRuleMutexGuard,
                            kRuleRawMutexFleet}) {
     if (rulesFired.count(rule) == 0) {
       std::printf("SELF-TEST FAIL: rule [%s] fired on no fixture\n", rule);

@@ -1,0 +1,66 @@
+// lane_probe: print which int8 GEMM kernel lane the runtime dispatcher
+// resolves on this host, plus the compiled/supported lane inventory.
+//
+// CI builds this tool in a tree configured with -DDARPA_NATIVE_SIMD=OFF
+// and asserts `--require avx2` on AVX2 hosts: the SIMD lanes are compiled
+// via per-function target attributes (src/nn/kernels/), so the *default*
+// build — no -march=native anywhere — must still dispatch the widest lane
+// the CPU supports. A failure here means the target-attribute build
+// strategy regressed and production binaries silently fell back to the
+// scalar reference lane.
+//
+// Usage:
+//   lane_probe                 # print active/compiled/supported, exit 0
+//   lane_probe --require LANE  # additionally exit 1 unless active == LANE
+//
+// DARPA_KERNEL is honored (the probe goes through the same resolver as
+// production), so `DARPA_KERNEL=scalar lane_probe --require scalar` also
+// exercises the override path.
+#include <cstdio>
+#include <cstring>
+
+#include "nn/kernels/int8_kernels.h"
+
+namespace {
+
+using darpa::nn::kernels::Int8Lane;
+using darpa::nn::kernels::kInt8LaneCount;
+using darpa::nn::kernels::laneCompiled;
+using darpa::nn::kernels::laneName;
+using darpa::nn::kernels::laneSupported;
+
+void printInventory(const char* label, bool (*pred)(Int8Lane)) {
+  std::printf("%s=", label);
+  bool first = true;
+  for (int i = 0; i < kInt8LaneCount; ++i) {
+    const auto lane = static_cast<Int8Lane>(i);
+    if (!pred(lane)) continue;
+    std::printf("%s%s", first ? "" : ",", laneName(lane));
+    first = false;
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const darpa::nn::kernels::Int8Kernel& active =
+      darpa::nn::kernels::activeInt8Kernel();
+  std::printf("active=%s\n", active.name);
+  printInventory("compiled", laneCompiled);
+  printInventory("supported", laneSupported);
+
+  if (argc == 3 && std::strcmp(argv[1], "--require") == 0) {
+    if (std::strcmp(active.name, argv[2]) != 0) {
+      std::fprintf(stderr,
+                   "lane_probe: dispatcher resolved '%s' but '%s' was "
+                   "required\n",
+                   active.name, argv[2]);
+      return 1;
+    }
+  } else if (argc != 1) {
+    std::fprintf(stderr, "usage: lane_probe [--require LANE]\n");
+    return 2;
+  }
+  return 0;
+}
